@@ -1,0 +1,29 @@
+"""Benchmarks for the ablation studies (DESIGN.md §5 call-outs)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_ugal_candidates(benchmark, quick_scale):
+    result = benchmark(
+        ablations.run_ugal_candidates, scale=quick_scale, seed=0, counts=(1, 4)
+    )
+    headers, rows = result.tables[0]
+    assert len(rows) == 2
+    # With candidates the router can only do better or equal on latency
+    # at moderate load (1 candidate == pure VAL-vs-MIN coin with no choice).
+    lat = {r[0]: r[1] for r in rows}
+    assert lat[4] <= lat[1] * 1.3
+
+
+def test_ablation_val_maxhops(benchmark, quick_scale):
+    result = benchmark(ablations.run_val_maxhops, scale=quick_scale, seed=0)
+    assert "SHAPE VIOLATION" not in result.render()
+    headers, rows = result.tables[0]
+    assert len(rows) == 2
+
+
+def test_ablation_primitive_element(benchmark, quick_scale):
+    result = benchmark(
+        ablations.run_primitive_element_invariance, scale=quick_scale, seed=0
+    )
+    assert "SHAPE VIOLATION" not in result.render()

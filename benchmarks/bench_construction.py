@@ -1,0 +1,50 @@
+"""Construction-speed benchmarks: the costs a downstream user pays.
+
+Not tied to one paper artifact; they track the expensive primitives
+behind all of them (MMS construction, field building, routing tables,
+bisection) so performance regressions in the substrate are visible.
+"""
+
+import pytest
+
+from repro.analysis.bisection import bisection_bandwidth
+from repro.core.mms import MMSGraph
+from repro.galois.field import GaloisField
+from repro.routing.tables import RoutingTables
+from repro.topologies import Dragonfly, SlimFly
+
+
+def test_build_gf_prime_power(benchmark):
+    GaloisField.get.cache_clear()
+    f = benchmark(GaloisField, 49)
+    assert f.q == 49
+
+
+@pytest.mark.parametrize("q", [5, 19])
+def test_build_mms_graph(benchmark, q):
+    g = benchmark(MMSGraph, q)
+    assert g.num_routers == 2 * q * q
+
+
+def test_build_paper_slimfly(benchmark):
+    sf = benchmark(SlimFly.from_q, 19)
+    assert sf.num_endpoints == 10830
+
+
+def test_build_paper_dragonfly(benchmark):
+    df = benchmark(Dragonfly.balanced, 7)
+    assert df.num_endpoints == 9702
+
+
+def test_routing_tables_sf7(benchmark):
+    sf = SlimFly.from_q(7)
+    tables = benchmark(RoutingTables, sf.adjacency)
+    assert tables.diameter() == 2
+
+
+def test_bisection_sf7(benchmark):
+    sf = SlimFly.from_q(7)
+    bb = benchmark(
+        bisection_bandwidth, sf.adjacency, 10.0, 1, 0
+    )
+    assert bb > 0

@@ -1,0 +1,34 @@
+"""Benchmarks E16–E18 / Figs 11–13: pricing models, cost and power sweeps."""
+
+import pytest
+
+from repro.experiments import fig11_cost_power
+
+
+def test_cost_models(benchmark, quick_scale):
+    result = benchmark(fig11_cost_power.run, scale=quick_scale, seed=0, what="models")
+    headers, rows = result.tables[0]
+    fdr10 = next(r for r in rows if r[0] == "mellanox-fdr10")
+    assert fdr10[5] == "paper fit"
+
+
+@pytest.mark.parametrize("cable", ["mellanox-fdr10", "elpeus-eth10", "mellanox-qdr56"])
+def test_total_cost_sweep(benchmark, quick_scale, cable):
+    result = benchmark(
+        fig11_cost_power.run, scale=quick_scale, seed=0, what="cost",
+        cable_model=cable,
+    )
+    assert "SHAPE VIOLATION" not in result.render()
+    # The paper's claim: relative ordering stable across cable products.
+    headers, rows = result.tables[0]
+    per_node = {r[0]: r[2] for r in rows}
+    assert per_node["SF"] < per_node["DF"]
+    assert per_node["SF"] < per_node["FT-3"]
+
+
+def test_total_power_sweep(benchmark, quick_scale):
+    result = benchmark(fig11_cost_power.run, scale=quick_scale, seed=0, what="power")
+    assert "SHAPE VIOLATION" not in result.render()
+    headers, rows = result.tables[0]
+    per_node = {r[0]: r[2] for r in rows}
+    assert per_node["SF"] == min(per_node.values())

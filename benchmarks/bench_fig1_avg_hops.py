@@ -1,0 +1,16 @@
+"""Benchmark E1 / Fig 1: average hop count sweep."""
+
+from repro.experiments import fig1_avg_hops
+
+
+def test_fig1_avg_hops(benchmark, quick_scale):
+    result = benchmark(fig1_avg_hops.run, scale=quick_scale, seed=0)
+    rendered = result.render()
+    assert "SHAPE VIOLATION" not in rendered
+    # SF's largest-size average must stay below 2 hops (diameter 2).
+    sf = result.bundles[0].get("SF")
+    assert max(sf.y) < 2.0
+    # And strictly below every other topology at the shared largest size.
+    for series in result.bundles[0].series:
+        if series.name != "SF" and series.y:
+            assert sf.y[-1] < series.y[-1]

@@ -1,0 +1,20 @@
+"""Benchmark E2 / Fig 5a: diameter-2 Moore-bound comparison."""
+
+from repro.experiments import fig5a_moore2
+
+
+def test_fig5a_moore_bound_d2(benchmark, quick_scale):
+    result = benchmark(fig5a_moore2.run, scale=quick_scale, seed=0)
+    assert "SHAPE VIOLATION" not in result.render()
+    bundle = result.bundles[0]
+    sf = bundle.get("Slim Fly MMS")
+    mb = dict(bundle.get("Moore Bound 2").as_pairs())
+    # Every SF point sits below the bound but above 2/3 of it
+    # (paper: ~88%; small q fluctuates, Hoffman-Singleton hits 100%).
+    for k, nr in sf.as_pairs():
+        bound = 1 + k * k
+        assert nr <= bound
+        assert nr >= 0.66 * bound
+    # Fat tree is orders of magnitude below at the top radix.
+    ft = bundle.get("Fat tree")
+    assert ft.y[-1] < 0.05 * (1 + ft.x[-1] ** 2)

@@ -1,0 +1,10 @@
+"""Benchmark E3 / Fig 5b: diameter-3 Moore-bound comparison."""
+
+from repro.experiments import fig5b_moore3
+
+
+def test_fig5b_moore_bound_d3(benchmark, quick_scale):
+    result = benchmark(fig5b_moore3.run, scale=quick_scale, seed=0)
+    assert "SHAPE VIOLATION" not in result.render()
+    # Ordering note must be present (DEL > BDF > DF > FBF-3).
+    assert any("shape holds" in n for n in result.notes)

@@ -1,0 +1,17 @@
+"""Benchmark E4 / Fig 5c: bisection bandwidth comparison."""
+
+from repro.experiments import fig5c_bisection
+
+
+def test_fig5c_bisection(benchmark, quick_scale):
+    result = benchmark(fig5c_bisection.run, scale=quick_scale, seed=0)
+    assert "SHAPE VIOLATION" not in result.render()
+    bundle = result.bundles[0]
+    # FT-3/HC sit at full bisection (N/2 × 10 Gb/s).
+    ft = bundle.get("FT-3")
+    for n, bb in ft.as_pairs():
+        assert bb == (n // 2) * 10.0
+    # SF (measured) >= DF closed form at matching indices.
+    sf, df = bundle.get("SF"), bundle.get("DF")
+    for (_, ysf), (_, ydf) in zip(sf.as_pairs(), df.as_pairs()):
+        assert ysf >= 0.8 * ydf

@@ -1,0 +1,57 @@
+"""Benchmarks E9–E12 / Fig 6: the cycle-simulator latency/load curves.
+
+Full curves are timed for the uniform and worst-case patterns (the two
+headline panels); the bit-permutation panels run a single-point sanity
+simulation each to keep the benchmark suite's wall time in check —
+the full curves are available via ``python -m repro.experiments fig6b``.
+"""
+
+from repro.experiments import fig6_performance
+from repro.experiments.common import Scale, performance_trio, sim_config_for
+from repro.routing import RoutingTables, UGALRouting
+from repro.sim import simulate
+from repro.traffic import BitReversalPattern, ShiftPattern
+
+
+def test_fig6a_uniform_curves(benchmark, quick_scale):
+    result = benchmark(
+        fig6_performance.run, scale=quick_scale, seed=0, pattern="uniform"
+    )
+    rendered = result.render()
+    assert "SHAPE VIOLATION" not in rendered
+    bundle = result.bundles[0]
+    sf_min = bundle.get("SF-MIN")
+    df = bundle.get("DF-UGAL-L")
+    ft = bundle.get("FT-ANCA")
+    # SF's zero-load latency is the lowest (diameter 2).
+    assert sf_min.y[0] < df.y[0]
+    assert sf_min.y[0] < ft.y[0]
+
+
+def test_fig6d_worstcase_curves(benchmark, quick_scale):
+    result = benchmark(
+        fig6_performance.run, scale=quick_scale, seed=0, pattern="worstcase"
+    )
+    rendered = result.render()
+    assert "SHAPE VIOLATION" not in rendered
+    # MIN must die early; UGAL-L must survive visibly longer.
+    assert any("MIN collapses" in n or "shape holds" in n for n in result.notes)
+
+
+def _single_point(pattern_cls, quick_scale):
+    sf, _, _ = performance_trio(quick_scale)
+    tables = RoutingTables(sf.adjacency)
+    traffic = pattern_cls(sf.num_endpoints)
+    cfg = sim_config_for(quick_scale)
+    return simulate(sf, UGALRouting(tables, "local", seed=0), traffic, 0.25, cfg)
+
+
+def test_fig6b_bitreversal_point(benchmark, quick_scale):
+    res = benchmark(_single_point, BitReversalPattern, quick_scale)
+    assert res.delivered == res.injected
+    assert not res.saturated
+
+
+def test_fig6c_shift_point(benchmark, quick_scale):
+    res = benchmark(_single_point, ShiftPattern, quick_scale)
+    assert res.delivered == res.injected

@@ -1,0 +1,21 @@
+"""Benchmarks E13 / Fig 8a (buffers) and E14 / Fig 8b–e (oversubscription)."""
+
+from repro.experiments import fig8_buffers_oversub
+
+
+def test_fig8a_buffer_study(benchmark, quick_scale):
+    result = benchmark(
+        fig8_buffers_oversub.run_buffers, scale=quick_scale, seed=0,
+        buffers=[16, 128],
+    )
+    assert "SHAPE VIOLATION" not in result.render()
+    assert len(result.bundles[0].series) == 2
+
+
+def test_fig8_oversubscription(benchmark, quick_scale):
+    result = benchmark(fig8_buffers_oversub.run_oversub, scale=quick_scale, seed=0)
+    assert "SHAPE VIOLATION" not in result.render()
+    headers, rows = result.tables[0]
+    # Balanced p accepts at least as much as the most oversubscribed p.
+    accepted = [r[2] for r in rows]
+    assert accepted[0] >= accepted[-1] - 0.05

@@ -1,0 +1,15 @@
+"""Benchmarks E7/E8 — §III-D2 diameter and §III-D3 path-length resiliency."""
+
+from repro.experiments import resiliency_extra
+
+
+def test_resiliency_diameter_increase(benchmark, quick_scale):
+    result = benchmark(resiliency_extra.run_diameter, scale=quick_scale, seed=0)
+    assert "SHAPE VIOLATION" not in result.render()
+    assert result.tables[0][1]
+
+
+def test_resiliency_pathlength_increase(benchmark, quick_scale):
+    result = benchmark(resiliency_extra.run_pathlen, scale=quick_scale, seed=0)
+    assert "SHAPE VIOLATION" not in result.render()
+    assert result.tables[0][1]

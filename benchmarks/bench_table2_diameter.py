@@ -1,0 +1,14 @@
+"""Benchmark E5 / Table II: diameters of all nine topologies."""
+
+from repro.experiments import table2_diameter
+
+
+def test_table2_diameters(benchmark, quick_scale):
+    result = benchmark(table2_diameter.run, scale=quick_scale, seed=0)
+    assert "SHAPE VIOLATION" not in result.render()
+    headers, rows = result.tables[0]
+    by_name = {r[0]: r[3] for r in rows}
+    assert by_name["SF"] == 2
+    assert by_name["DF"] == 3
+    assert by_name["FT-3"] == 4
+    assert min(by_name.values()) == by_name["SF"]

@@ -1,0 +1,15 @@
+"""Benchmark E6 / Table III: disconnection-resiliency Monte Carlo."""
+
+from repro.experiments import table3_disconnection
+
+
+def test_table3_disconnection(benchmark, quick_scale):
+    result = benchmark(
+        table3_disconnection.run, scale=quick_scale, seed=0,
+        topologies=["T3D", "DF", "SF", "DLN"],
+    )
+    assert "SHAPE VIOLATION" not in result.render()
+    headers, rows = result.tables[0]
+    pct = {r[0]: int(r[2].rstrip("%")) for r in rows}
+    # SF survives at least as much removal as the 3D torus.
+    assert pct["SF"] >= pct["T3D"]

@@ -1,0 +1,17 @@
+"""Benchmark E15 / Table IV: the cost & power case study."""
+
+from repro.experiments import table4_cost_power
+
+
+def test_table4_cost_power(benchmark, quick_scale):
+    result = benchmark(table4_cost_power.run, scale=quick_scale, seed=0)
+    assert "SHAPE VIOLATION" not in result.render()
+    headers, rows = result.tables[0]
+    assert len(rows) == 14
+    cost = {(r[0], r[1]): r[7] for r in rows}
+    power = {(r[0], r[1]): r[9] for r in rows}
+    sf_cost = cost[("SF", "high-radix same-k")]
+    sf_power = power[("SF", "high-radix same-k")]
+    # SF cheapest and most power-efficient across the whole table.
+    assert sf_cost == min(cost.values())
+    assert sf_power == min(power.values())

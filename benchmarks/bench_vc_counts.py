@@ -1,0 +1,14 @@
+"""Benchmark E19 / §IV-D: deadlock-freedom VC requirements."""
+
+from repro.experiments import vc_counts
+
+
+def test_vc_counts(benchmark, quick_scale):
+    result = benchmark(vc_counts.run, scale=quick_scale, seed=0)
+    assert "SHAPE VIOLATION" not in result.render()
+    headers, rows = result.tables[0]
+    sf_rows = [r for r in rows if r[0].startswith("SF")]
+    dln_rows = [r for r in rows if r[0].startswith("DLN")]
+    assert all(r[2] is True for r in sf_rows)  # 2-VC Gopal MIN acyclic
+    assert max(r[4] for r in sf_rows) <= 3  # paper: DFSSSP needs 3 on SF
+    assert dln_rows[0][4] >= max(r[4] for r in sf_rows)

@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+One benchmark module per paper table/figure.  Each benchmark times the
+computation that regenerates its artifact at ``quick`` scale and
+asserts the paper's qualitative shape on the produced data, so
+``pytest benchmarks/ --benchmark-only`` both measures and validates.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Bound benchmark rounds: the simulation-backed benchmarks run for
+    tens of seconds per call, so the default 5-round policy would make
+    the suite needlessly slow without improving the timing signal."""
+    for item in items:
+        item.add_marker(
+            pytest.mark.benchmark(min_rounds=1, max_time=2.0, warmup=False)
+        )
+
+
+@pytest.fixture(scope="session")
+def quick_scale():
+    from repro.experiments.common import Scale
+
+    return Scale.QUICK

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Datacenter design study: pick and lay out a Slim Fly for a target size.
+
+Scenario from the paper's §VI-A/§VII: you must connect ~10,000 nodes
+with 44-port routers.  The script
+
+1. searches the Slim Fly catalogue for candidate configurations,
+2. compares them against a balanced Dragonfly and fat tree of the same
+   class (routers, cables, cost, power),
+3. derives the physical rack layout (racks, cables per rack pair,
+   cable-length census), and
+4. shows the §VII-C incremental-expansion headroom (how many endpoints
+   can be added before leaving the paper's tolerated oversubscription).
+
+Run:  python examples/datacenter_design.py [target_endpoints]
+"""
+
+import sys
+
+from repro.core.balance import balanced_concentration, saturation_load_estimate
+from repro.core.catalog import find_slimfly_for_endpoints, slimfly_catalog
+from repro.costmodel import analytic_network_cost, network_cost
+from repro.costmodel.counts import dragonfly_counts, fattree_counts, slimfly_counts
+from repro.costmodel.power import power_per_endpoint
+from repro.layout import slimfly_racks
+from repro.topologies import SlimFly
+from repro.util.tables import ascii_table
+
+
+def main(target: int = 10_000) -> None:
+    print(f"== Designing a Slim Fly deployment for ~{target:,} endpoints ==\n")
+
+    # -- 1. Candidates from the catalogue ------------------------------------
+    rows = []
+    for cfg in slimfly_catalog(int(target * 1.6)):
+        if cfg.num_endpoints >= target * 0.4:
+            rows.append([cfg.q, cfg.num_routers, cfg.network_radix,
+                         cfg.concentration, cfg.router_radix, cfg.num_endpoints])
+    print(ascii_table(["q", "Nr", "k'", "p", "k", "N"], rows,
+                      title="Catalogue candidates (§VII-A)"))
+
+    best = find_slimfly_for_endpoints(target)
+    print(f"\nselected q={best.q}: N={best.num_endpoints:,} with "
+          f"radix-{best.router_radix} routers\n")
+
+    # -- 2. Compare with DF / FT of the same class ---------------------------
+    sf_counts = slimfly_counts(best.q)
+    h = max(2, round((best.num_endpoints / 4) ** 0.25))
+    df_counts = dragonfly_counts(h=h)
+    ft_counts = fattree_counts(best.router_radix / 2)
+    cmp_rows = []
+    for counts in (sf_counts, df_counts, ft_counts):
+        rep = analytic_network_cost(counts)
+        cmp_rows.append([
+            counts.name, counts.num_endpoints, counts.num_routers,
+            counts.router_radix, round(rep.cost_per_endpoint),
+            round(power_per_endpoint(counts.num_routers, counts.router_radix,
+                                     counts.num_endpoints), 2),
+        ])
+    print(ascii_table(["topology", "N", "Nr", "k", "$/node", "W/node"], cmp_rows,
+                      title="Cost & power comparison (§VI-B/C methodology)"))
+
+    # -- 3. Physical layout ----------------------------------------------------
+    sf = SlimFly.from_q(best.q)
+    racks = slimfly_racks(sf)
+    electric, fiber, mean_fiber = racks.cable_census(sf)
+    per_rack = sf.num_routers // racks.num_racks
+    print(f"\nlayout (§VI-A): {racks.num_racks} racks × {per_rack} routers "
+          f"({per_rack * sf.concentration} endpoints each)")
+    print(f"  every rack pair joined by 2q = {2 * sf.q} cables "
+          f"(fully connected rack graph)")
+    print(f"  cable census: {electric:,} electric intra-rack, {fiber:,} fiber "
+          f"inter-rack (mean run {mean_fiber:.1f} m)")
+    exact = network_cost(sf, racks)
+    print(f"  exact layout-priced cost: {exact.cost_per_endpoint:,.0f} $/endpoint")
+
+    # -- 4. Expansion headroom (§VII-C) -----------------------------------------
+    p_bal = balanced_concentration(sf.num_routers, sf.network_radix)
+    print(f"\nincremental expansion (§VII-C): balanced p={p_bal}")
+    for extra in (1, 2, 3):
+        p = p_bal + extra
+        est = saturation_load_estimate(sf.num_routers, sf.network_radix, p)
+        print(f"  p={p}: +{extra * sf.num_routers:,} endpoints, "
+              f"estimated accepted uniform load {100 * est:.0f}%")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10_000)

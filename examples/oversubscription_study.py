@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Oversubscription study (§V-E, §VII-C): growing a Slim Fly in place.
+
+Takes a balanced Slim Fly and adds endpoints beyond the balanced
+concentration p, measuring (via simulation) the accepted uniform load
+and latency at each step and comparing with the analytic channel-load
+estimate.  Reproduces the paper's finding that a Slim Fly tolerates
+≈10% extra endpoints with a modest bandwidth cost — the §VII-C
+incremental-growth strategy used by deployed systems.
+
+Run:  python examples/oversubscription_study.py
+"""
+
+from repro.core.balance import (
+    balanced_concentration,
+    oversubscription_factor,
+    saturation_load_estimate,
+)
+from repro.experiments.common import Scale, sim_config_for
+from repro.routing import MinimalRouting, RoutingTables
+from repro.sim.sweep import latency_vs_load, max_accepted
+from repro.topologies import SlimFly
+from repro.traffic import UniformRandom
+from repro.util.tables import ascii_table
+
+
+def main() -> None:
+    q = 5
+    base = SlimFly.from_q(q)
+    tables = RoutingTables(base.adjacency)
+    p_bal = balanced_concentration(base.num_routers, base.network_radix)
+    cfg = sim_config_for(Scale.DEFAULT)
+    loads = [0.15 * (i + 1) for i in range(6)]
+
+    rows = []
+    for p in range(p_bal, p_bal + 4):
+        sf = SlimFly.from_q(q, concentration=p)
+        traffic = UniformRandom(sf.num_endpoints)
+        points = latency_vs_load(
+            sf, lambda: MinimalRouting(tables), traffic, loads=loads, config=cfg
+        )
+        low_load_latency = points[0].latency
+        rows.append([
+            p,
+            sf.num_endpoints,
+            f"{oversubscription_factor(sf.num_routers, sf.network_radix, p):.2f}x",
+            round(max_accepted(points), 3),
+            round(saturation_load_estimate(sf.num_routers, sf.network_radix, p), 3),
+            round(low_load_latency, 1) if low_load_latency else None,
+        ])
+    print(ascii_table(
+        ["p", "N", "oversub", "measured accepted", "analytic estimate",
+         "low-load latency"],
+        rows,
+        title=f"Oversubscribed Slim Fly q={q} (balanced p={p_bal})",
+    ))
+    print("\npaper §V-E: full-bandwidth SF accepts ~87.5% of uniform traffic; "
+          "p+1 ~80%, p+3 ~75% — graceful degradation, low-load latency flat.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: build a Slim Fly, inspect it, route on it, simulate it.
+
+Walks through the library's core objects in ~a minute of wall time:
+
+1. construct the MMS-based Slim Fly for a target size,
+2. check the structural claims (diameter 2, balanced concentration,
+   Moore-bound proximity),
+3. build routing tables and look at minimal/Valiant paths,
+4. run a short cycle-accurate simulation under uniform traffic,
+5. price the network with the paper's cost and power models.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.balance import balanced_concentration, channel_load
+from repro.core.moore import moore_bound_diameter2, moore_fraction
+from repro.costmodel import network_cost
+from repro.costmodel.power import power_per_endpoint
+from repro.routing import MinimalRouting, RoutingTables, ValiantRouting
+from repro.sim import SimConfig, simulate
+from repro.topologies import SlimFly
+from repro.traffic import UniformRandom
+
+
+def main() -> None:
+    # -- 1. Construct -------------------------------------------------------
+    sf = SlimFly.for_endpoints(200)
+    print(f"built {sf!r}")
+    print(f"  q={sf.q} (delta={sf.delta:+d}), generator sets X={sorted(sf.mms.X)}, "
+          f"X'={sorted(sf.mms.Xp)}")
+
+    # -- 2. Structure -------------------------------------------------------
+    diam = sf.diameter()
+    avg = sf.average_distance()
+    frac = moore_fraction(sf.num_routers, sf.network_radix, 2)
+    print(f"  diameter={diam} (paper: always 2), average distance={avg:.3f}")
+    print(f"  routers={sf.num_routers} = {100 * frac:.0f}% of the Moore bound "
+          f"MB({sf.network_radix}, 2)={moore_bound_diameter2(sf.network_radix)}")
+    p_bal = balanced_concentration(sf.num_routers, sf.network_radix)
+    print(f"  balanced concentration p={p_bal} "
+          f"(channel load {channel_load(sf.num_routers, sf.network_radix, p_bal):.1f})")
+
+    # -- 3. Routing ---------------------------------------------------------
+    tables = RoutingTables(sf.adjacency)
+    src, dst = 0, sf.num_routers - 1
+    print(f"  MIN path {src}->{dst}: {tables.min_path(src, dst)}")
+    val = ValiantRouting(tables, seed=0)
+    print(f"  VAL path {src}->{dst}: {val.plan(src, dst, None)}")
+
+    # -- 4. Simulate --------------------------------------------------------
+    cfg = SimConfig(warmup_cycles=300, measure_cycles=700, drain_cycles=2000)
+    for load in (0.1, 0.5, 0.8):
+        res = simulate(sf, MinimalRouting(tables), UniformRandom(sf.num_endpoints),
+                       load, cfg)
+        print(f"  MIN @ load {load:.1f}: latency {res.avg_latency:6.1f} cycles, "
+              f"accepted {res.accepted_load:.3f}, saturated={res.saturated}")
+
+    # -- 5. Price -----------------------------------------------------------
+    report = network_cost(sf)
+    watts = power_per_endpoint(sf.num_routers, sf.router_radix, sf.num_endpoints)
+    print(f"  cost: {report.total_cost:,.0f} $ total, "
+          f"{report.cost_per_endpoint:,.0f} $/endpoint "
+          f"({report.electric_cables:.0f} electric + {report.fiber_cables:.0f} fiber cables)")
+    print(f"  power: {watts:.1f} W/endpoint")
+
+
+if __name__ == "__main__":
+    main()

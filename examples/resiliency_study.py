@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Resiliency study: Slim Fly vs Dragonfly vs random topology (§III-D).
+
+Monte-Carlo link-failure sweep on comparable networks reporting, per
+removal fraction, the probability of (a) staying connected, (b) keeping
+the diameter within +2, (c) keeping the average path within +1 hop —
+the paper's three §III-D metrics side by side, plus the counter-
+intuitive headline: SF beats DF despite using fewer cables.
+
+Run:  python examples/resiliency_study.py
+"""
+
+from repro.analysis.resiliency import (
+    diameter_resiliency,
+    disconnection_resiliency,
+    pathlength_resiliency,
+)
+from repro.topologies import Dragonfly, RandomDLN, SlimFly
+from repro.util.tables import ascii_table
+
+
+def main() -> None:
+    sf = SlimFly.from_q(5)
+    df = Dragonfly.balanced(3)
+    dln = RandomDLN.balanced(sf.router_radix, sf.num_routers, seed=0)
+    networks = [("SF", sf), ("DF", df), ("DLN", dln)]
+    fractions = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+    samples = 25
+
+    print("networks under test:")
+    for name, topo in networks:
+        print(f"  {name}: Nr={topo.num_routers}, links={topo.num_links}, "
+              f"k'={topo.network_radix}")
+    print()
+
+    for metric, fn, kwargs in (
+        ("connectivity survives", disconnection_resiliency, {}),
+        ("diameter stays within +2", diameter_resiliency, {"max_increase": 2}),
+        ("avg path stays within +1", pathlength_resiliency, {"max_increase": 1.0}),
+    ):
+        rows = []
+        headline = {}
+        for name, topo in networks:
+            res = fn(topo.adjacency, fractions=fractions, samples=samples,
+                     seed=1, **kwargs)
+            rows.append([name] + [f"{100 * p:.0f}%" for p in res.survival_probability])
+            headline[name] = res.max_survivable_fraction
+        print(ascii_table(
+            ["network"] + [f"{int(100 * f)}% cut" for f in fractions], rows,
+            title=f"P[{metric}] vs removed-cable fraction",
+        ))
+        print(f"  majority-survivable fraction: "
+              + ", ".join(f"{n}={100 * v:.0f}%" for n, v in headline.items()))
+        sf_wins = headline["SF"] >= headline["DF"]
+        print(f"  paper's counter-intuitive claim (SF ≥ DF with fewer cables): "
+              f"{'holds' if sf_wins else 'NOT reproduced here'}\n")
+
+
+if __name__ == "__main__":
+    main()

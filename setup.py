@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The environment has setuptools but no `wheel`, so PEP 660 editable
+installs (which need bdist_wheel) are unavailable; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` work offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — a reproduction of "Slim Fly: A Cost Effective Low-Diameter
+Network Topology" (Besta & Hoefler, SC 2014).
+
+The package implements the paper's contribution (MMS-graph Slim Fly
+topologies) together with every substrate its evaluation depends on:
+finite fields, baseline topologies, structural/resiliency analysis,
+routing algorithms with deadlock-freedom machinery, a cycle-based
+flit-level simulator, physical layout, and cost/power models.
+
+Quickstart
+----------
+>>> from repro import SlimFly
+>>> sf = SlimFly.from_q(5)          # Hoffman-Singleton-based Slim Fly
+>>> sf.num_routers, sf.network_radix, sf.concentration
+(50, 7, 4)
+>>> sf.diameter()
+2
+
+See ``examples/`` for end-to-end scenarios and
+``python -m repro.experiments --list`` for the paper's tables/figures.
+"""
+
+from repro._version import __version__
+
+# Public API re-exports are appended as subsystems come online; import
+# lazily where possible to keep `import repro` light.
+from repro.galois import GaloisField
+
+__all__ = ["__version__", "GaloisField"]
+
+
+def __getattr__(name):
+    """Lazy re-exports of the heavyweight public API."""
+    if name in {"SlimFly", "MMSGraph"}:
+        from repro.topologies.slimfly import SlimFly
+        from repro.core.mms import MMSGraph
+
+        return {"SlimFly": SlimFly, "MMSGraph": MMSGraph}[name]
+    if name == "Topology":
+        from repro.topologies.base import Topology
+
+        return Topology
+    if name == "moore_bound":
+        from repro.core.moore import moore_bound
+
+        return moore_bound
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

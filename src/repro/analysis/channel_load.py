@@ -1,0 +1,121 @@
+"""Analytic channel-load analysis for arbitrary traffic (paper §II-B2).
+
+The paper's balanced-concentration derivation computes the average
+number of routes crossing a channel under uniform all-to-all traffic.
+This module generalises that computation to *any* traffic pattern:
+route every (source, destination) demand over minimal paths (splitting
+evenly across equal-cost next hops, the standard ECMP fluid model) and
+accumulate per-channel load.  From the loads follow:
+
+- the **max-channel load**, whose reciprocal bounds the per-endpoint
+  saturation throughput under minimal routing (used to predict the
+  Fig 6d worst-case collapse analytically);
+- the **average load**, which for uniform traffic reproduces the
+  paper's closed form l = (2N_r − k' − 2)·p²/k'.
+
+This is a fluid (rate-based) model: no queueing, exact for the
+saturation bounds the paper quotes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.topologies.base import Topology
+
+# RoutingTables is imported lazily inside the functions below:
+# routing.tables itself depends on repro.analysis.distance, so a
+# module-level import here would be circular.
+
+
+def _distribute(tables, src: int, dst: int, rate: float, loads) -> None:
+    """Spread ``rate`` over all minimal paths src→dst (ECMP splitting).
+
+    Fluid flow: at each router the remaining rate divides evenly among
+    the shortest-path next hops.  Iterative frontier walk — cost
+    O(path_length × branching), no recursion.
+    """
+    frontier = {src: rate}
+    while frontier:
+        nxt: dict[int, float] = defaultdict(float)
+        for node, r in frontier.items():
+            if node == dst:
+                continue
+            hops = tables.next_hop_candidates(node, dst)
+            share = r / len(hops)
+            for h in hops:
+                loads[(node, h)] += share
+                nxt[h] += share
+        nxt.pop(dst, None)
+        frontier = nxt
+
+
+def channel_loads(
+    topology: Topology,
+    demands: dict[tuple[int, int], float],
+    tables=None,
+) -> dict[tuple[int, int], float]:
+    """Per-directed-channel load for endpoint-level ``demands``.
+
+    ``demands`` maps (src_endpoint, dst_endpoint) to injection rate in
+    flits/cycle.  Returns directed router-channel loads; injection and
+    ejection links are excluded (they bound at p·rate trivially).
+    """
+    if tables is None:
+        from repro.routing.tables import RoutingTables
+
+        tables = RoutingTables(topology.adjacency)
+    loads: dict[tuple[int, int], float] = defaultdict(float)
+    for (s, d), rate in demands.items():
+        if rate <= 0:
+            continue
+        rs = topology.endpoint_map[s]
+        rd = topology.endpoint_map[d]
+        if rs != rd:
+            _distribute(tables, rs, rd, rate, loads)
+    return dict(loads)
+
+
+def uniform_demands(topology: Topology, rate: float = 1.0) -> dict[tuple[int, int], float]:
+    """All-to-all uniform demand: every pair at rate/(N−1)."""
+    n = topology.num_endpoints
+    per_pair = rate / (n - 1)
+    return {
+        (s, d): per_pair for s in range(n) for d in range(n) if s != d
+    }
+
+
+def permutation_demands(mapping: dict[int, int], rate: float = 1.0) -> dict:
+    """Fixed-permutation demand (adversarial patterns)."""
+    return {(s, d): rate for s, d in mapping.items()}
+
+
+def max_channel_load(loads: dict[tuple[int, int], float]) -> float:
+    return max(loads.values(), default=0.0)
+
+
+def average_channel_load(
+    loads: dict[tuple[int, int], float], topology: Topology
+) -> float:
+    """Mean over *all* directed router channels (idle ones count)."""
+    total_channels = 2 * topology.num_links
+    return sum(loads.values()) / max(1, total_channels)
+
+
+def saturation_throughput(
+    topology: Topology,
+    demands: dict[tuple[int, int], float],
+    tables=None,
+) -> float:
+    """Largest demand multiplier the busiest channel can sustain.
+
+    With unit channel capacity, the fluid model saturates when the max
+    channel load reaches 1; the per-endpoint accepted rate is therefore
+    ``rate / max_load`` capped at the injection line rate.  For the SF
+    worst case this evaluates to ≈ 1/(2p) — the Fig 6d MIN collapse.
+    """
+    loads = channel_loads(topology, demands, tables)
+    peak = max_channel_load(loads)
+    if peak <= 0:
+        return 1.0
+    return min(1.0, 1.0 / peak)

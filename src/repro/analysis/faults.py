@@ -1,0 +1,95 @@
+"""Fault injection: degraded topologies for what-if studies (§III-D).
+
+The resiliency experiments of §III-D ask aggregate survival questions;
+this module supports the complementary *operational* question — what a
+specific degraded network looks like: remove a given set (or fraction)
+of cables and get back a proper :class:`Topology` that the analysis,
+routing, and simulation stacks consume unchanged.  Combined with
+:func:`repro.routing.deadlock.dfsssp_vc_count` this reproduces the
+§III-D remark that DFSSSP routing keeps degraded Slim Flies
+deadlock-free.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+from repro.util.rng import make_rng
+from repro.util.validation import check_probability
+
+
+class DegradedTopology(Topology):
+    """A topology with some router-to-router cables removed."""
+
+    def __init__(self, base: Topology, failed_links: set[tuple[int, int]]):
+        # Normalise to (min, max) pairs.
+        failed = {(min(u, v), max(u, v)) for u, v in failed_links}
+        for u, v in failed:
+            if v not in base.adjacency[u]:
+                raise ValueError(f"link ({u}, {v}) does not exist in {base.name}")
+        adjacency = [
+            [v for v in nbrs if (min(u, v), max(u, v)) not in failed]
+            for u, nbrs in enumerate(base.adjacency)
+        ]
+        self.base = base
+        self.failed_links = failed
+        super().__init__(
+            name=f"{base.name}-deg",
+            adjacency=adjacency,
+            endpoint_map=list(base.endpoint_map),
+        )
+
+    @property
+    def failure_fraction(self) -> float:
+        return len(self.failed_links) / max(1, self.base.num_links)
+
+
+def fail_random_links(
+    topology: Topology, fraction: float, seed=None
+) -> DegradedTopology:
+    """Remove a uniform random ``fraction`` of the cables."""
+    check_probability(fraction, "fraction")
+    rng = make_rng(seed)
+    edges = topology.edges()
+    kill = int(round(fraction * len(edges)))
+    if kill >= len(edges):
+        raise ValueError("cannot fail every link")
+    idx = rng.choice(len(edges), size=kill, replace=False)
+    return DegradedTopology(topology, {edges[i] for i in idx})
+
+
+def fail_router_links(topology: Topology, router: int) -> DegradedTopology:
+    """Remove every cable of one router (a router-death scenario)."""
+    failed = {(min(router, v), max(router, v)) for v in topology.adjacency[router]}
+    if len(failed) == topology.num_links:
+        raise ValueError("failing this router would disconnect everything")
+    return DegradedTopology(topology, failed)
+
+
+def degraded_routing_report(topology: Topology, fraction: float, seed=None) -> dict:
+    """One-stop what-if: degrade, re-route, and summarise.
+
+    Returns a dict with the degraded diameter, average distance, the
+    DFSSSP-style VC count after rerouting, and whether the network
+    stayed connected — the §III-D workflow as a single call.
+    """
+    from repro.analysis.distance import diameter_and_average_distance
+    from repro.routing.deadlock import dfsssp_vc_count
+    from repro.routing.tables import RoutingTables
+
+    degraded = fail_random_links(topology, fraction, seed=seed)
+    try:
+        diam, avg = diameter_and_average_distance(degraded.adjacency)
+    except ValueError:
+        return {
+            "connected": False,
+            "failed_links": len(degraded.failed_links),
+        }
+    tables = RoutingTables(degraded.adjacency)
+    sample = list(range(0, degraded.num_routers, max(1, degraded.num_routers // 40)))
+    return {
+        "connected": True,
+        "failed_links": len(degraded.failed_links),
+        "diameter": diam,
+        "average_distance": avg,
+        "dfsssp_vcs": dfsssp_vc_count(tables, sources=sample),
+    }

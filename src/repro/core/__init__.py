@@ -1,0 +1,57 @@
+"""The paper's primary contribution: Slim Fly graph constructions.
+
+- :mod:`repro.core.moore` — Moore-bound utilities (§II-A).
+- :mod:`repro.core.mms` — McKay–Miller–Širáň diameter-2 graphs (§II-B),
+  the basis of SF MMS.
+- :mod:`repro.core.balance` — channel load / balanced concentration
+  analysis (§II-B2) and oversubscription helpers (§V-E).
+- :mod:`repro.core.bdf` — Bermond–Delorme–Farhi diameter-3 graphs
+  (§II-C1): projective-plane polarity graphs, the * product, and the
+  closed-form size formulas.
+- :mod:`repro.core.delorme` — Delorme diameter-3 graph parameter
+  formulas (§II-C).
+- :mod:`repro.core.catalog` — the library of practical Slim Fly
+  configurations the paper ships (§VII-A).
+"""
+
+from repro.core.moore import moore_bound, moore_bound_diameter2, moore_bound_diameter3
+from repro.core.mms import MMSGraph, mms_delta, valid_mms_q, mms_q_values
+from repro.core.balance import (
+    balanced_concentration,
+    channel_load,
+    is_balanced,
+    oversubscription_factor,
+)
+from repro.core.bdf import (
+    bdf_num_routers,
+    bdf_network_radix,
+    polarity_graph,
+    star_product,
+    bdf_graph,
+)
+from repro.core.delorme import delorme_num_routers, delorme_network_radix, delorme_configs
+from repro.core.catalog import slimfly_catalog, find_slimfly_for_endpoints
+
+__all__ = [
+    "moore_bound",
+    "moore_bound_diameter2",
+    "moore_bound_diameter3",
+    "MMSGraph",
+    "mms_delta",
+    "valid_mms_q",
+    "mms_q_values",
+    "balanced_concentration",
+    "channel_load",
+    "is_balanced",
+    "oversubscription_factor",
+    "bdf_num_routers",
+    "bdf_network_radix",
+    "polarity_graph",
+    "star_product",
+    "bdf_graph",
+    "delorme_num_routers",
+    "delorme_network_radix",
+    "delorme_configs",
+    "slimfly_catalog",
+    "find_slimfly_for_endpoints",
+]

@@ -1,0 +1,81 @@
+"""Channel load and balanced concentration (paper §II-B2, §V-E).
+
+The paper derives the number of endpoints per router p (the
+*concentration*) that gives full global bandwidth.  With minimal
+routing and uniform all-to-all traffic, the average load per channel is
+
+    l = (2·N_r − k' − 2) · p² / k'            (routes per channel)
+
+and the network is *balanced* when every endpoint can inject at full
+capacity, i.e. ``p·N_r = l``, which yields
+
+    p = k' · N_r / (2·N_r − k' − 2)  ≈  ⌈k'/2⌉.
+
+Networks with larger p are *oversubscribed* (§V-E): they connect more
+endpoints but can only accept a fraction of uniform traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive_int
+
+
+def channel_load(num_routers: int, network_radix: int, concentration: int) -> float:
+    """Average number of minimal routes crossing one channel (paper formula).
+
+    ``l = (k' + 2·(N_r − k' − 1)) · p² · N_r / (k'·N_r)`` simplified to
+    ``(2·N_r − k' − 2)·p²/k'``.
+    """
+    nr = check_positive_int(num_routers, "num_routers")
+    k = check_positive_int(network_radix, "network_radix")
+    p = check_positive_int(concentration, "concentration")
+    return (2 * nr - k - 2) * p * p / k
+
+
+def balanced_concentration(num_routers: int, network_radix: int) -> int:
+    """The p that achieves full global bandwidth: ``⌈k'·N_r/(2N_r−k'−2)⌉``.
+
+    For diameter-2 MMS graphs this evaluates to ⌈k'/2⌉ (≈ 33% of ports
+    to endpoints, 67% to the network), matching §II-B2.
+    """
+    nr = check_positive_int(num_routers, "num_routers")
+    k = check_positive_int(network_radix, "network_radix")
+    exact = k * nr / (2 * nr - k - 2)
+    return max(1, math.ceil(exact))
+
+
+def is_balanced(num_routers: int, network_radix: int, concentration: int) -> bool:
+    """True iff injection bandwidth does not exceed network capacity.
+
+    A network is balanced when the per-endpoint injection the channels
+    can sustain, ``N_r·k' / ((2N_r−k'−2)·p)``, is at least the line
+    rate — equivalently p ≤ balanced p.
+    """
+    return concentration <= balanced_concentration(num_routers, network_radix)
+
+
+def saturation_load_estimate(
+    num_routers: int, network_radix: int, concentration: int
+) -> float:
+    """Analytic upper bound on accepted uniform load (fraction of line rate).
+
+    The network saturates when the busiest-on-average channel is fully
+    utilised; with uniform traffic that happens at offered load
+    ``min(1, p_balanced_exact / p)``.  Used to sanity-check the §V-E
+    oversubscription simulations (e.g. full-bandwidth SF accepts ~87%,
+    p=16 ~80%, p=18 ~75% — ratios match this estimate's shape).
+    """
+    nr = check_positive_int(num_routers, "num_routers")
+    k = check_positive_int(network_radix, "network_radix")
+    p = check_positive_int(concentration, "concentration")
+    exact = k * nr / (2 * nr - k - 2)
+    return min(1.0, exact / p)
+
+
+def oversubscription_factor(
+    num_routers: int, network_radix: int, concentration: int
+) -> float:
+    """p divided by the balanced p (1.0 = full bandwidth, >1 oversubscribed)."""
+    return concentration / balanced_concentration(num_routers, network_radix)

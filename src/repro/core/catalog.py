@@ -1,0 +1,93 @@
+"""The library of practical Slim Fly configurations (paper §VII-A).
+
+The paper ships "a library of practical topologies with different
+degrees and network sizes that can readily be used to construct
+efficient Slim Fly networks".  This module regenerates that library
+from the construction itself: for every valid q it lists the balanced
+configuration (q, δ, N_r, k', p, k, N), and provides search helpers
+(find a Slim Fly for a desired endpoint count or router radix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.balance import balanced_concentration
+from repro.core.mms import MMSParams, mms_q_values
+
+
+@dataclass(frozen=True)
+class SlimFlyConfig:
+    """One catalogue row: the balanced Slim Fly for a given q."""
+
+    q: int
+    delta: int
+    num_routers: int  # N_r = 2 q^2
+    network_radix: int  # k'
+    concentration: int  # p (balanced unless stated otherwise)
+    router_radix: int  # k = k' + p
+    num_endpoints: int  # N = p * N_r
+
+    @staticmethod
+    def from_q(q: int, concentration: int | None = None) -> "SlimFlyConfig":
+        params = MMSParams.from_q(q)
+        p = (
+            concentration
+            if concentration is not None
+            else balanced_concentration(params.num_routers, params.network_radix)
+        )
+        return SlimFlyConfig(
+            q=q,
+            delta=params.delta,
+            num_routers=params.num_routers,
+            network_radix=params.network_radix,
+            concentration=p,
+            router_radix=params.network_radix + p,
+            num_endpoints=p * params.num_routers,
+        )
+
+
+def slimfly_catalog(max_endpoints: int = 200_000) -> list[SlimFlyConfig]:
+    """All balanced Slim Fly configurations with N ≤ max_endpoints."""
+    out = []
+    q = 3
+    while True:
+        if 2 * q * q > max_endpoints:  # even p=1 would overshoot soon
+            break
+        if q in set(mms_q_values(q)):
+            cfg = SlimFlyConfig.from_q(q)
+            if cfg.num_endpoints <= max_endpoints:
+                out.append(cfg)
+        q += 1
+    return out
+
+
+def find_slimfly_for_endpoints(
+    target_endpoints: int, max_q: int = 200
+) -> SlimFlyConfig:
+    """The balanced Slim Fly whose N is closest to ``target_endpoints``."""
+    best = None
+    for q in mms_q_values(max_q):
+        cfg = SlimFlyConfig.from_q(q)
+        if best is None or abs(cfg.num_endpoints - target_endpoints) < abs(
+            best.num_endpoints - target_endpoints
+        ):
+            best = cfg
+    if best is None:
+        raise ValueError("no Slim Fly configuration found (max_q too small?)")
+    return best
+
+
+def find_slimfly_for_radix(router_radix: int, max_q: int = 200) -> SlimFlyConfig:
+    """The largest balanced Slim Fly buildable with routers of radix ≤ k."""
+    best = None
+    for q in mms_q_values(max_q):
+        cfg = SlimFlyConfig.from_q(q)
+        if cfg.router_radix <= router_radix:
+            if best is None or cfg.num_endpoints > best.num_endpoints:
+                best = cfg
+    if best is None:
+        raise ValueError(
+            f"no Slim Fly fits router radix {router_radix} (need k >= 8)"
+        )
+    return best

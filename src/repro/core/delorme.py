@@ -1,0 +1,48 @@
+"""Delorme (DEL) diameter-3 graph parameters (paper §II-C).
+
+Delorme graphs achieve ≈68% of the D=3 Moore bound — the best of the
+families the paper cites.  The paper uses them *only* as data points in
+Fig 5b, through the closed forms
+
+    N_r = (v + 1)² (v² + 1)²       k' = (v + 1)²
+
+for a prime power v.  The underlying construction (compounds over
+generalized quadrangles) is out of scope of the paper and of this
+reproduction; see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from repro.galois.primes import is_prime_power
+
+
+def delorme_network_radix(v: int) -> int:
+    """k' = (v + 1)² for prime power v."""
+    if is_prime_power(v) is None:
+        raise ValueError(f"v must be a prime power, got {v}")
+    return (v + 1) ** 2
+
+
+def delorme_num_routers(v: int) -> int:
+    """N_r = (v + 1)²(v² + 1)² for prime power v."""
+    if is_prime_power(v) is None:
+        raise ValueError(f"v must be a prime power, got {v}")
+    return (v + 1) ** 2 * (v * v + 1) ** 2
+
+
+def delorme_configs(max_radix: int) -> list[tuple[int, int, int]]:
+    """All (v, N_r, k') with k' ≤ max_radix, ascending in v."""
+    out = []
+    v = 2
+    while (v + 1) ** 2 <= max_radix:
+        if is_prime_power(v) is not None:
+            out.append((v, delorme_num_routers(v), delorme_network_radix(v)))
+        v += 1
+    return out
+
+
+def delorme_moore_fraction(v: int) -> float:
+    """Fraction of MB(k', 3) achieved — ≈0.68 for the plotted range."""
+    from repro.core.moore import moore_bound_diameter3
+
+    return delorme_num_routers(v) / moore_bound_diameter3(delorme_network_radix(v))

@@ -1,0 +1,291 @@
+"""McKay–Miller–Širáň (MMS) graphs — the basis of Slim Fly (paper §II-B).
+
+Construction (paper §II-B1, following Hafner's algebraic description):
+
+1. Pick a prime power ``q = 4w + δ`` with ``δ ∈ {−1, 0, +1}``.
+2. Find a primitive element ξ of GF(q).
+3. Build two symmetric *generator sets* X, X' ⊂ GF(q)*:
+
+   - δ = +1:  X = even powers of ξ (the quadratic residues),
+              X' = odd powers (the non-residues);
+   - δ =  0:  (characteristic 2) X = {ξ^{2i} : 0 ≤ i < q/2},
+              X' = ξ·X;
+   - δ = −1:  X = {±ξ^{2i} : 0 ≤ i < (q+1)/4}, X' = ξ·X.
+
+   In every case |X| = |X'| = (q−δ)/2 and X ∪ X' ⊇ GF(q)*, which is
+   what makes the diameter come out as 2 (see the verification in
+   :meth:`MMSGraph.validate`).
+
+4. Vertices are {0,1} × GF(q) × GF(q).  Edges (Eq. (1)–(3)):
+
+   - (0, x, y) ~ (0, x, y')  iff  y − y' ∈ X;
+   - (1, m, c) ~ (1, m, c')  iff  c − c' ∈ X';
+   - (0, x, y) ~ (1, m, c)   iff  y = m·x + c.
+
+The result is a k'-regular graph with k' = (3q − δ)/2, N_r = 2q²
+vertices, and diameter 2 — within ~12% of the Moore bound.
+
+Vertex labelling: vertex (s, a, b) has integer id ``s·q² + a·q + b``.
+Subgraph-0 vertices are ids [0, q²); subgraph-1 vertices are
+[q², 2q²).  Group (s, a) — one column of q routers — is the modular
+building block used by the physical layout (§VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.galois.field import GaloisField
+from repro.galois.primes import is_prime_power
+from repro.galois.primitive import primitive_element
+
+
+def mms_delta(q: int) -> int | None:
+    """Return δ ∈ {−1, 0, +1} such that q = 4w + δ, or ``None``.
+
+    ``q ≡ 2 (mod 4)`` admits no MMS graph (the only such prime power
+    is 2, and w would be 0); all other prime powers do.
+    """
+    r = q % 4
+    if r == 1:
+        return 1
+    if r == 0:
+        return 0
+    if r == 3:
+        return -1
+    return None
+
+
+def valid_mms_q(q: int) -> bool:
+    """True iff an MMS graph exists for ``q`` (prime power, q ≢ 2 mod 4, q ≥ 3)."""
+    if q < 3:
+        return False
+    return is_prime_power(q) is not None and mms_delta(q) is not None
+
+
+def mms_q_values(limit: int) -> list[int]:
+    """All valid MMS parameters q ≤ limit, ascending."""
+    return [q for q in range(3, limit + 1) if valid_mms_q(q)]
+
+
+@dataclass(frozen=True)
+class MMSParams:
+    """Closed-form parameters of the MMS graph for a given q."""
+
+    q: int
+    delta: int
+    network_radix: int  # k' = (3q - delta) / 2
+    num_routers: int  # N_r = 2 q^2
+
+    @staticmethod
+    def from_q(q: int) -> "MMSParams":
+        delta = mms_delta(q)
+        if delta is None or not valid_mms_q(q):
+            raise ValueError(
+                f"q={q} is not a valid MMS parameter (need a prime power "
+                f"q = 4w + delta, delta in {{-1, 0, 1}}, q >= 3)"
+            )
+        return MMSParams(
+            q=q,
+            delta=delta,
+            network_radix=(3 * q - delta) // 2,
+            num_routers=2 * q * q,
+        )
+
+
+class MMSGraph:
+    """A constructed MMS graph: adjacency plus algebraic metadata.
+
+    Attributes
+    ----------
+    q, delta:
+        The defining prime power and its residue class.
+    field:
+        The :class:`~repro.galois.field.GaloisField` GF(q).
+    xi:
+        The primitive element used for the generator sets.
+    X, Xp:
+        Generator sets (frozensets of field-element labels).
+    adjacency:
+        ``list[list[int]]`` neighbour lists, vertex ids as described in
+        the module docstring.  Neighbour lists are sorted.
+    """
+
+    def __init__(self, q: int, validate: bool = True, xi: int | None = None):
+        params = MMSParams.from_q(q)
+        self.q = q
+        self.delta = params.delta
+        self.network_radix = params.network_radix
+        self.num_routers = params.num_routers
+        self.field = GaloisField.get(q)
+        if xi is None:
+            self.xi = primitive_element(self.field)
+        else:
+            from repro.galois.primitive import is_primitive
+
+            if not is_primitive(self.field, xi):
+                raise ValueError(f"{xi} is not a primitive element of GF({q})")
+            self.xi = xi
+        self.X, self.Xp = self._generator_sets()
+        if validate:
+            self._validate_generator_sets()
+        self.adjacency = self._build_adjacency()
+
+    # -- algebra ---------------------------------------------------------
+
+    def _generator_sets(self) -> tuple[frozenset[int], frozenset[int]]:
+        """Build X and X' per the δ-specific formulas (Hafner / §II-B1)."""
+        f, xi, q, delta = self.field, self.xi, self.q, self.delta
+        if delta == 1:
+            # X: even powers (quadratic residues); X': odd powers.
+            count = (q - 1) // 2
+            X = {f.power(xi, 2 * i) for i in range(count)}
+            Xp = {f.power(xi, 2 * i + 1) for i in range(count)}
+        elif delta == 0:
+            # Characteristic 2; q/2 even powers (exponents mod q-1 wrap
+            # an odd modulus, so these q/2 values are distinct).
+            count = q // 2
+            X = {f.power(xi, 2 * i) for i in range(count)}
+            Xp = {f.mul(xi, x) for x in X}
+        else:  # delta == -1
+            w = (q + 1) // 4
+            half = [f.power(xi, 2 * i) for i in range(w)]
+            X = {h for h in half} | {f.neg(h) for h in half}
+            Xp = {f.mul(xi, x) for x in X}
+        return frozenset(X), frozenset(Xp)
+
+    def _validate_generator_sets(self) -> None:
+        """Structural invariants the construction's correctness rests on."""
+        f, q, delta = self.field, self.q, self.delta
+        expected = (q - delta) // 2
+        if len(self.X) != expected or len(self.Xp) != expected:
+            raise AssertionError(
+                f"generator set size mismatch for q={q}: "
+                f"|X|={len(self.X)}, |X'|={len(self.Xp)}, expected {expected}"
+            )
+        if 0 in self.X or 0 in self.Xp:
+            raise AssertionError("generator sets must not contain 0")
+        for S in (self.X, self.Xp):
+            for s in S:
+                if f.neg(s) not in S:
+                    raise AssertionError(
+                        f"generator set not symmetric for q={q}: {s} in S "
+                        f"but -{s}={f.neg(s)} not"
+                    )
+        union = self.X | self.Xp
+        if len(union) < q - 1:
+            raise AssertionError(
+                f"X ∪ X' must cover GF({q})*: covers only {len(union)} of {q - 1}"
+            )
+
+    # -- vertex labelling --------------------------------------------------
+
+    def vertex_id(self, s: int, a: int, b: int) -> int:
+        """(subgraph, column, row) -> integer vertex id."""
+        return s * self.q * self.q + a * self.q + b
+
+    def vertex_label(self, v: int) -> tuple[int, int, int]:
+        """Integer vertex id -> (subgraph, column, row)."""
+        q = self.q
+        s, rest = divmod(v, q * q)
+        a, b = divmod(rest, q)
+        return s, a, b
+
+    def group_of(self, v: int) -> tuple[int, int]:
+        """The (subgraph, column) group a vertex belongs to (layout unit)."""
+        s, a, _ = self.vertex_label(v)
+        return s, a
+
+    # -- construction --------------------------------------------------------
+
+    def _build_adjacency(self) -> list[list[int]]:
+        q, f = self.q, self.field
+        n = 2 * q * q
+        adj: list[list[int]] = [[] for _ in range(n)]
+
+        # Eq. (1): (0, x, y) ~ (0, x, y') iff y - y' in X.
+        # Eq. (2): (1, m, c) ~ (1, m, c') iff c - c' in X'.
+        for s, gen in ((0, self.X), (1, self.Xp)):
+            base = s * q * q
+            for a in range(q):
+                col = base + a * q
+                for b in range(q):
+                    vb = col + b
+                    for d in gen:
+                        b2 = f.add(b, d)
+                        if b2 > b:  # add each undirected edge once
+                            adj[vb].append(col + b2)
+                            adj[col + b2].append(vb)
+
+        # Eq. (3): (0, x, y) ~ (1, m, c) iff y = m*x + c.
+        for x in range(q):
+            col0 = x * q
+            for m in range(q):
+                col1 = q * q + m * q
+                mx = f.mul(m, x)
+                for c in range(q):
+                    y = f.add(mx, c)
+                    adj[col0 + y].append(col1 + c)
+                    adj[col1 + c].append(col0 + y)
+
+        for lst in adj:
+            lst.sort()
+        return adj
+
+    # -- exports ---------------------------------------------------------
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All undirected edges as (u, v) with u < v."""
+        out = []
+        for u, nbrs in enumerate(self.adjacency):
+            for v in nbrs:
+                if v > u:
+                    out.append((u, v))
+        return out
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.Graph` with label attributes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for v in range(self.num_routers):
+            s, a, b = self.vertex_label(v)
+            g.add_node(v, subgraph=s, column=a, row=b)
+        g.add_edges_from(self.edges())
+        return g
+
+    def degree_histogram(self) -> dict[int, int]:
+        hist: dict[int, int] = {}
+        for nbrs in self.adjacency:
+            hist[len(nbrs)] = hist.get(len(nbrs), 0) + 1
+        return hist
+
+    def validate(self) -> None:
+        """Full structural validation: regularity and diameter 2.
+
+        Cost is O(N_r * E); fine for the catalogue sizes, used by tests
+        and available to cautious callers.
+        """
+        k = self.network_radix
+        for v, nbrs in enumerate(self.adjacency):
+            if len(nbrs) != k:
+                raise AssertionError(
+                    f"vertex {v} has degree {len(nbrs)}, expected {k}"
+                )
+            if len(set(nbrs)) != len(nbrs):
+                raise AssertionError(f"vertex {v} has duplicate edges")
+            if v in nbrs:
+                raise AssertionError(f"vertex {v} has a self-loop")
+        from repro.analysis.distance import diameter_and_average_distance
+
+        diam, _ = diameter_and_average_distance(self.adjacency)
+        if diam != 2:
+            raise AssertionError(f"MMS graph q={self.q} has diameter {diam}, not 2")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MMSGraph(q={self.q}, delta={self.delta:+d}, "
+            f"Nr={self.num_routers}, k'={self.network_radix})"
+        )

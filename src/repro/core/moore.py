@@ -1,0 +1,57 @@
+"""Moore-bound utilities (paper §II-A).
+
+The Moore bound is the maximum number of vertices a graph of maximum
+degree k' and diameter D can have:
+
+    MB(k', D) = 1 + k' * sum_{i=0}^{D-1} (k' - 1)**i
+
+The paper uses it as the optimality yardstick for router counts: a
+diameter-D network of radix-k' routers can contain at most MB(k', D)
+routers.  Figures 5a and 5b plot constructions against MB for D = 2
+and D = 3.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive_int
+
+
+def moore_bound(network_radix: int, diameter: int) -> int:
+    """MB(k', D): max vertices for degree ``network_radix``, diameter ``diameter``."""
+    k = check_positive_int(network_radix, "network_radix")
+    d = check_positive_int(diameter, "diameter")
+    if k == 1:
+        return 2  # a single edge
+    total = 1
+    term = k
+    for _ in range(d):
+        total += term
+        term *= k - 1
+    return total
+
+
+def moore_bound_diameter2(network_radix: int) -> int:
+    """MB(k', 2) = 1 + k'^2 — the diameter-2 specialisation used in Fig 5a."""
+    k = check_positive_int(network_radix, "network_radix")
+    return 1 + k * k
+
+
+def moore_bound_diameter3(network_radix: int) -> int:
+    """MB(k', 3) = 1 + k' + k'(k'−1) + k'(k'−1)^2 — used in Fig 5b."""
+    return moore_bound(network_radix, 3)
+
+
+def moore_fraction(num_routers: int, network_radix: int, diameter: int) -> float:
+    """Fraction of the Moore bound achieved by a concrete construction.
+
+    The percentages annotated in Figs 5a/5b (e.g. SF MMS ≈ 88% for
+    D=2, Dragonfly ≈ 14% for D=3) are exactly this ratio.
+    """
+    return num_routers / moore_bound(network_radix, diameter)
+
+
+def max_endpoints(network_radix: int, diameter: int, concentration: int) -> int:
+    """Upper bound on endpoints N for a (k', D) network with p endpoints/router."""
+    return moore_bound(network_radix, diameter) * check_positive_int(
+        concentration, "concentration"
+    )

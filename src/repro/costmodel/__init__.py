@@ -1,0 +1,35 @@
+"""Cost and energy models (paper §VI-B, §VI-C).
+
+- :mod:`repro.costmodel.cables` — cable pricing ($ per Gb/s as a
+  linear function of length) for the cable products of Figs 11–13.
+- :mod:`repro.costmodel.routers` — router pricing (linear in radix).
+- :mod:`repro.costmodel.counts` — per-topology closed-form cable
+  counts following §VI-B3 (used by the N-sweeps of Fig 11c/13c).
+- :mod:`repro.costmodel.cost` — total network cost from a constructed
+  topology + rack layout, or from closed-form counts.
+- :mod:`repro.costmodel.power` — the SerDes energy model (§VI-C).
+- :mod:`repro.costmodel.casestudy` — the Table IV case study.
+"""
+
+from repro.costmodel.cables import CableCostModel, CABLE_MODELS
+from repro.costmodel.routers import RouterCostModel, ROUTER_MODELS
+from repro.costmodel.counts import analytic_counts, AnalyticCounts
+from repro.costmodel.cost import CostReport, network_cost, analytic_network_cost
+from repro.costmodel.power import network_power_watts, power_per_endpoint
+from repro.costmodel.casestudy import table4_rows, CaseStudyRow
+
+__all__ = [
+    "CableCostModel",
+    "CABLE_MODELS",
+    "RouterCostModel",
+    "ROUTER_MODELS",
+    "analytic_counts",
+    "AnalyticCounts",
+    "CostReport",
+    "network_cost",
+    "analytic_network_cost",
+    "network_power_watts",
+    "power_per_endpoint",
+    "table4_rows",
+    "CaseStudyRow",
+]

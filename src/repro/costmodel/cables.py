@@ -1,0 +1,108 @@
+"""Cable cost models (paper §VI-B1, Figs 11a/12a/13a).
+
+Cost is quoted in $ per Gb/s as a linear function of length in meters;
+a cable's dollar price is ``rate_gbps × f(length)``.  The paper prints
+the linear fits only for Mellanox IB FDR10 40 Gb/s QSFP:
+
+    electric: f(x) = 0.4079·x + 0.5771   [$ / Gb/s]
+    optical:  f(x) = 0.0919·x + 2.7452   [$ / Gb/s]
+
+and states that the other products it considered (Mellanox IB QDR
+56 Gb/s, Mellanox Ethernet 40/10 Gb/s, Elpeus Ethernet 10 Gb/s) change
+the final relative costs by only ≈1–2%.  Those coefficient sets are
+not printed, so the entries below marked ``estimated=True`` are
+eyeballed from Figs 12a/13a (same crossover structure: electric
+cheaper short, optical cheaper long); the FDR10 set is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """f(length) = slope·length + intercept, in $ per Gb/s."""
+
+    slope: float
+    intercept: float
+
+    def __call__(self, length_m: float) -> float:
+        return self.slope * length_m + self.intercept
+
+
+@dataclass(frozen=True)
+class CableCostModel:
+    """One cable product: electric + optical fits at a data rate."""
+
+    name: str
+    rate_gbps: float
+    electric: LinearFit
+    optical: LinearFit
+    estimated: bool = False
+
+    def electric_cost(self, length_m: float) -> float:
+        """Dollar cost of one electric cable of the given length."""
+        return self.rate_gbps * self.electric(length_m)
+
+    def optical_cost(self, length_m: float) -> float:
+        """Dollar cost of one optical cable of the given length."""
+        return self.rate_gbps * self.optical(length_m)
+
+    def crossover_length(self) -> float:
+        """Length at which optical becomes cheaper than electric."""
+        ds = self.electric.slope - self.optical.slope
+        if ds <= 0:
+            return float("inf")
+        return (self.optical.intercept - self.electric.intercept) / ds
+
+
+#: The paper's exact FDR10 model plus estimated alternates (Figs 12/13).
+CABLE_MODELS: dict[str, CableCostModel] = {
+    "mellanox-fdr10": CableCostModel(
+        name="Mellanox IB FDR10 40Gb/s QSFP",
+        rate_gbps=40.0,
+        electric=LinearFit(0.4079, 0.5771),
+        optical=LinearFit(0.0919, 2.7452),
+        estimated=False,
+    ),
+    "mellanox-qdr56": CableCostModel(
+        name="Mellanox IB QDR 56Gb/s QSFP",
+        rate_gbps=56.0,
+        electric=LinearFit(0.36, 0.50),
+        optical=LinearFit(0.085, 2.40),
+        estimated=True,
+    ),
+    "mellanox-eth40": CableCostModel(
+        name="Mellanox Ethernet 40Gb/s QSFP",
+        rate_gbps=40.0,
+        electric=LinearFit(0.42, 0.60),
+        optical=LinearFit(0.095, 2.90),
+        estimated=True,
+    ),
+    "mellanox-eth10": CableCostModel(
+        name="Mellanox Ethernet 10Gb/s SFP+",
+        rate_gbps=10.0,
+        electric=LinearFit(0.85, 1.10),
+        optical=LinearFit(0.22, 5.60),
+        estimated=True,
+    ),
+    "elpeus-eth10": CableCostModel(
+        name="Elpeus Ethernet 10Gb/s SFP+",
+        rate_gbps=10.0,
+        electric=LinearFit(0.80, 1.00),
+        optical=LinearFit(0.20, 5.00),
+        estimated=True,
+    ),
+}
+
+DEFAULT_CABLE_MODEL = "mellanox-fdr10"
+
+
+def get_cable_model(name: str = DEFAULT_CABLE_MODEL) -> CableCostModel:
+    try:
+        return CABLE_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cable model {name!r}; choose from {sorted(CABLE_MODELS)}"
+        ) from None

@@ -1,0 +1,121 @@
+"""Total network cost (paper §VI-B, Figs 11c/12c/13c, Table IV).
+
+Two evaluation paths:
+
+- :func:`network_cost` — exact: walks the constructed topology's edges
+  with a concrete rack layout, pricing every cable at its measured
+  Manhattan length (this is what Table IV's reproduction uses for SF
+  and DLN, the two topologies the paper itself measured rather than
+  derived).
+- :func:`analytic_network_cost` — from closed-form
+  :class:`~repro.costmodel.counts.AnalyticCounts` (the Fig 11c sweep
+  path, matching the paper's own methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.cables import DEFAULT_CABLE_MODEL, get_cable_model
+from repro.costmodel.counts import AnalyticCounts
+from repro.costmodel.routers import DEFAULT_ROUTER_MODEL, get_router_model
+from repro.layout.racks import RackAssignment, racks_for
+from repro.topologies.base import Topology
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Itemised network cost in dollars."""
+
+    name: str
+    num_endpoints: int
+    num_routers: int
+    router_radix: int
+    electric_cables: float
+    fiber_cables: float
+    router_cost: float
+    electric_cost: float
+    fiber_cost: float
+    endpoint_cable_cost: float
+
+    @property
+    def cable_cost(self) -> float:
+        return self.electric_cost + self.fiber_cost + self.endpoint_cable_cost
+
+    @property
+    def total_cost(self) -> float:
+        return self.router_cost + self.cable_cost
+
+    @property
+    def cost_per_endpoint(self) -> float:
+        return self.total_cost / self.num_endpoints if self.num_endpoints else 0.0
+
+
+def network_cost(
+    topology: Topology,
+    racks: RackAssignment | None = None,
+    cable_model: str = DEFAULT_CABLE_MODEL,
+    router_model: str = DEFAULT_ROUTER_MODEL,
+    include_endpoint_cables: bool = True,
+) -> CostReport:
+    """Exact cost of a constructed topology under a rack layout."""
+    cables = get_cable_model(cable_model)
+    routers = get_router_model(router_model)
+    racks = racks if racks is not None else racks_for(topology)
+
+    electric_count = fiber_count = 0
+    electric_cost = fiber_cost = 0.0
+    for u, v in topology.edges():
+        length = racks.cable_length(u, v)
+        if racks.is_intra_rack(u, v):
+            electric_count += 1
+            electric_cost += cables.electric_cost(length)
+        else:
+            fiber_count += 1
+            fiber_cost += cables.optical_cost(length)
+
+    endpoint_cost = 0.0
+    if include_endpoint_cables:
+        endpoint_cost = topology.num_endpoints * cables.electric_cost(1.0)
+
+    return CostReport(
+        name=topology.name,
+        num_endpoints=topology.num_endpoints,
+        num_routers=topology.num_routers,
+        router_radix=topology.router_radix,
+        electric_cables=electric_count,
+        fiber_cables=fiber_count,
+        router_cost=topology.num_routers * routers.cost(topology.router_radix),
+        electric_cost=electric_cost,
+        fiber_cost=fiber_cost,
+        endpoint_cable_cost=endpoint_cost,
+    )
+
+
+def analytic_network_cost(
+    counts: AnalyticCounts,
+    cable_model: str = DEFAULT_CABLE_MODEL,
+    router_model: str = DEFAULT_ROUTER_MODEL,
+    include_endpoint_cables: bool = True,
+) -> CostReport:
+    """Cost from closed-form counts (the paper's sweep methodology)."""
+    cables = get_cable_model(cable_model)
+    routers = get_router_model(router_model)
+    endpoint_cost = (
+        counts.endpoint_cables * cables.electric_cost(counts.endpoint_length_m)
+        if include_endpoint_cables
+        else 0.0
+    )
+    return CostReport(
+        name=counts.name,
+        num_endpoints=counts.num_endpoints,
+        num_routers=counts.num_routers,
+        router_radix=counts.router_radix,
+        electric_cables=counts.electric_cables,
+        fiber_cables=counts.fiber_cables,
+        router_cost=counts.num_routers * routers.cost(counts.router_radix),
+        electric_cost=counts.electric_cables
+        * cables.electric_cost(counts.electric_length_m),
+        fiber_cost=counts.fiber_cables * cables.optical_cost(counts.fiber_length_m),
+        endpoint_cable_cost=endpoint_cost,
+    )

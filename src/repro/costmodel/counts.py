@@ -1,0 +1,325 @@
+"""Closed-form cable/router counts per topology (paper §VI-B3).
+
+The paper's cost sweeps (Figs 11c–13c) evaluate each topology family
+at its natural sizes from formulas, not constructed graphs.  This
+module encodes those formulas:
+
+- **Tori** (a): folded, electric only — n·N_r cables of ≈2 m.
+- **HC / LH-HC** (b): racks of 2^g routers; the low g dimensions stay
+  electric in-rack, higher dimensions (and Long-Hop extra links) run
+  on fiber between racks.
+- **Fat tree** (c): the classic k-ary model with p = k/2 — 5p² routers,
+  2p³ fiber core↔aggregation + 2p³ fiber aggregation↔edge (≈1 m runs,
+  central row), 2p³ electric endpoint links.
+- **Flattened butterfly** (d): p routers per rack-group, p² groups in
+  a square; intra-group electric, p fiber cables between co-row/column
+  groups.
+- **Dragonfly / DLN** (e): a(a−1)/2 electric per group, one fiber per
+  group pair (DF); DLN keeps the rack size but places cables randomly,
+  so the intra-rack (electric) share is the random expectation.
+- **Slim Fly** (§VI-A): q racks of 2q routers; intra-rack cables are
+  the two subgroups' Cayley edges plus the q cross links, everything
+  else is fiber with 2q cables between every rack pair.
+
+Fiber lengths use the near-square rack grid's mean Manhattan distance
+plus the 2 m overhead; electric runs are the 1 m intra-rack mean
+(2 m for folded tori).
+
+Endpoint links (one electric ≈1 m cable per endpoint) are counted for
+every topology uniformly; Table IV in the paper is not consistent
+about them across columns (see DESIGN.md §6), so
+:class:`AnalyticCounts` keeps them in a separate field.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.mms import MMSParams, mms_q_values
+from repro.layout.placement import (
+    GLOBAL_CABLE_OVERHEAD_M,
+    INTRA_RACK_LENGTH_M,
+    average_manhattan,
+)
+
+
+@dataclass(frozen=True)
+class AnalyticCounts:
+    """Everything the cost/power models need about one configuration."""
+
+    name: str
+    num_endpoints: int
+    num_routers: int
+    router_radix: int
+    electric_cables: float
+    electric_length_m: float
+    fiber_cables: float
+    fiber_length_m: float
+    endpoint_cables: float
+    endpoint_length_m: float = INTRA_RACK_LENGTH_M
+
+    @property
+    def total_cables(self) -> float:
+        return self.electric_cables + self.fiber_cables
+
+
+def _fiber_length(num_racks: int) -> float:
+    return average_manhattan(max(1, num_racks)) + GLOBAL_CABLE_OVERHEAD_M
+
+
+# ---------------------------------------------------------------------------
+# Per-family formulas
+# ---------------------------------------------------------------------------
+
+def torus_counts(dims: tuple[int, ...], concentration: int = 1) -> AnalyticCounts:
+    nr = math.prod(dims)
+    n_dims = len(dims)
+    cables = sum(nr if d > 2 else nr // 2 for d in dims)  # size-2 dims: single link
+    return AnalyticCounts(
+        name=f"T{n_dims}D",
+        num_endpoints=nr * concentration,
+        num_routers=nr,
+        router_radix=2 * n_dims + concentration,
+        electric_cables=cables,
+        electric_length_m=2.0,  # folded torus, max in-rack Manhattan run
+        fiber_cables=0,
+        fiber_length_m=0.0,
+        endpoint_cables=nr * concentration,
+    )
+
+
+def hypercube_counts(
+    n_dims: int, concentration: int = 1, rack_dims: int = 5
+) -> AnalyticCounts:
+    nr = 1 << n_dims
+    g = min(n_dims, rack_dims)  # 2^g routers per rack
+    racks = nr >> g
+    electric = nr * g // 2
+    fiber = nr * (n_dims - g) // 2
+    return AnalyticCounts(
+        name="HC",
+        num_endpoints=nr * concentration,
+        num_routers=nr,
+        router_radix=n_dims + concentration,
+        electric_cables=electric,
+        electric_length_m=INTRA_RACK_LENGTH_M,
+        fiber_cables=fiber,
+        fiber_length_m=_fiber_length(racks),
+        endpoint_cables=nr * concentration,
+    )
+
+
+def longhop_counts(
+    n_dims: int,
+    extra_ports: int | None = None,
+    concentration: int = 1,
+    rack_dims: int = 5,
+) -> AnalyticCounts:
+    from repro.topologies.longhop import default_extra_ports
+
+    ell = default_extra_ports(n_dims) if extra_ports is None else extra_ports
+    base = hypercube_counts(n_dims, concentration, rack_dims)
+    nr = base.num_routers
+    racks = nr >> min(n_dims, rack_dims)
+    # Long-hop matchings have weight >= 3 masks: inter-rack fiber.
+    return AnalyticCounts(
+        name="LH-HC",
+        num_endpoints=base.num_endpoints,
+        num_routers=nr,
+        router_radix=base.router_radix + ell,
+        electric_cables=base.electric_cables,
+        electric_length_m=base.electric_length_m,
+        fiber_cables=base.fiber_cables + nr * ell // 2,
+        fiber_length_m=_fiber_length(racks),
+        endpoint_cables=base.endpoint_cables,
+    )
+
+
+def fattree_counts(p: float) -> AnalyticCounts:
+    """The paper's classic FT-3 model with possibly fractional p = k/2."""
+    nr = 5 * p * p
+    n = 2 * p**3
+    return AnalyticCounts(
+        name="FT-3",
+        num_endpoints=round(n),
+        num_routers=round(nr),
+        router_radix=round(2 * p),
+        electric_cables=0,
+        electric_length_m=INTRA_RACK_LENGTH_M,
+        fiber_cables=4 * p**3,  # 2p³ core↔agg + 2p³ agg↔edge, ≈1 m runs
+        fiber_length_m=INTRA_RACK_LENGTH_M + GLOBAL_CABLE_OVERHEAD_M,
+        endpoint_cables=2 * p**3,  # < 20 m -> electric
+    )
+
+
+def flattened_butterfly_counts(c: int, levels: int = 3) -> AnalyticCounts:
+    if levels != 3:
+        raise ValueError("the paper's cost model covers FBF-3 only")
+    nr = c**3
+    groups = c * c
+    electric = groups * c * (c - 1) // 2
+    fiber = nr * (c - 1)  # dims 2+3: c³(c−1)/2 links each … total c³(c−1)
+    return AnalyticCounts(
+        name="FBF-3",
+        num_endpoints=c**4,
+        num_routers=nr,
+        router_radix=4 * c - 3,
+        electric_cables=electric,
+        electric_length_m=INTRA_RACK_LENGTH_M,
+        fiber_cables=fiber,
+        fiber_length_m=_fiber_length(groups),
+        endpoint_cables=c**4,
+    )
+
+
+def dragonfly_counts(
+    h: int, a: int | None = None, p: int | None = None, g: int | None = None
+) -> AnalyticCounts:
+    a = 2 * h if a is None else a
+    p = h if p is None else p
+    g = a * h + 1 if g is None else g
+    electric = g * a * (a - 1) // 2
+    fiber = g * (g - 1) // 2
+    return AnalyticCounts(
+        name="DF",
+        num_endpoints=a * p * g,
+        num_routers=a * g,
+        router_radix=p + h + a - 1,
+        electric_cables=electric,
+        electric_length_m=INTRA_RACK_LENGTH_M,
+        fiber_cables=fiber,
+        fiber_length_m=_fiber_length(g),
+        endpoint_cables=a * p * g,
+    )
+
+
+def dln_counts(num_routers: int, router_radix: int, p: int | None = None) -> AnalyticCounts:
+    p = max(1, math.isqrt(router_radix)) if p is None else p
+    degree = router_radix - p
+    total = num_routers * degree / 2
+    rack = max(2, round(degree))  # DF-like group size
+    racks = max(1, round(num_routers / rack))
+    intra_fraction = (rack - 1) / max(1, num_routers - 1)
+    electric = total * intra_fraction
+    return AnalyticCounts(
+        name="DLN",
+        num_endpoints=num_routers * p,
+        num_routers=num_routers,
+        router_radix=router_radix,
+        electric_cables=electric,
+        electric_length_m=INTRA_RACK_LENGTH_M,
+        fiber_cables=total - electric,
+        fiber_length_m=_fiber_length(racks),
+        endpoint_cables=num_routers * p,
+    )
+
+
+def slimfly_counts(q: int, concentration: int | None = None) -> AnalyticCounts:
+    from repro.core.balance import balanced_concentration
+
+    params = MMSParams.from_q(q)
+    k_net, nr, delta = params.network_radix, params.num_routers, params.delta
+    p = (
+        balanced_concentration(nr, k_net)
+        if concentration is None
+        else concentration
+    )
+    total = nr * k_net // 2
+    # Intra-rack: both subgroups' Cayley edges + q cross links, per rack.
+    gen_size = (q - delta) // 2
+    electric = q * (q * gen_size + q)  # q racks × (q·(|X|+|X'|)/2 + q)
+    return AnalyticCounts(
+        name="SF",
+        num_endpoints=nr * p,
+        num_routers=nr,
+        router_radix=k_net + p,
+        electric_cables=electric,
+        electric_length_m=INTRA_RACK_LENGTH_M,
+        fiber_cables=total - electric,
+        fiber_length_m=_fiber_length(q),
+        endpoint_cables=nr * p,
+    )
+
+
+def analytic_counts(name: str, **params) -> AnalyticCounts:
+    """Dispatch by paper symbol."""
+    dispatch = {
+        "T3D": torus_counts,
+        "T5D": torus_counts,
+        "HC": hypercube_counts,
+        "LH-HC": longhop_counts,
+        "FT-3": fattree_counts,
+        "FBF-3": flattened_butterfly_counts,
+        "DF": dragonfly_counts,
+        "DLN": dln_counts,
+        "SF": slimfly_counts,
+    }
+    try:
+        fn = dispatch[name]
+    except KeyError:
+        raise KeyError(f"unknown topology {name!r}; choose from {sorted(dispatch)}") from None
+    return fn(**params)
+
+
+# ---------------------------------------------------------------------------
+# Natural size sweeps for the Fig 11c/d axes
+# ---------------------------------------------------------------------------
+
+def sweep_counts(name: str, max_endpoints: int) -> list[AnalyticCounts]:
+    """All natural configurations of a family with N ≤ max_endpoints."""
+    out: list[AnalyticCounts] = []
+    if name == "SF":
+        for q in mms_q_values(200):
+            c = slimfly_counts(q)
+            if c.num_endpoints <= max_endpoints:
+                out.append(c)
+    elif name == "DF":
+        for h in range(2, 40):
+            c = dragonfly_counts(h)
+            if c.num_endpoints <= max_endpoints:
+                out.append(c)
+    elif name == "FT-3":
+        for p in range(4, 60):
+            c = fattree_counts(p)
+            if c.num_endpoints <= max_endpoints:
+                out.append(c)
+    elif name == "FBF-3":
+        for cdim in range(3, 24):
+            c = flattened_butterfly_counts(cdim)
+            if c.num_endpoints <= max_endpoints:
+                out.append(c)
+    elif name == "HC":
+        for n in range(6, 20):
+            c = hypercube_counts(n)
+            if c.num_endpoints <= max_endpoints:
+                out.append(c)
+    elif name == "LH-HC":
+        for n in range(6, 20):
+            c = longhop_counts(n)
+            if c.num_endpoints <= max_endpoints:
+                out.append(c)
+    elif name == "T3D":
+        for side in range(4, 40):
+            c = torus_counts((side,) * 3)
+            if c.num_endpoints <= max_endpoints:
+                out.append(c)
+    elif name == "T5D":
+        for side in range(2, 12):
+            c = torus_counts((side,) * 5)
+            if c.num_endpoints <= max_endpoints:
+                out.append(c)
+    elif name == "DLN":
+        for q in mms_q_values(200):  # size-matched to the SF catalogue
+            sf = slimfly_counts(q)
+            if sf.num_endpoints > max_endpoints:
+                continue
+            out.append(
+                dln_counts(
+                    num_routers=sf.num_routers * 2,  # p=⌊√k⌋ < SF's p: more routers
+                    router_radix=sf.router_radix,
+                )
+            )
+    else:
+        raise KeyError(f"unknown topology {name!r}")
+    return out

@@ -1,0 +1,34 @@
+"""Energy model (paper §VI-C, Figs 11d/12d/13d).
+
+"Each router port has 4 lanes and there is one SerDes per lane
+consuming ≈0.7 watts" — total network power is therefore
+
+    P = N_r · k · 4 · 0.7  [W]
+
+and the per-node figures of Table IV divide by N.  Slim Fly's
+advantage comes purely from needing fewer routers (and thus SerDes)
+for the same endpoint count.
+"""
+
+from __future__ import annotations
+
+#: SerDes lanes per router port.
+LANES_PER_PORT = 4
+#: Watts per SerDes lane.
+WATTS_PER_SERDES = 0.7
+
+
+def network_power_watts(num_routers: int, router_radix: int) -> float:
+    """Total interconnect power for N_r radix-k routers."""
+    if num_routers < 0 or router_radix < 0:
+        raise ValueError("router count and radix must be non-negative")
+    return num_routers * router_radix * LANES_PER_PORT * WATTS_PER_SERDES
+
+
+def power_per_endpoint(
+    num_routers: int, router_radix: int, num_endpoints: int
+) -> float:
+    """Watts per attached endpoint (Table IV's 'Power per node')."""
+    if num_endpoints <= 0:
+        raise ValueError("need at least one endpoint")
+    return network_power_watts(num_routers, router_radix) / num_endpoints

@@ -1,0 +1,56 @@
+"""Router cost model (paper §VI-B2, Figs 11b/12b/13b).
+
+Router price is modelled as linear in the radix — the router chip is
+development-cost dominated while SerDes scale with ports.  The paper's
+fit for Mellanox IB FDR10 gear:
+
+    f(k) = 350.4·k − 892.3   [$]
+
+The Ethernet variant the paper also tested (≈1% relative difference)
+is provided as an estimated alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RouterCostModel:
+    """price(k) = per_port·k + base, floored at a minimal sane price."""
+
+    name: str
+    per_port: float
+    base: float
+    estimated: bool = False
+
+    def cost(self, radix: int) -> float:
+        if radix < 1:
+            raise ValueError(f"radix must be >= 1, got {radix}")
+        return max(self.per_port * radix + self.base, self.per_port)
+
+
+ROUTER_MODELS: dict[str, RouterCostModel] = {
+    "mellanox-fdr10": RouterCostModel(
+        name="Mellanox IB FDR10", per_port=350.4, base=-892.3, estimated=False
+    ),
+    "mellanox-eth": RouterCostModel(
+        name="Mellanox Ethernet 10/40Gb", per_port=340.0, base=-850.0, estimated=True
+    ),
+}
+
+DEFAULT_ROUTER_MODEL = "mellanox-fdr10"
+
+
+def get_router_model(name: str = DEFAULT_ROUTER_MODEL) -> RouterCostModel:
+    try:
+        return ROUTER_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown router model {name!r}; choose from {sorted(ROUTER_MODELS)}"
+        ) from None
+
+
+def router_cost(radix: int, model: str = DEFAULT_ROUTER_MODEL) -> float:
+    """Dollar price of one radix-k router under the named model."""
+    return get_router_model(model).cost(radix)

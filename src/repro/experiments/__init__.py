@@ -1,0 +1,17 @@
+"""Experiment harness: regenerate every table and figure (paper §III–§VI).
+
+Each experiment module exposes ``run(scale=..., seed=...) ->
+ExperimentResult`` and registers itself in
+:data:`repro.experiments.runner.EXPERIMENTS`.  The CLI front-end:
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig1
+    python -m repro.experiments fig6 --pattern worstcase --scale quick
+
+Scales: ``quick`` (CI-sized), ``default`` (minutes), ``paper``
+(the paper's full N — hours in pure Python; see DESIGN.md §6).
+"""
+
+from repro.experiments.common import ExperimentResult, Scale
+
+__all__ = ["ExperimentResult", "Scale"]

@@ -1,0 +1,87 @@
+"""Shared experiment plumbing: scales, results, rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.util.series import SeriesBundle
+from repro.util.tables import ascii_table
+
+
+class Scale(str, Enum):
+    """Experiment size presets.
+
+    - ``QUICK``: seconds; used by the test suite and benchmarks.
+    - ``DEFAULT``: minutes; the CLI default, qualitative agreement.
+    - ``PAPER``: the paper's sizes (N ≈ 10K simulations, full CI
+      sampling) — hours in pure Python.
+    """
+
+    QUICK = "quick"
+    DEFAULT = "default"
+    PAPER = "paper"
+
+    @staticmethod
+    def coerce(value) -> "Scale":
+        if isinstance(value, Scale):
+            return value
+        return Scale(str(value).lower())
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform output: tables and/or series bundles plus prose notes."""
+
+    experiment: str
+    title: str
+    tables: list[tuple[list[str], list[list]]] = field(default_factory=list)
+    bundles: list[SeriesBundle] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(self, headers: list[str], rows: list[list]) -> None:
+        self.tables.append((headers, rows))
+
+    def add_bundle(self, bundle: SeriesBundle) -> None:
+        self.bundles.append(bundle)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        parts = [f"### {self.experiment}: {self.title}"]
+        for headers, rows in self.tables:
+            parts.append(ascii_table(headers, rows))
+        for bundle in self.bundles:
+            parts.append(bundle.render())
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+
+def sim_config_for(scale: Scale):
+    """Simulator run lengths per scale preset."""
+    from repro.sim.config import SimConfig
+
+    if scale == Scale.QUICK:
+        return SimConfig(warmup_cycles=150, measure_cycles=350, drain_cycles=1200)
+    if scale == Scale.DEFAULT:
+        return SimConfig(warmup_cycles=400, measure_cycles=900, drain_cycles=2500)
+    return SimConfig(warmup_cycles=2000, measure_cycles=5000, drain_cycles=20000)
+
+
+def performance_trio(scale: Scale):
+    """The §V comparison networks (SF, DF, FT-3) at the preset scale.
+
+    Paper scale: SF q=19 (N=10,830), DF h=7 (N=9,702), FT p=22
+    (N=10,648).  Reduced scales keep the same balanced shapes at sizes
+    a pure-Python cycle simulator sweeps in seconds/minutes; the paper
+    itself reports ≤10% latency variation between N ≈ 1K and 10K.
+    """
+    from repro.topologies import Dragonfly, FatTree3, SlimFly
+
+    if scale == Scale.PAPER:
+        return SlimFly.from_q(19), Dragonfly.balanced(7), FatTree3(22)
+    if scale == Scale.DEFAULT:
+        return SlimFly.from_q(7), Dragonfly.balanced(4), FatTree3(8)
+    return SlimFly.from_q(5), Dragonfly.balanced(3), FatTree3(6)

@@ -1,0 +1,155 @@
+"""CLI front-end: regenerate any table or figure from the paper.
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig1 --scale quick
+    python -m repro.experiments fig6 --pattern worstcase
+    python -m repro.experiments all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import Scale
+
+
+def _fig6_variant(pattern):
+    def run(scale=Scale.DEFAULT, seed=0, pattern=pattern, **kw):
+        from repro.experiments import fig6_performance
+
+        return fig6_performance.run(scale=scale, seed=seed, pattern=pattern, **kw)
+
+    return run
+
+
+def _lazy(modname: str, attr: str = "run"):
+    def run(**kw):
+        import importlib
+
+        mod = importlib.import_module(f"repro.experiments.{modname}")
+        return getattr(mod, attr)(**kw)
+
+    return run
+
+
+#: experiment name -> (callable(scale, seed, **kw), description)
+EXPERIMENTS = {
+    "fig1": (_lazy("fig1_avg_hops"), "Fig 1: average hops vs network size"),
+    "fig5a": (_lazy("fig5a_moore2"), "Fig 5a: Moore bound, diameter 2"),
+    "fig5b": (_lazy("fig5b_moore3"), "Fig 5b: Moore bound, diameter 3"),
+    "fig5c": (_lazy("fig5c_bisection"), "Fig 5c: bisection bandwidth"),
+    "table2": (_lazy("table2_diameter"), "Table II: network diameters"),
+    "table3": (_lazy("table3_disconnection"), "Table III: disconnection resiliency"),
+    "res-diameter": (
+        _lazy("resiliency_extra", "run_diameter"),
+        "§III-D2: diameter-increase resiliency",
+    ),
+    "res-pathlen": (
+        _lazy("resiliency_extra", "run_pathlen"),
+        "§III-D3: path-length-increase resiliency",
+    ),
+    "fig6": (_lazy("fig6_performance"), "Fig 6: latency vs load (use --pattern)"),
+    "fig6a": (_fig6_variant("uniform"), "Fig 6a: uniform random traffic"),
+    "fig6b": (_fig6_variant("bitrev"), "Fig 6b: bit-reversal traffic"),
+    "fig6c": (_fig6_variant("shift"), "Fig 6c: shift traffic"),
+    "fig6d": (_fig6_variant("worstcase"), "Fig 6d: worst-case traffic"),
+    "fig8a": (
+        _lazy("fig8_buffers_oversub", "run_buffers"),
+        "Fig 8a: buffer-size study",
+    ),
+    "fig8-oversub": (
+        _lazy("fig8_buffers_oversub", "run_oversub"),
+        "Fig 8b-e: oversubscribed Slim Fly",
+    ),
+    "table4": (_lazy("table4_cost_power"), "Table IV: cost & power per node"),
+    "costmodel": (
+        lambda **kw: _lazy("fig11_cost_power")(what="models", **kw),
+        "Figs 11a/b-13a/b: cable & router cost models",
+    ),
+    "fig11-cost": (
+        lambda **kw: _lazy("fig11_cost_power")(what="cost", **kw),
+        "Figs 11c/12c/13c: total network cost",
+    ),
+    "fig11-power": (
+        lambda **kw: _lazy("fig11_cost_power")(what="power", **kw),
+        "Figs 11d/12d/13d: total network power",
+    ),
+    "vc-counts": (_lazy("vc_counts"), "§IV-D: deadlock-freedom VC counts"),
+    "ablate-ugal": (
+        _lazy("ablations", "run_ugal_candidates"),
+        "Ablation: UGAL candidate count (§IV-C)",
+    ),
+    "ablate-val": (
+        _lazy("ablations", "run_val_maxhops"),
+        "Ablation: Valiant path-length cap (§IV-B)",
+    ),
+    "ablate-xi": (
+        _lazy("ablations", "run_primitive_element_invariance"),
+        "Ablation: primitive-element invariance (§II-B1)",
+    ),
+}
+
+#: Experiments included in `all` (fig6 via its four variants).
+ALL_ORDER = [
+    "fig1", "fig5a", "fig5b", "fig5c", "table2", "table3",
+    "res-diameter", "res-pathlen", "fig6a", "fig6b", "fig6c", "fig6d",
+    "fig8a", "fig8-oversub", "table4", "costmodel", "fig11-cost",
+    "fig11-power", "vc-counts", "ablate-ugal", "ablate-val", "ablate-xi",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the Slim Fly paper's tables and figures.",
+    )
+    parser.add_argument("experiment", nargs="?", help="experiment id or 'all'")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=[s.value for s in Scale],
+        help="size preset (quick | default | paper)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--pattern", default="uniform", help="fig6 traffic pattern")
+    parser.add_argument(
+        "--cable-model", default="mellanox-fdr10", help="cost-model cable product"
+    )
+    return parser
+
+
+def run_experiment(name: str, scale, seed: int, **kw):
+    fn, _ = EXPERIMENTS[name]
+    return fn(scale=scale, seed=seed, **kw)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiment:
+        width = max(len(k) for k in EXPERIMENTS)
+        for key, (_, desc) in EXPERIMENTS.items():
+            print(f"{key.ljust(width)}  {desc}")
+        return 0
+
+    targets = ALL_ORDER if args.experiment == "all" else [args.experiment]
+    for name in targets:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; --list shows options", file=sys.stderr)
+            return 2
+        kw = {}
+        if name == "fig6":
+            kw["pattern"] = args.pattern
+        if name in ("table4", "fig11-cost"):
+            kw["cable_model"] = args.cable_model
+        start = time.time()
+        result = run_experiment(name, args.scale, args.seed, **kw)
+        print(result.render())
+        print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

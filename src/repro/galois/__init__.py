@@ -1,0 +1,56 @@
+"""Finite-field substrate for the MMS Slim Fly construction.
+
+The MMS graphs at the heart of Slim Fly (paper §II-B) are defined over
+the Galois field GF(q) for a prime power q = 4w + δ, δ ∈ {−1, 0, 1}.
+This package implements everything needed from scratch:
+
+- primality testing, integer factorisation, prime-power detection
+  (:mod:`repro.galois.primes`);
+- dense polynomial arithmetic over GF(p) and irreducible-polynomial
+  search (:mod:`repro.galois.polynomials`);
+- the field GF(p^m) itself with O(1) table-based arithmetic
+  (:mod:`repro.galois.field`);
+- primitive-element (multiplicative generator) search
+  (:mod:`repro.galois.primitive`).
+
+Elements of GF(p^m) are represented as integers in ``[0, q)`` encoding
+polynomial coefficients in base p (little-endian): the integer
+``c0 + c1*p + c2*p**2 + ...`` stands for the residue-class polynomial
+``c0 + c1*x + c2*x**2 + ...``.  For prime q this collapses to ordinary
+arithmetic modulo q.
+"""
+
+from repro.galois.primes import (
+    is_prime,
+    factorize,
+    is_prime_power,
+    prime_powers_up_to,
+    primes_up_to,
+)
+from repro.galois.polynomials import (
+    poly_add,
+    poly_mul,
+    poly_mod,
+    poly_divmod,
+    find_irreducible,
+    is_irreducible,
+)
+from repro.galois.field import GaloisField
+from repro.galois.primitive import primitive_element, multiplicative_order
+
+__all__ = [
+    "is_prime",
+    "factorize",
+    "is_prime_power",
+    "prime_powers_up_to",
+    "primes_up_to",
+    "poly_add",
+    "poly_mul",
+    "poly_mod",
+    "poly_divmod",
+    "find_irreducible",
+    "is_irreducible",
+    "GaloisField",
+    "primitive_element",
+    "multiplicative_order",
+]

@@ -1,0 +1,191 @@
+"""The finite field GF(p^m) with O(1) table-based arithmetic.
+
+A :class:`GaloisField` instance owns dense addition/multiplication
+tables (numpy ``int32`` arrays of shape (q, q)) plus negation and
+inversion vectors.  Field orders used by Slim Fly constructions are
+small (q ≲ a few hundred), so the q² tables are tiny and every element
+operation is a single array lookup — the construction loops in
+:mod:`repro.core.mms` stay simple and fast.
+
+Elements are plain Python ints in ``[0, q)``: the integer
+``c0 + c1*p + ... + c_{m-1}*p**(m-1)`` encodes the polynomial residue
+``c0 + c1*x + ...`` modulo the field's irreducible polynomial.  For
+prime q (m == 1) this is ordinary modular arithmetic and the tables
+are built directly from ``%``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.galois.polynomials import find_irreducible, poly_mod, poly_mul, poly_trim
+from repro.galois.primes import is_prime_power
+
+
+class GaloisField:
+    """GF(p^m), constructed from its order ``q = p**m``.
+
+    Parameters
+    ----------
+    q:
+        A prime power.  Raises :class:`ValueError` otherwise.
+
+    Notes
+    -----
+    Construction cost is O(q² m²) to fill the multiplication table;
+    for the q ≤ ~512 used in practice this is milliseconds.  Instances
+    are cached by :func:`GaloisField.get`, so repeated topology builds
+    share tables.
+    """
+
+    def __init__(self, q: int):
+        pp = is_prime_power(q)
+        if pp is None:
+            raise ValueError(f"field order must be a prime power, got {q}")
+        self.q = q
+        self.p, self.m = pp
+        self.modulus = find_irreducible(self.p, self.m)
+
+        if self.m == 1:
+            idx = np.arange(q, dtype=np.int64)
+            self.add_table = ((idx[:, None] + idx[None, :]) % q).astype(np.int32)
+            self.mul_table = ((idx[:, None] * idx[None, :]) % q).astype(np.int32)
+        else:
+            self.add_table = self._build_add_table()
+            self.mul_table = self._build_mul_table()
+
+        self.neg_table = self._build_neg_table()
+        self.inv_table = self._build_inv_table()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _encode(self, coeffs: list[int]) -> int:
+        """Polynomial coefficients (little-endian) -> integer label."""
+        v = 0
+        for c in reversed(coeffs):
+            v = v * self.p + (c % self.p)
+        return v
+
+    def _decode(self, v: int) -> list[int]:
+        """Integer label -> polynomial coefficients (little-endian)."""
+        coeffs = []
+        for _ in range(self.m):
+            coeffs.append(v % self.p)
+            v //= self.p
+        return poly_trim(coeffs)
+
+    def _build_add_table(self) -> np.ndarray:
+        q, p, m = self.q, self.p, self.m
+        # Vectorised coefficient-wise addition: expand labels into base-p
+        # digit arrays, add mod p per digit, re-encode.
+        labels = np.arange(q, dtype=np.int64)
+        digits = np.empty((q, m), dtype=np.int64)
+        rem = labels.copy()
+        for d in range(m):
+            digits[:, d] = rem % p
+            rem //= p
+        summed = (digits[:, None, :] + digits[None, :, :]) % p
+        powers = p ** np.arange(m, dtype=np.int64)
+        return (summed @ powers).astype(np.int32)
+
+    def _build_mul_table(self) -> np.ndarray:
+        q = self.q
+        table = np.zeros((q, q), dtype=np.int32)
+        polys = [self._decode(v) for v in range(q)]
+        for a in range(q):
+            pa = polys[a]
+            if not pa:
+                continue
+            for b in range(a, q):
+                pb = polys[b]
+                if not pb:
+                    continue
+                prod = poly_mod(poly_mul(pa, pb, self.p), self.modulus, self.p)
+                val = self._encode(prod)
+                table[a, b] = val
+                table[b, a] = val
+        return table
+
+    def _build_neg_table(self) -> np.ndarray:
+        q = self.q
+        neg = np.zeros(q, dtype=np.int32)
+        add = self.add_table
+        for a in range(q):
+            # The unique b with a + b == 0.
+            b = int(np.where(add[a] == 0)[0][0])
+            neg[a] = b
+        return neg
+
+    def _build_inv_table(self) -> np.ndarray:
+        q = self.q
+        inv = np.zeros(q, dtype=np.int32)
+        mul = self.mul_table
+        for a in range(1, q):
+            b = int(np.where(mul[a] == 1)[0][0])
+            inv[a] = b
+        return inv
+
+    # -- element operations --------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        return int(self.add_table[a, b])
+
+    def sub(self, a: int, b: int) -> int:
+        return int(self.add_table[a, self.neg_table[b]])
+
+    def neg(self, a: int) -> int:
+        return int(self.neg_table[a])
+
+    def mul(self, a: int, b: int) -> int:
+        return int(self.mul_table[a, b])
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in a field")
+        return int(self.inv_table[a])
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def power(self, a: int, e: int) -> int:
+        """``a**e`` by square-and-multiply (e may be any integer >= 0)."""
+        result = 1
+        base = a
+        while e > 0:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    # -- iteration / info ----------------------------------------------------
+
+    def elements(self) -> range:
+        """All field elements as integer labels 0..q-1."""
+        return range(self.q)
+
+    def nonzero_elements(self) -> range:
+        return range(1, self.q)
+
+    @property
+    def characteristic(self) -> int:
+        return self.p
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.m == 1:
+            return f"GF({self.q})"
+        return f"GF({self.p}^{self.m})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, GaloisField) and other.q == self.q
+
+    def __hash__(self) -> int:
+        return hash(("GaloisField", self.q))
+
+    @staticmethod
+    @lru_cache(maxsize=None)
+    def get(q: int) -> "GaloisField":
+        """Cached field instances — repeated topology builds share tables."""
+        return GaloisField(q)

@@ -1,0 +1,155 @@
+"""Dense polynomial arithmetic over GF(p) for prime p.
+
+Polynomials are lists of int coefficients, little-endian:
+``[c0, c1, c2]`` is ``c0 + c1*x + c2*x**2``.  The zero polynomial is
+``[]`` (normalised: no trailing zero coefficients).
+
+Used only at field-construction time (finding an irreducible modulus
+for GF(p^m)); runtime field arithmetic is table-based, see
+:mod:`repro.galois.field`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.galois.primes import is_prime
+
+
+def poly_trim(a: list[int]) -> list[int]:
+    """Drop trailing zero coefficients (normal form)."""
+    i = len(a)
+    while i > 0 and a[i - 1] == 0:
+        i -= 1
+    return a[:i]
+
+
+def poly_add(a: list[int], b: list[int], p: int) -> list[int]:
+    """Coefficient-wise addition mod p."""
+    n = max(len(a), len(b))
+    out = [0] * n
+    for i, c in enumerate(a):
+        out[i] = c
+    for i, c in enumerate(b):
+        out[i] = (out[i] + c) % p
+    return poly_trim(out)
+
+
+def poly_scale(a: list[int], s: int, p: int) -> list[int]:
+    """Multiply every coefficient by scalar s mod p."""
+    return poly_trim([(c * s) % p for c in a])
+
+
+def poly_mul(a: list[int], b: list[int], p: int) -> list[int]:
+    """Schoolbook polynomial multiplication mod p."""
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            out[i + j] = (out[i + j] + ca * cb) % p
+    return poly_trim(out)
+
+
+def poly_divmod(a: list[int], b: list[int], p: int) -> tuple[list[int], list[int]]:
+    """Polynomial long division: return ``(quotient, remainder)``.
+
+    Requires ``b`` nonzero; coefficients are reduced mod p throughout.
+    """
+    b = poly_trim(list(b))
+    if not b:
+        raise ZeroDivisionError("polynomial division by zero")
+    a = [c % p for c in a]
+    a = poly_trim(a)
+    deg_b = len(b) - 1
+    lead_inv = pow(b[-1], p - 2, p) if p > 2 else b[-1]  # Fermat inverse
+    quot = [0] * max(1, len(a) - deg_b)
+    rem = list(a)
+    while len(rem) - 1 >= deg_b and rem:
+        shift = len(rem) - 1 - deg_b
+        factor = (rem[-1] * lead_inv) % p
+        quot[shift] = factor
+        for i, c in enumerate(b):
+            rem[shift + i] = (rem[shift + i] - factor * c) % p
+        rem = poly_trim(rem)
+    return poly_trim(quot), rem
+
+
+def poly_mod(a: list[int], b: list[int], p: int) -> list[int]:
+    """Remainder of ``a`` divided by ``b`` over GF(p)."""
+    return poly_divmod(a, b, p)[1]
+
+
+def poly_pow_mod(base: list[int], e: int, mod: list[int], p: int) -> list[int]:
+    """Compute ``base**e mod mod`` by square-and-multiply."""
+    result = [1]
+    base = poly_mod(base, mod, p)
+    while e > 0:
+        if e & 1:
+            result = poly_mod(poly_mul(result, base, p), mod, p)
+        base = poly_mod(poly_mul(base, base, p), mod, p)
+        e >>= 1
+    return result
+
+
+def poly_gcd(a: list[int], b: list[int], p: int) -> list[int]:
+    """Monic gcd of two polynomials over GF(p)."""
+    a, b = poly_trim(list(a)), poly_trim(list(b))
+    while b:
+        a, b = b, poly_mod(a, b, p)
+    if a:  # make monic
+        inv = pow(a[-1], p - 2, p) if p > 2 else a[-1]
+        a = poly_scale(a, inv, p)
+    return a
+
+
+def is_irreducible(f: list[int], p: int) -> bool:
+    """Rabin irreducibility test for a monic polynomial over GF(p).
+
+    ``f`` of degree m is irreducible iff
+    ``x**(p**m) ≡ x (mod f)`` and for every prime divisor d of m,
+    ``gcd(x**(p**(m/d)) − x, f) == 1``.
+    """
+    f = poly_trim(list(f))
+    m = len(f) - 1
+    if m <= 0:
+        return False
+    if m == 1:
+        return True
+    from repro.galois.primes import factorize
+
+    x = [0, 1]
+    for d in factorize(m):
+        e = p ** (m // d)
+        h = poly_add(poly_pow_mod(x, e, f, p), poly_scale(x, p - 1, p), p)
+        g = poly_gcd(h, f, p)
+        if g != [1]:
+            return False
+    h = poly_add(poly_pow_mod(x, p**m, f, p), poly_scale(x, p - 1, p), p)
+    return h == []
+
+
+def find_irreducible(p: int, m: int) -> list[int]:
+    """Find a monic irreducible polynomial of degree m over GF(p).
+
+    Exhaustive search in lexicographic order, so the modulus (and hence
+    the element labelling of GF(p^m)) is deterministic.  For m == 1
+    returns ``x`` (i.e. ``[0, 1]``), giving the prime field.
+    """
+    if not is_prime(p):
+        raise ValueError(f"p must be prime, got {p}")
+    if m < 1:
+        raise ValueError(f"degree must be >= 1, got {m}")
+    if m == 1:
+        return [0, 1]
+    # Candidates: x^m + c_{m-1} x^{m-1} + ... + c_0, searched in
+    # lexicographic order of (c_0, ..., c_{m-1}).
+    for tail in product(range(p), repeat=m):
+        f = list(tail) + [1]
+        if f[0] == 0:
+            continue  # reducible: divisible by x
+        if is_irreducible(f, p):
+            return f
+    raise RuntimeError(f"no irreducible polynomial of degree {m} over GF({p})")

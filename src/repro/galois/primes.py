@@ -1,0 +1,90 @@
+"""Primality, factorisation, and prime-power detection.
+
+Sizes in this project are small (field orders q ≲ 10^4, code searches
+over q − 1 ≲ 10^4), so simple deterministic algorithms — trial division
+and a sieve — are the right tools; no probabilistic primality testing
+is needed.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive_int
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic trial-division primality test.
+
+    Correct for all ``n`` (not probabilistic); intended for the small
+    magnitudes used by topology construction.
+    """
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def primes_up_to(limit: int) -> list[int]:
+    """All primes ``<= limit`` via the sieve of Eratosthenes."""
+    if limit < 2:
+        return []
+    sieve = bytearray([1]) * (limit + 1)
+    sieve[0] = sieve[1] = 0
+    p = 2
+    while p * p <= limit:
+        if sieve[p]:
+            sieve[p * p :: p] = bytearray(len(sieve[p * p :: p]))
+        p += 1
+    return [i for i, flag in enumerate(sieve) if flag]
+
+
+def factorize(n: int) -> dict[int, int]:
+    """Prime factorisation ``n = prod(p**e)`` as a ``{p: e}`` dict."""
+    n = check_positive_int(n, "n")
+    factors: dict[int, int] = {}
+    for p in (2, 3):
+        while n % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            n //= p
+    f = 5
+    while f * f <= n:
+        for p in (f, f + 2):  # 6k±1 wheel
+            while n % p == 0:
+                factors[p] = factors.get(p, 0) + 1
+                n //= p
+        f += 6
+    if n > 1:
+        factors[n] = factors.get(n, 0) + 1
+    return factors
+
+
+def is_prime_power(n: int) -> tuple[int, int] | None:
+    """Return ``(p, m)`` with ``n == p**m`` and p prime, else ``None``.
+
+    ``is_prime_power(1)`` is ``None``: the trivial field is excluded.
+    """
+    if n < 2:
+        return None
+    factors = factorize(n)
+    if len(factors) != 1:
+        return None
+    (p, m), = factors.items()
+    return p, m
+
+
+def prime_powers_up_to(limit: int) -> list[int]:
+    """All prime powers ``p**m <= limit`` (m >= 1), ascending."""
+    out = []
+    for p in primes_up_to(limit):
+        v = p
+        while v <= limit:
+            out.append(v)
+            v *= p
+    return sorted(out)

@@ -1,0 +1,59 @@
+"""Primitive elements (multiplicative generators) of GF(q).
+
+Paper §II-B1 step 1: the MMS construction needs a primitive element ξ
+of GF(q) — an element whose powers enumerate every nonzero element.
+The paper notes exhaustive search is viable for the relevant sizes;
+we do exactly that but prune with the standard order test: ξ is
+primitive iff ``ξ**((q-1)/r) != 1`` for every prime divisor r of q−1.
+"""
+
+from __future__ import annotations
+
+from repro.galois.field import GaloisField
+from repro.galois.primes import factorize
+
+
+def multiplicative_order(field: GaloisField, a: int) -> int:
+    """Order of ``a`` in the multiplicative group GF(q)*.
+
+    Computed by divisor refinement: start from the group order q−1 and
+    strip prime factors while the power stays 1.
+    """
+    if a == 0:
+        raise ValueError("0 has no multiplicative order")
+    n = field.q - 1
+    order = n
+    for r, e in factorize(n).items():
+        for _ in range(e):
+            if order % r == 0 and field.power(a, order // r) == 1:
+                order //= r
+            else:
+                break
+    return order
+
+
+def is_primitive(field: GaloisField, a: int) -> bool:
+    """True iff ``a`` generates GF(q)*."""
+    if a == 0:
+        return False
+    n = field.q - 1
+    if n == 1:
+        return a == 1
+    return all(field.power(a, n // r) != 1 for r in factorize(n))
+
+
+def primitive_element(field: GaloisField) -> int:
+    """Smallest-labelled primitive element of the field.
+
+    Deterministic (ascending label scan), so every run builds the same
+    MMS graph for a given q.
+    """
+    for a in field.nonzero_elements():
+        if is_primitive(field, a):
+            return a
+    raise RuntimeError(f"no primitive element found in {field!r}")  # pragma: no cover
+
+
+def primitive_elements(field: GaloisField) -> list[int]:
+    """All primitive elements (there are φ(q−1) of them)."""
+    return [a for a in field.nonzero_elements() if is_primitive(field, a)]

@@ -1,0 +1,30 @@
+"""Physical datacenter layout (paper §VI-A).
+
+- :mod:`repro.layout.placement` — rack grid placement and Manhattan
+  cable-length computation (the paper's Step 4: racks in a near-square
+  with 2 m of overhead per global cable).
+- :mod:`repro.layout.racks` — partitioning routers into racks: the MMS
+  modular partition for Slim Fly (two paired subgroups per rack,
+  Steps 1–3 of Fig 10), group-per-rack for Dragonfly/FBF/DLN, pods for
+  fat trees, and block partitions for the low-radix networks.
+"""
+
+from repro.layout.placement import RackGrid, near_square_dims, average_manhattan
+from repro.layout.racks import (
+    RackAssignment,
+    slimfly_racks,
+    group_racks,
+    block_racks,
+    racks_for,
+)
+
+__all__ = [
+    "RackGrid",
+    "near_square_dims",
+    "average_manhattan",
+    "RackAssignment",
+    "slimfly_racks",
+    "group_racks",
+    "block_racks",
+    "racks_for",
+]

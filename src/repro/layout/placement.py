@@ -1,0 +1,86 @@
+"""Rack placement and cable-length geometry (paper §VI-A step 4, §VI-B).
+
+Racks are 1×1×2 m; we place them on a unit grid shaped as a square (or
+the closest x·y + z rectangle) and measure cable runs with the
+Manhattan metric, adding the paper's 2 m overhead per global (optical)
+link.  Intra-rack cables average 1 m (the paper's stated mean of the
+5 cm–2 m range).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Average intra-rack (electric) cable length in meters (§VI-B).
+INTRA_RACK_LENGTH_M = 1.0
+#: Extra slack added to every inter-rack (optical) cable (§VI-B).
+GLOBAL_CABLE_OVERHEAD_M = 2.0
+
+
+def near_square_dims(num_racks: int) -> tuple[int, int, int]:
+    """Factor ``num_racks = x*y + z`` with x ≈ y and minimal leftover z.
+
+    Mirrors §VI-A: "place the racks as a square (or a rectangle close
+    to a square); if N_rck is not divisible, remaining z racks go at an
+    arbitrary side."
+    """
+    if num_racks <= 0:
+        raise ValueError("need at least one rack")
+    x = max(1, int(math.isqrt(num_racks)))
+    y = num_racks // x
+    z = num_racks - x * y
+    return x, y, z
+
+
+class RackGrid:
+    """Concrete rack coordinates + pairwise Manhattan distances."""
+
+    def __init__(self, num_racks: int, pitch_m: float = 1.0):
+        self.num_racks = num_racks
+        self.pitch_m = pitch_m
+        x, y, z = near_square_dims(num_racks)
+        coords = [(i % x, i // x) for i in range(x * y)]
+        coords += [(i, y) for i in range(z)]  # leftover row
+        self.coords = np.asarray(coords, dtype=np.float64) * pitch_m
+
+    def distance(self, rack_a: int, rack_b: int) -> float:
+        """Manhattan rack-to-rack distance in meters (0 for same rack)."""
+        d = np.abs(self.coords[rack_a] - self.coords[rack_b])
+        return float(d.sum())
+
+    def cable_length(self, rack_a: int, rack_b: int) -> float:
+        """Physical cable run: intra-rack mean or Manhattan + overhead."""
+        if rack_a == rack_b:
+            return INTRA_RACK_LENGTH_M
+        return self.distance(rack_a, rack_b) + GLOBAL_CABLE_OVERHEAD_M
+
+    def all_pair_mean_distance(self) -> float:
+        """Mean Manhattan distance over distinct rack pairs."""
+        n = self.num_racks
+        if n < 2:
+            return 0.0
+        total = 0.0
+        for axis in range(2):
+            vals = np.sort(self.coords[:, axis])
+            idx = np.arange(n)
+            # Sum over pairs of |xi - xj| via prefix trick.
+            total += float((vals * (2 * idx - n + 1)).sum())
+        return 2.0 * total / (n * (n - 1))
+
+
+def average_manhattan(num_racks: int, pitch_m: float = 1.0) -> float:
+    """Closed-form mean Manhattan distance for a near-square grid.
+
+    For x ~ uniform on {0..m−1}: E|x−x'| = (m²−1)/(3m); the grid mean
+    is the sum over both axes.  Used by the analytic cost sweeps where
+    instantiating a grid per configuration would be wasteful.
+    """
+    x, y, z = near_square_dims(num_racks)
+    rows = y + (1 if z else 0)
+
+    def axis_mean(m: int) -> float:
+        return (m * m - 1) / (3.0 * m) if m > 1 else 0.0
+
+    return (axis_mean(x) + axis_mean(rows)) * pitch_m

@@ -1,0 +1,112 @@
+"""Partitioning routers into racks (paper §VI-A, Fig 10).
+
+Slim Fly uses the MMS modular structure: rack i merges subgroup
+(0, x=i) with subgroup (1, m=i) — 2q routers per rack, q racks, and
+(as the paper highlights) the rack graph becomes a complete graph with
+2q cables between every rack pair.  Dragonfly, FBF and DLN racks are
+their groups; fat trees rack by pod (cores in a central row); the
+low-radix networks use fixed-size blocks of consecutive router labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.placement import RackGrid
+from repro.topologies.base import Topology
+from repro.topologies.dragonfly import Dragonfly
+from repro.topologies.fattree import FatTree3
+from repro.topologies.flattened_butterfly import FlattenedButterfly
+from repro.topologies.random_dln import RandomDLN
+from repro.topologies.slimfly import SlimFly
+
+
+@dataclass
+class RackAssignment:
+    """Rack id per router, plus the placed grid."""
+
+    rack_of: list[int]
+    grid: RackGrid
+
+    @property
+    def num_racks(self) -> int:
+        return self.grid.num_racks
+
+    def cable_length(self, router_u: int, router_v: int) -> float:
+        return self.grid.cable_length(self.rack_of[router_u], self.rack_of[router_v])
+
+    def is_intra_rack(self, router_u: int, router_v: int) -> bool:
+        return self.rack_of[router_u] == self.rack_of[router_v]
+
+    def cable_census(self, topology: Topology) -> tuple[int, int, float]:
+        """(electric_count, fiber_count, mean_fiber_length_m) over router links."""
+        electric = fiber = 0
+        fiber_len = 0.0
+        for u, v in topology.edges():
+            if self.is_intra_rack(u, v):
+                electric += 1
+            else:
+                fiber += 1
+                fiber_len += self.cable_length(u, v)
+        mean = fiber_len / fiber if fiber else 0.0
+        return electric, fiber, mean
+
+
+def slimfly_racks(topology: SlimFly) -> RackAssignment:
+    """The MMS partition: rack i = subgroup (0, i) ∪ subgroup (1, i)."""
+    q = topology.q
+    rack_of = [0] * topology.num_routers
+    for r in range(topology.num_routers):
+        _, column = topology.router_group(r)
+        rack_of[r] = column
+    return RackAssignment(rack_of, RackGrid(q))
+
+
+def group_racks(topology: Topology, group_size: int) -> RackAssignment:
+    """One rack per block of ``group_size`` consecutive routers."""
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    nr = topology.num_routers
+    racks = (nr + group_size - 1) // group_size
+    rack_of = [r // group_size for r in range(nr)]
+    return RackAssignment(rack_of, RackGrid(racks))
+
+
+def block_racks(topology: Topology, routers_per_rack: int = 32) -> RackAssignment:
+    """Fixed-capacity block partition for low-radix topologies."""
+    return group_racks(topology, routers_per_rack)
+
+
+def fattree_racks(topology: FatTree3) -> RackAssignment:
+    """Pods rack together; core switches fill a central row of racks.
+
+    Mirrors §VI-B3c ("routers installed in a central row").
+    """
+    p = topology.p
+    rack_of = [0] * topology.num_routers
+    for r in range(topology.num_routers):
+        pod = topology.pod(r)
+        if pod is not None:
+            rack_of[r] = pod
+        else:
+            group = (r - topology.n_edge - topology.n_agg) // p
+            rack_of[r] = p + group  # core racks appended after pods
+    return RackAssignment(rack_of, RackGrid(2 * p))
+
+
+def racks_for(topology: Topology) -> RackAssignment:
+    """Dispatch the paper's per-topology rack partition."""
+    if isinstance(topology, SlimFly):
+        return slimfly_racks(topology)
+    if isinstance(topology, Dragonfly):
+        return group_racks(topology, topology.a)
+    if isinstance(topology, FatTree3):
+        return fattree_racks(topology)
+    if isinstance(topology, FlattenedButterfly):
+        # One rack per group: the routers sharing all but the first axis.
+        return group_racks(topology, topology.routers_per_dim)
+    if isinstance(topology, RandomDLN):
+        # Same rack size as a comparable Dragonfly group (§VI-B3e).
+        approx_group = max(2, round(topology.network_radix / 2))
+        return group_racks(topology, approx_group)
+    return block_racks(topology)

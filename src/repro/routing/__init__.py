@@ -1,0 +1,43 @@
+"""Routing algorithms and deadlock-freedom machinery (paper §IV).
+
+- :mod:`repro.routing.tables` — all-pairs distance/next-hop tables.
+- :mod:`repro.routing.base` — the algorithm interface the simulator
+  drives (source-routed and per-hop adaptive flavours).
+- :mod:`repro.routing.minimal` — MIN static routing (§IV-A).
+- :mod:`repro.routing.valiant` — VAL random routing (§IV-B).
+- :mod:`repro.routing.ugal` — UGAL-L / UGAL-G (§IV-C).
+- :mod:`repro.routing.dragonfly_routing` — DF minimal + UGAL-L (§V).
+- :mod:`repro.routing.fattree_routing` — ANCA for FT-3 (§V).
+- :mod:`repro.routing.deadlock` — Gopal hop-indexed VCs, channel
+  dependency graphs, DFSSSP-style VC counting (§IV-D).
+"""
+
+from repro.routing.tables import RoutingTables
+from repro.routing.base import RoutingAlgorithm, SourceRoutedAlgorithm
+from repro.routing.minimal import MinimalRouting
+from repro.routing.valiant import ValiantRouting
+from repro.routing.ugal import UGALRouting
+from repro.routing.dragonfly_routing import DragonflyUGAL, DragonflyMinimal
+from repro.routing.fattree_routing import ANCARouting
+from repro.routing.deadlock import (
+    channel_dependency_graph,
+    is_acyclic,
+    gopal_vc_assignment_is_deadlock_free,
+    dfsssp_vc_count,
+)
+
+__all__ = [
+    "RoutingTables",
+    "RoutingAlgorithm",
+    "SourceRoutedAlgorithm",
+    "MinimalRouting",
+    "ValiantRouting",
+    "UGALRouting",
+    "DragonflyUGAL",
+    "DragonflyMinimal",
+    "ANCARouting",
+    "channel_dependency_graph",
+    "is_acyclic",
+    "gopal_vc_assignment_is_deadlock_free",
+    "dfsssp_vc_count",
+]

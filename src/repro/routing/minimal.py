@@ -1,0 +1,26 @@
+"""MIN — minimal static routing (paper §IV-A).
+
+A packet is routed directly when the source and destination routers
+are adjacent, otherwise along the (deterministic) shortest path.  In
+Slim Fly that path has at most two hops, implementable on statically
+routed fabrics (InfiniBand, Ethernet), and needs two VCs for deadlock
+freedom (§IV-D).
+"""
+
+from __future__ import annotations
+
+from repro.routing.base import SourceRoutedAlgorithm
+from repro.routing.tables import RoutingTables
+
+
+class MinimalRouting(SourceRoutedAlgorithm):
+    """Deterministic shortest-path routing over precomputed tables."""
+
+    def __init__(self, tables: RoutingTables, name: str = "MIN"):
+        self.tables = tables
+        self.name = name
+        # Hop-indexed VCs: longest minimal path = topology diameter.
+        self.num_vcs = max(1, tables.diameter())
+
+    def plan(self, src_router: int, dst_router: int, network=None) -> list[int]:
+        return self.tables.min_path(src_router, dst_router)

@@ -1,0 +1,94 @@
+"""All-pairs shortest-path tables shared by every routing algorithm.
+
+Stores only the (N_r × N_r) hop-distance matrix (int16) and derives
+next-hop candidates on demand: the neighbours v of u with
+``dist[v, dst] == dist[u, dst] − 1``.  This keeps memory linear in the
+distance matrix while still exposing full path diversity (needed by
+Valiant sampling and by the worst-case traffic generator, which must
+know *the* two-hop path between non-adjacent Slim Fly routers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distance import adjacency_to_csr
+from repro.util.rng import make_rng
+
+
+class RoutingTables:
+    """Distance matrix + next-hop derivation for one topology."""
+
+    def __init__(self, adjacency: list[list[int]]):
+        self.adjacency = adjacency
+        self.num_routers = len(adjacency)
+        self.dist = self._all_pairs_distances(adjacency)
+
+    @staticmethod
+    def _all_pairs_distances(adjacency: list[list[int]]) -> np.ndarray:
+        """Levelised BFS from every source, vectorised over the frontier."""
+        from scipy.sparse.csgraph import shortest_path
+
+        csr = adjacency_to_csr(adjacency)
+        d = shortest_path(csr, method="D", unweighted=True, directed=False)
+        if np.isinf(d).any():
+            raise ValueError("routing tables require a connected topology")
+        return d.astype(np.int16)
+
+    # -- queries ---------------------------------------------------------
+
+    def distance(self, src: int, dst: int) -> int:
+        return int(self.dist[src, dst])
+
+    def next_hop_candidates(self, at: int, dst: int) -> list[int]:
+        """Neighbours of ``at`` lying on some shortest path to ``dst``."""
+        if at == dst:
+            return []
+        target = self.dist[at, dst] - 1
+        return [v for v in self.adjacency[at] if self.dist[v, dst] == target]
+
+    def min_path(self, src: int, dst: int) -> list[int]:
+        """Deterministic shortest router path [src, ..., dst].
+
+        Tie-break: lowest neighbour id — the "static" in §IV-A's
+        minimal static routing.
+        """
+        path = [src]
+        at = src
+        while at != dst:
+            at = self.next_hop_candidates(at, dst)[0]
+            path.append(at)
+        return path
+
+    def sample_min_path(self, src: int, dst: int, rng) -> list[int]:
+        """Uniformly-random-per-hop shortest path (used by VAL segments)."""
+        rng = make_rng(rng)
+        path = [src]
+        at = src
+        while at != dst:
+            cands = self.next_hop_candidates(at, dst)
+            at = cands[int(rng.integers(len(cands)))] if len(cands) > 1 else cands[0]
+            path.append(at)
+        return path
+
+    def count_min_paths(self, src: int, dst: int) -> int:
+        """Number of distinct shortest paths (path-diversity metric)."""
+        if src == dst:
+            return 1
+        # DP over decreasing distance.
+        memo: dict[int, int] = {dst: 1}
+
+        def count(u: int) -> int:
+            if u in memo:
+                return memo[u]
+            memo[u] = sum(count(v) for v in self.next_hop_candidates(u, dst))
+            return memo[u]
+
+        return count(src)
+
+    def average_distance(self) -> float:
+        n = self.num_routers
+        return float(self.dist.sum()) / (n * (n - 1))
+
+    def diameter(self) -> int:
+        return int(self.dist.max())

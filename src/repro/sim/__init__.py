@@ -1,0 +1,37 @@
+"""Cycle-based flit-level network simulator (paper §V methodology).
+
+Implements the paper's simulation setup from scratch: input-queued
+routers with virtual channels and credit-based flow control,
+single-flit packets injected by a Bernoulli process, warmup to steady
+state before measurement, and the stated pipeline constants (2-cycle
+credit processing; 1 cycle each for channel, switch allocation, VC
+allocation and crossbar; internal speedup 2 over the channel rate).
+
+Modules
+-------
+- :mod:`repro.sim.config` — :class:`SimConfig` with the paper defaults.
+- :mod:`repro.sim.packet` — the packet/flit record.
+- :mod:`repro.sim.network` — buffers, credits, channels for a topology.
+- :mod:`repro.sim.engine` — the cycle loop and measurement logic.
+- :mod:`repro.sim.stats` — results (latency, accepted throughput).
+- :mod:`repro.sim.sweep` — latency-vs-offered-load curve helper.
+"""
+
+from repro.sim.config import SimConfig
+from repro.sim.packet import Packet
+from repro.sim.network import SimNetwork
+from repro.sim.engine import SimEngine, simulate
+from repro.sim.stats import SimResult, LoadPoint
+from repro.sim.sweep import latency_vs_load, find_saturation_load
+
+__all__ = [
+    "SimConfig",
+    "Packet",
+    "SimNetwork",
+    "SimEngine",
+    "simulate",
+    "SimResult",
+    "LoadPoint",
+    "latency_vs_load",
+    "find_saturation_load",
+]

@@ -1,0 +1,96 @@
+"""Simulator state for one topology: buffers, credits, channels.
+
+Structure per router r (ports numbered as in
+:class:`~repro.topologies.base.Topology`: network ports follow the
+adjacency order, injection queues follow):
+
+- ``in_buf[r][(port, vc)]`` — input FIFO (deque of packets), created
+  lazily so idle ports cost nothing (active-set scheduling, see the
+  hpc-parallel guide notes in DESIGN.md).
+- ``credits[r][port][vc]`` — free slots in the *downstream* router's
+  input buffer for that channel/VC.
+- ``out_stage[r][port]`` — the output staging queue (fed at up to
+  ``speedup`` flits/cycle, drained at channel rate 1 flit/cycle).
+- injection queues are unbounded (open-loop source queues; their
+  occupancy is what diverges past saturation) and ejection is one
+  flit per endpoint per cycle.
+
+``queue_length(u, v)`` exposes the congestion signal UGAL variants
+read: the output staging occupancy plus flits already buffered
+downstream (capacity − credits).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim.config import SimConfig
+from repro.topologies.base import Topology
+
+
+class SimNetwork:
+    """Mutable flow-control state of a simulated network."""
+
+    def __init__(self, topology: Topology, config: SimConfig):
+        self.topology = topology
+        self.config = config
+        nr = topology.num_routers
+
+        #: neighbor id -> port index per router (dict lookup beats .index()).
+        self.port_index: list[dict[int, int]] = [
+            {v: i for i, v in enumerate(nbrs)} for nbrs in topology.adjacency
+        ]
+        #: Lazily-populated input FIFOs keyed by (network_port, vc).
+        self.in_buf: list[dict[tuple[int, int], deque]] = [dict() for _ in range(nr)]
+        #: Credits toward each neighbour, per VC.
+        cap = config.buffer_per_vc
+        self.credits: list[list[list[int]]] = [
+            [[cap] * config.num_vcs for _ in nbrs] for nbrs in topology.adjacency
+        ]
+        #: Output staging queues per network port.
+        self.out_stage: list[list[deque]] = [
+            [deque() for _ in nbrs] for nbrs in topology.adjacency
+        ]
+        #: Injection FIFOs, one per endpoint (unbounded).
+        self.inject_queue: list[deque] = [deque() for _ in range(topology.num_endpoints)]
+        #: Routers that may have switch-allocation work this cycle.
+        self.active_routers: set[int] = set()
+
+    # -- buffer helpers ------------------------------------------------------
+
+    def buffer_of(self, router: int, port: int, vc: int) -> deque:
+        key = (port, vc)
+        buf = self.in_buf[router].get(key)
+        if buf is None:
+            buf = deque()
+            self.in_buf[router][key] = buf
+        return buf
+
+    def deliver(self, router: int, port: int, vc: int, packet) -> None:
+        """Channel arrival into an input buffer slot (credit was reserved)."""
+        self.buffer_of(router, port, vc).append(packet)
+        self.active_routers.add(router)
+
+    def enqueue_injection(self, endpoint: int, packet) -> None:
+        self.inject_queue[endpoint].append(packet)
+        self.active_routers.add(self.topology.endpoint_map[endpoint])
+
+    # -- congestion signal (UGAL) ------------------------------------------------
+
+    def queue_length(self, router: int, neighbor: int) -> int:
+        """Output-queue occupancy toward ``neighbor`` as UGAL sees it."""
+        port = self.port_index[router][neighbor]
+        staged = len(self.out_stage[router][port])
+        cap = self.config.buffer_per_vc
+        downstream = sum(cap - c for c in self.credits[router][port])
+        return staged + downstream
+
+    def total_buffered(self) -> int:
+        """Flits resident in input buffers + staging (conservation checks)."""
+        total = 0
+        for bufs in self.in_buf:
+            total += sum(len(b) for b in bufs.values())
+        for stages in self.out_stage:
+            total += sum(len(s) for s in stages)
+        total += sum(len(q) for q in self.inject_queue)
+        return total

@@ -1,0 +1,59 @@
+"""The packet record.
+
+The paper simulates single-flit packets ("we utilize single flow
+control unit (flit) packets to prevent the influence of flow control
+issues on the routing schemes"), so packet == flit here and no
+segmentation/reassembly state is needed.  ``__slots__`` keeps the hot
+allocation path lean.
+"""
+
+from __future__ import annotations
+
+
+class Packet:
+    """One single-flit packet in flight."""
+
+    __slots__ = (
+        "src_endpoint",
+        "dst_endpoint",
+        "dst_router",
+        "path",
+        "hop",
+        "inject_time",
+        "start_time",
+        "measured",
+    )
+
+    def __init__(
+        self,
+        src_endpoint: int,
+        dst_endpoint: int,
+        dst_router: int,
+        path: list[int] | None,
+        inject_time: int,
+        measured: bool,
+    ):
+        self.src_endpoint = src_endpoint
+        self.dst_endpoint = dst_endpoint
+        self.dst_router = dst_router
+        #: Planned router path for source-routed protocols, else None.
+        self.path = path
+        #: Hops completed so far (also the Gopal VC index of the next hop).
+        self.hop = 0
+        self.inject_time = inject_time
+        #: Cycle the packet left its source injection queue (set by the
+        #: engine at the first switch-allocation grant); the difference
+        #: to ``inject_time`` is the source-queueing delay.
+        self.start_time = inject_time
+        #: True when injected inside the measurement window.
+        self.measured = measured
+
+    def next_router_on_path(self) -> int:
+        """For source-routed packets: the router after ``hop`` hops + 1."""
+        return self.path[self.hop + 1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.src_endpoint}->{self.dst_endpoint} "
+            f"hop={self.hop} t0={self.inject_time})"
+        )

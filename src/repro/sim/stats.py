@@ -1,0 +1,70 @@
+"""Simulation results and measurement bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SimResult:
+    """Outcome of one (topology, routing, pattern, load) simulation."""
+
+    offered_load: float
+    #: Flits delivered per active endpoint per cycle in the window.
+    accepted_load: float
+    #: Mean end-to-end latency (cycles) of measured, delivered packets.
+    avg_latency: float
+    #: 99th percentile latency of the measured sample.
+    p99_latency: float
+    #: Measured packets delivered / injected.
+    delivered: int
+    injected: int
+    #: True when the network could not sustain the offered load
+    #: (accepted < 95% of offered, or measured packets failed to drain).
+    saturated: bool
+    #: Total cycles simulated.
+    cycles: int
+    #: Mean cycles spent waiting in the source injection queue; the
+    #: remainder of ``avg_latency`` is in-network time.  Past
+    #: saturation this term dominates (open-loop queues diverge).
+    avg_queue_latency: float = float("nan")
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.injected if self.injected else 1.0
+
+    @property
+    def avg_network_latency(self) -> float:
+        """Mean in-network latency: total minus source queueing."""
+        return self.avg_latency - self.avg_queue_latency
+
+
+@dataclass
+class LoadPoint:
+    """One x-point of a latency-vs-load curve."""
+
+    load: float
+    latency: float | None  # None past saturation
+    accepted: float
+    saturated: bool
+
+
+class LatencyAccumulator:
+    """Streaming collector for measured packet latencies."""
+
+    def __init__(self):
+        self._values: list[int] = []
+
+    def add(self, latency: int) -> None:
+        self._values.append(latency)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def mean(self) -> float:
+        return float(np.mean(self._values)) if self._values else float("nan")
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self._values, q)) if self._values else float("nan")

@@ -1,0 +1,78 @@
+"""Latency-vs-offered-load curves (the x-axes of Figs 6 and 8).
+
+Runs the simulator across a load schedule and collects
+:class:`~repro.sim.stats.LoadPoint` rows.  Past saturation the
+open-loop latency diverges, so once a point saturates the sweep marks
+the remaining loads saturated instead of burning cycles on them
+(``stop_after_saturation``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import simulate
+from repro.sim.stats import LoadPoint, SimResult
+
+
+def default_loads(maximum: float = 1.0, points: int = 10) -> list[float]:
+    """Evenly spaced offered loads in (0, maximum]."""
+    step = maximum / points
+    return [round(step * (i + 1), 10) for i in range(points)]
+
+
+def latency_vs_load(
+    topology,
+    routing_factory: Callable[[], object],
+    traffic,
+    loads: Sequence[float] | None = None,
+    config: SimConfig | None = None,
+    stop_after_saturation: int = 1,
+) -> list[LoadPoint]:
+    """Simulate each offered load and return curve points.
+
+    ``routing_factory`` builds a fresh routing instance per load so
+    stateful RNG streams do not leak between runs (determinism per
+    point).  ``stop_after_saturation`` counts how many consecutive
+    saturated points to simulate before short-circuiting the rest.
+    """
+    loads = list(loads) if loads is not None else default_loads()
+    points: list[LoadPoint] = []
+    saturated_run = 0
+    for load in loads:
+        if saturated_run >= stop_after_saturation:
+            points.append(LoadPoint(load=load, latency=None, accepted=None, saturated=True))
+            continue
+        result: SimResult = simulate(
+            topology, routing_factory(), traffic, load, config
+        )
+        latency = None if result.saturated and result.delivered == 0 else result.avg_latency
+        points.append(
+            LoadPoint(
+                load=load,
+                latency=latency,
+                accepted=result.accepted_load,
+                saturated=result.saturated,
+            )
+        )
+        saturated_run = saturated_run + 1 if result.saturated else 0
+    return points
+
+
+def find_saturation_load(points: list[LoadPoint]) -> float | None:
+    """First offered load marked saturated, or None if never saturated.
+
+    This is the "accepted bandwidth" statistic of §V-E (the offered
+    uniform load that saturates the network).
+    """
+    for pt in points:
+        if pt.saturated:
+            return pt.load
+    return None
+
+
+def max_accepted(points: list[LoadPoint]) -> float:
+    """Largest accepted throughput seen along the curve."""
+    vals = [pt.accepted for pt in points if pt.accepted is not None]
+    return max(vals) if vals else 0.0

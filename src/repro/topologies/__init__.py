@@ -1,0 +1,66 @@
+"""Network topologies: Slim Fly and every baseline the paper compares.
+
+All topologies expose the common :class:`~repro.topologies.base.Topology`
+interface (router adjacency + endpoint attachment), used uniformly by
+the analysis, routing, simulation, layout, and cost subsystems.
+
+Paper Table II inventory:
+
+========================  ======  =============================
+Topology                  Symbol  Module
+========================  ======  =============================
+Slim Fly MMS              SF      :mod:`repro.topologies.slimfly`
+3-dimensional torus       T3D     :mod:`repro.topologies.torus`
+5-dimensional torus       T5D     :mod:`repro.topologies.torus`
+Hypercube                 HC      :mod:`repro.topologies.hypercube`
+3-level fat tree          FT-3    :mod:`repro.topologies.fattree`
+3-level flat. butterfly   FBF-3   :mod:`repro.topologies.flattened_butterfly`
+Dragonfly                 DF      :mod:`repro.topologies.dragonfly`
+Random topology           DLN     :mod:`repro.topologies.random_dln`
+Long Hop                  LH-HC   :mod:`repro.topologies.longhop`
+========================  ======  =============================
+"""
+
+from repro.topologies.base import Topology
+from repro.topologies.slimfly import SlimFly
+from repro.topologies.torus import Torus
+from repro.topologies.hypercube import Hypercube
+from repro.topologies.fattree import FatTree3
+from repro.topologies.flattened_butterfly import FlattenedButterfly
+from repro.topologies.dragonfly import Dragonfly
+from repro.topologies.random_dln import RandomDLN
+from repro.topologies.longhop import LongHopHypercube
+from repro.topologies.registry import (
+    TOPOLOGY_BUILDERS,
+    balanced_instance,
+    balanced_config_sweep,
+)
+from repro.topologies.augmented import AugmentedSlimFly
+from repro.topologies.sf_dragonfly import SlimFlyGroupedDragonfly
+from repro.topologies.io import (
+    save_topology,
+    load_topology,
+    export_edge_list,
+    export_catalog_markdown,
+)
+
+__all__ = [
+    "AugmentedSlimFly",
+    "SlimFlyGroupedDragonfly",
+    "save_topology",
+    "load_topology",
+    "export_edge_list",
+    "export_catalog_markdown",
+    "Topology",
+    "SlimFly",
+    "Torus",
+    "Hypercube",
+    "FatTree3",
+    "FlattenedButterfly",
+    "Dragonfly",
+    "RandomDLN",
+    "LongHopHypercube",
+    "TOPOLOGY_BUILDERS",
+    "balanced_instance",
+    "balanced_config_sweep",
+]

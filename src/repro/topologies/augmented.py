@@ -1,0 +1,109 @@
+"""Random-channel augmentation of Slim Fly (paper §VII-A).
+
+Network architects often have routers with more ports than a catalogue
+Slim Fly needs.  The paper proposes two uses for the spare ports:
+
+1. attach more endpoints (oversubscription, §V-E — supported directly
+   by :class:`~repro.topologies.slimfly.SlimFly`), or
+2. "add random channels to utilize empty ports" in the style of the
+   random shortcut topologies (Koibuchi et al.) / Jellyfish — which
+   "would additionally improve the latency and bandwidth".
+
+:class:`AugmentedSlimFly` implements option 2: it overlays extra
+random matchings on the MMS graph, optionally restricted to intra-rack
+(copper) pairs as the paper suggests for cost control.
+"""
+
+from __future__ import annotations
+
+from repro.core.mms import MMSGraph
+from repro.layout.racks import slimfly_racks
+from repro.topologies.base import Topology
+from repro.topologies.slimfly import SlimFly
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive_int
+
+
+class AugmentedSlimFly(Topology):
+    """Slim Fly plus ``extra_ports`` random matchings.
+
+    Parameters
+    ----------
+    q:
+        MMS parameter.
+    extra_ports:
+        Random channels added per router (router radix grows by this).
+    concentration:
+        Endpoints per router (balanced p by default).
+    intra_rack_only:
+        Restrict the random channels to router pairs inside the same
+        §VI-A rack — the paper's copper-only cost optimisation.
+    seed:
+        Matching RNG seed.
+    """
+
+    def __init__(
+        self,
+        q: int,
+        extra_ports: int,
+        concentration: int | None = None,
+        intra_rack_only: bool = False,
+        seed=None,
+    ):
+        check_positive_int(extra_ports, "extra_ports")
+        base = SlimFly.from_q(q, concentration=concentration)
+        self.q = q
+        self.extra_ports = extra_ports
+        self.intra_rack_only = intra_rack_only
+        rng = make_rng(seed)
+
+        neighbor_sets = [set(nbrs) for nbrs in base.adjacency]
+        rack_of = slimfly_racks(base).rack_of if intra_rack_only else None
+        added = 0
+        for _ in range(extra_ports):
+            added += self._add_matching(neighbor_sets, rack_of, rng)
+        self.added_channels = added
+
+        adjacency = [sorted(s) for s in neighbor_sets]
+        super().__init__(
+            name="SF+rand",
+            adjacency=adjacency,
+            endpoint_map=list(base.endpoint_map),
+        )
+
+    @staticmethod
+    def _add_matching(neighbor_sets, rack_of, rng, attempts: int = 60) -> int:
+        """Overlay one random (possibly partial) matching; returns edges added."""
+        n = len(neighbor_sets)
+        best_pairs: list[tuple[int, int]] = []
+        for _ in range(attempts):
+            order = list(rng.permutation(n))
+            unmatched = set(order)
+            pairs = []
+            for u in order:
+                if u not in unmatched:
+                    continue
+                unmatched.discard(u)
+                for v in order:
+                    if v not in unmatched or v in neighbor_sets[u]:
+                        continue
+                    if rack_of is not None and rack_of[u] != rack_of[v]:
+                        continue
+                    pairs.append((u, v))
+                    unmatched.discard(v)
+                    break
+            if len(pairs) > len(best_pairs):
+                best_pairs = pairs
+            if len(best_pairs) >= n // 2:
+                break
+        for u, v in best_pairs:
+            neighbor_sets[u].add(v)
+            neighbor_sets[v].add(u)
+        return len(best_pairs)
+
+    @property
+    def base_network_radix(self) -> int:
+        """k' of the un-augmented MMS graph."""
+        from repro.core.mms import MMSParams
+
+        return MMSParams.from_q(self.q).network_radix

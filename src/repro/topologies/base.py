@@ -1,0 +1,165 @@
+"""The common topology interface.
+
+A topology is (1) a router graph given as adjacency lists, and (2) an
+endpoint attachment: ``endpoint_map[e]`` is the router endpoint ``e``
+plugs into.  Everything downstream — analysis, routing tables, the
+cycle simulator, layout, cost — consumes exactly this interface, so
+new topologies only implement construction.
+
+Port numbering convention (used by routing and the simulator):
+network port ``i`` of router ``r`` is the channel to
+``adjacency[r][i]``; endpoint ports follow after the network ports.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+
+class Topology:
+    """Base class: a router graph plus attached endpoints.
+
+    Subclasses call ``super().__init__`` with the finished structure.
+
+    Parameters
+    ----------
+    name:
+        Short identifier (paper symbol, e.g. ``"SF"``, ``"DF"``).
+    adjacency:
+        Router neighbour lists; must be symmetric and loop-free.
+    endpoint_map:
+        For every endpoint, the router it attaches to.  Uniform
+        attachments can use :meth:`uniform_endpoint_map`.
+    """
+
+    def __init__(self, name: str, adjacency: list[list[int]], endpoint_map: list[int]):
+        self.name = name
+        self.adjacency = adjacency
+        self.endpoint_map = list(endpoint_map)
+        self._check_structure()
+
+    # -- structure -----------------------------------------------------------
+
+    def _check_structure(self) -> None:
+        n = len(self.adjacency)
+        for u, nbrs in enumerate(self.adjacency):
+            if u in nbrs:
+                raise ValueError(f"{self.name}: router {u} has a self-loop")
+            if len(set(nbrs)) != len(nbrs):
+                raise ValueError(f"{self.name}: router {u} has parallel edges")
+            for v in nbrs:
+                if not (0 <= v < n):
+                    raise ValueError(f"{self.name}: edge {u}->{v} out of range")
+                if u not in self.adjacency[v]:
+                    raise ValueError(
+                        f"{self.name}: asymmetric edge {u}->{v} "
+                        "(adjacency must be undirected)"
+                    )
+        for e, r in enumerate(self.endpoint_map):
+            if not (0 <= r < n):
+                raise ValueError(f"{self.name}: endpoint {e} attached to bad router {r}")
+
+    @staticmethod
+    def uniform_endpoint_map(num_routers: int, concentration: int) -> list[int]:
+        """p endpoints on every router: endpoint e -> router e // p."""
+        return [r for r in range(num_routers) for _ in range(concentration)]
+
+    # -- basic quantities ------------------------------------------------------
+
+    @property
+    def num_routers(self) -> int:
+        return len(self.adjacency)
+
+    @property
+    def num_endpoints(self) -> int:
+        return len(self.endpoint_map)
+
+    @cached_property
+    def endpoints_of_router(self) -> list[list[int]]:
+        """Inverse of ``endpoint_map``: endpoints attached to each router."""
+        out: list[list[int]] = [[] for _ in range(self.num_routers)]
+        for e, r in enumerate(self.endpoint_map):
+            out[r].append(e)
+        return out
+
+    @cached_property
+    def network_radix(self) -> int:
+        """k': the largest number of router-to-router channels at a router."""
+        return max((len(nbrs) for nbrs in self.adjacency), default=0)
+
+    @cached_property
+    def concentration(self) -> int:
+        """p: the largest number of endpoints attached to one router."""
+        return max((len(eps) for eps in self.endpoints_of_router), default=0)
+
+    @cached_property
+    def router_radix(self) -> int:
+        """k: ports needed on the largest router (channels + endpoints).
+
+        Computed per router, not as network_radix + concentration: in
+        a fat tree the most-connected router (an aggregation switch)
+        carries no endpoints, so the maxima live on different routers.
+        """
+        return max(
+            len(nbrs) + len(eps)
+            for nbrs, eps in zip(self.adjacency, self.endpoints_of_router)
+        )
+
+    @cached_property
+    def num_links(self) -> int:
+        """Router-to-router cables (undirected)."""
+        return sum(len(nbrs) for nbrs in self.adjacency) // 2
+
+    # -- derived views ---------------------------------------------------------
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Undirected router-graph edges, u < v."""
+        return [
+            (u, v)
+            for u, nbrs in enumerate(self.adjacency)
+            for v in nbrs
+            if v > u
+        ]
+
+    def edge_array(self) -> np.ndarray:
+        return np.asarray(self.edges(), dtype=np.int64)
+
+    def to_networkx(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_routers))
+        g.add_edges_from(self.edges())
+        return g
+
+    def port_of_neighbor(self, router: int, neighbor: int) -> int:
+        """The network port index on ``router`` that reaches ``neighbor``."""
+        return self.adjacency[router].index(neighbor)
+
+    # -- analysis passthroughs ---------------------------------------------------
+
+    def diameter(self) -> int:
+        from repro.analysis.distance import diameter
+
+        return diameter(self.adjacency)
+
+    def average_distance(self, sources: int | None = None, seed=None) -> float:
+        from repro.analysis.distance import average_distance
+
+        return average_distance(self.adjacency, sources=sources, seed=seed)
+
+    def bisection_bandwidth(self, link_bandwidth_gbps: float = 10.0, seed=None) -> float:
+        from repro.analysis.bisection import bisection_bandwidth
+
+        return bisection_bandwidth(
+            self.adjacency, link_bandwidth_gbps=link_bandwidth_gbps, seed=seed
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(name={self.name!r}, Nr={self.num_routers}, "
+            f"k'={self.network_radix}, p={self.concentration}, "
+            f"N={self.num_endpoints})"
+        )

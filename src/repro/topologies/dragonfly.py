@@ -1,0 +1,118 @@
+"""Dragonfly topology (Kim, Dally, Scott, Abts — the paper's main rival).
+
+Parameters (a, p, h): ``a`` routers per group (fully connected), ``p``
+endpoints per router, ``h`` global channels per router.  There are
+``g = a·h + 1`` groups, the group graph is complete with exactly one
+global cable per group pair, and N = a·p·g.
+
+The *balanced* Dragonfly (paper §III, §VI-B3e) has a = 2p = 2h, which
+makes the paper's p = ⌊(k+1)/4⌋ with k = p + h + a − 1 = 4h − 1.
+Diameter is 3 (local, global, local).
+
+Global-link arrangement: the cable between groups i and j occupies
+global slot ``(j − i − 1) mod g`` of group i — the standard
+"consecutive" arrangement; slot s belongs to router ``s // h``, global
+port ``s % h``.  Routing (``repro.routing.dragonfly_routing``) and the
+adversarial traffic generator rely on :meth:`group_of` and
+:meth:`global_neighbor_groups`.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+from repro.util.validation import check_positive_int
+
+
+class Dragonfly(Topology):
+    """Dragonfly with ``a`` routers/group, ``p`` endpoints, ``h`` global ports."""
+
+    def __init__(self, a: int, p: int, h: int, num_groups: int | None = None):
+        a = check_positive_int(a, "a")
+        p = check_positive_int(p, "p")
+        h = check_positive_int(h, "h")
+        g = a * h + 1 if num_groups is None else check_positive_int(num_groups, "num_groups")
+        if g < 2:
+            raise ValueError("Dragonfly needs at least 2 groups")
+        if g > a * h + 1:
+            raise ValueError(
+                f"num_groups={g} exceeds a*h+1={a*h+1}: not enough global ports"
+            )
+        self.a, self.p_conc, self.h, self.g = a, p, h, g
+
+        nr = a * g
+        adjacency: list[list[int]] = [[] for _ in range(nr)]
+        # Local: complete graph within each group.
+        for grp in range(g):
+            base = grp * a
+            for i in range(a):
+                for j in range(i + 1, a):
+                    adjacency[base + i].append(base + j)
+                    adjacency[base + j].append(base + i)
+        # Global: one cable per group pair, consecutive slot arrangement.
+        for gi in range(g):
+            for gj in range(gi + 1, g):
+                si = (gj - gi - 1) % g  # slot in group gi
+                sj = (gi - gj - 1) % g  # slot in group gj
+                ri = gi * a + (si // h)
+                rj = gj * a + (sj // h)
+                adjacency[ri].append(rj)
+                adjacency[rj].append(ri)
+        for lst in adjacency:
+            lst.sort()
+
+        super().__init__(
+            name="DF",
+            adjacency=adjacency,
+            endpoint_map=Topology.uniform_endpoint_map(nr, p),
+        )
+
+    # -- structure accessors -------------------------------------------------
+
+    def group_of(self, router: int) -> int:
+        return router // self.a
+
+    def routers_of_group(self, group: int) -> range:
+        return range(group * self.a, (group + 1) * self.a)
+
+    def is_global_link(self, u: int, v: int) -> bool:
+        return self.group_of(u) != self.group_of(v)
+
+    def global_neighbor_groups(self, router: int) -> list[int]:
+        """Groups directly reachable through this router's global ports."""
+        me = self.group_of(router)
+        return sorted(
+            {self.group_of(v) for v in self.adjacency[router]} - {me}
+        )
+
+    def gateway_router(self, src_group: int, dst_group: int) -> int:
+        """The router in ``src_group`` owning the cable toward ``dst_group``."""
+        if src_group == dst_group:
+            raise ValueError("groups must differ")
+        slot = (dst_group - src_group - 1) % self.g
+        return src_group * self.a + slot // self.h
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def balanced(cls, h: int) -> "Dragonfly":
+        """The balanced DF (a = 2p = 2h) for a given global-port count h."""
+        return cls(a=2 * h, p=h, h=h)
+
+    @classmethod
+    def for_endpoints(cls, target_endpoints: int, max_h: int = 64) -> "Dragonfly":
+        """Balanced DF with N = 2h²(2h²+1) closest to the target."""
+        best_h = 1
+        for h in range(1, max_h + 1):
+            if abs(2 * h * h * (2 * h * h + 1) - target_endpoints) <= abs(
+                2 * best_h * best_h * (2 * best_h * best_h + 1) - target_endpoints
+            ):
+                best_h = h
+        return cls.balanced(best_h)
+
+    def analytic_diameter(self) -> int:
+        return 3
+
+    def analytic_bisection_links(self) -> int:
+        """⌊(N + 2p² − 1)/4⌋ ≈ N/4 (paper §III-C)."""
+        n = self.num_endpoints
+        return (n + 2 * self.p_conc**2 - 1) // 4

@@ -1,0 +1,111 @@
+"""Three-level fat tree (paper Table II: FT-3, the Tianhe-2 pattern).
+
+The paper's performance configuration (§V: k = 44, p = 22,
+N_r = 1452 = 3p², N = 10648 = p³) corresponds to the folded-Clos
+variant below:
+
+- p² *edge* switches in p pods (p per pod), each with p endpoints and
+  p uplinks;
+- p² *aggregation* switches (p per pod); pod-local edge↔aggregation is
+  complete bipartite;
+- p² *core* switches in p groups of p; aggregation switch (pod j,
+  index b) connects to every core switch of group b.
+
+Edge and aggregation switches have radix 2p; core switches use p
+ports.  The router graph has diameter 4 (edge→agg→core→agg→edge) and
+full bisection bandwidth (N/2 links cross every balanced cut), the two
+properties Table II and Fig 5c rely on.
+
+Level/pod metadata is exposed for the ANCA routing protocol (§V).
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+from repro.util.validation import check_positive_int
+
+EDGE, AGG, CORE = 0, 1, 2
+
+
+class FatTree3(Topology):
+    """3-level fat tree parameterised by the arity p (= k/2)."""
+
+    def __init__(self, p: int):
+        p = check_positive_int(p, "p")
+        if p < 2:
+            raise ValueError("fat tree arity p must be >= 2")
+        self.p = p
+        n_edge = p * p
+        n_agg = p * p
+        n_core = p * p
+        self.n_edge, self.n_agg, self.n_core = n_edge, n_agg, n_core
+        nr = n_edge + n_agg + n_core
+
+        adjacency: list[list[int]] = [[] for _ in range(nr)]
+        # Edge (pod j, a) = j*p + a ; Agg (pod j, b) = n_edge + j*p + b ;
+        # Core (group b, c) = n_edge + n_agg + b*p + c.
+        for j in range(p):
+            for a in range(p):
+                e = j * p + a
+                for b in range(p):
+                    g = n_edge + j * p + b
+                    adjacency[e].append(g)
+                    adjacency[g].append(e)
+        for j in range(p):
+            for b in range(p):
+                g = n_edge + j * p + b
+                for c in range(p):
+                    core = n_edge + n_agg + b * p + c
+                    adjacency[g].append(core)
+                    adjacency[core].append(g)
+
+        endpoint_map = [e for e in range(n_edge) for _ in range(p)]
+        super().__init__(name="FT-3", adjacency=adjacency, endpoint_map=endpoint_map)
+
+    # -- level structure (used by ANCA routing and the cost model) ----------
+
+    def level(self, router: int) -> int:
+        """0 = edge, 1 = aggregation, 2 = core."""
+        if router < self.n_edge:
+            return EDGE
+        if router < self.n_edge + self.n_agg:
+            return AGG
+        return CORE
+
+    def pod(self, router: int) -> int | None:
+        """Pod id for edge/aggregation switches, ``None`` for core."""
+        if router < self.n_edge:
+            return router // self.p
+        if router < self.n_edge + self.n_agg:
+            return (router - self.n_edge) // self.p
+        return None
+
+    def up_neighbors(self, router: int) -> list[int]:
+        """Parents of a non-core switch (all its next-level neighbours)."""
+        lvl = self.level(router)
+        if lvl == CORE:
+            return []
+        return [v for v in self.adjacency[router] if self.level(v) == lvl + 1]
+
+    def down_neighbors(self, router: int) -> list[int]:
+        lvl = self.level(router)
+        if lvl == EDGE:
+            return []
+        return [v for v in self.adjacency[router] if self.level(v) == lvl - 1]
+
+    @classmethod
+    def for_endpoints(cls, target_endpoints: int) -> "FatTree3":
+        """The FT-3 with N = p³ closest to ``target_endpoints``."""
+        p = max(2, round(target_endpoints ** (1.0 / 3.0)))
+        best = min(
+            (cand for cand in (p - 1, p, p + 1) if cand >= 2),
+            key=lambda cand: abs(cand**3 - target_endpoints),
+        )
+        return cls(best)
+
+    def analytic_diameter(self) -> int:
+        return 4
+
+    def analytic_bisection_links(self) -> int:
+        """Full bisection: N/2 (paper §III-C closed form ⌊N/2⌋)."""
+        return self.num_endpoints // 2

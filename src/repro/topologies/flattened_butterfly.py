@@ -1,0 +1,72 @@
+"""Flattened butterfly (paper: FBF-3 for evaluation, FBF-2 in Fig 5a).
+
+An l-level flattened butterfly (Kim, Dally, Abts) flattens a c-ary
+(l+1)-fly: routers occupy the points of an l-dimensional grid with c
+routers per dimension and are fully connected along every axis-aligned
+line.  The balanced concentration equals c, so
+
+    N_r = c^l,   k' = l·(c−1),   p = c,   N = c^{l+1},
+
+and the paper's p = ⌊(k+3)/4⌋ for FBF-3 is exactly p = c with
+k = c + 3(c−1) = 4c − 3.  Diameter is l (one hop per differing
+coordinate).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.topologies.base import Topology
+from repro.util.validation import check_positive_int
+
+
+class FlattenedButterfly(Topology):
+    """l-dimensional flattened butterfly with c routers per dimension."""
+
+    def __init__(self, levels: int, routers_per_dim: int, concentration: int | None = None):
+        levels = check_positive_int(levels, "levels")
+        c = check_positive_int(routers_per_dim, "routers_per_dim")
+        if c < 2:
+            raise ValueError("routers_per_dim must be >= 2")
+        self.levels = levels
+        self.routers_per_dim = c
+        p = c if concentration is None else check_positive_int(concentration, "concentration")
+
+        nr = c**levels
+        strides = [c**i for i in range(levels)]
+        adjacency: list[list[int]] = [[] for _ in range(nr)]
+        for coord in itertools.product(range(c), repeat=levels):
+            v = sum(ci * s for ci, s in zip(coord, strides))
+            for axis in range(levels):
+                for other in range(c):
+                    if other == coord[axis]:
+                        continue
+                    u = v + (other - coord[axis]) * strides[axis]
+                    adjacency[v].append(u)
+        for lst in adjacency:
+            lst.sort()
+
+        super().__init__(
+            name=f"FBF-{levels}",
+            adjacency=adjacency,
+            endpoint_map=Topology.uniform_endpoint_map(nr, p),
+        )
+
+    @classmethod
+    def for_endpoints(cls, levels: int, target_endpoints: int) -> "FlattenedButterfly":
+        """Balanced FBF-l with N = c^{l+1} closest to the target."""
+        c = max(2, round(target_endpoints ** (1.0 / (levels + 1))))
+        best = min(
+            (cand for cand in (c - 1, c, c + 1) if cand >= 2),
+            key=lambda cand: abs(cand ** (levels + 1) - target_endpoints),
+        )
+        return cls(levels, best)
+
+    def analytic_diameter(self) -> int:
+        return self.levels
+
+    def analytic_bisection_links(self) -> float:
+        """≈ N/4 with 10G links (paper's DF/FBF closed form ⌊(N+2p²−1)/4⌋)."""
+        n = self.num_endpoints
+        p = self.concentration
+        return (n + 2 * p * p - 1) // 4

@@ -1,0 +1,48 @@
+"""Binary hypercube (paper Table II: HC, the NASA Pleiades pattern).
+
+Routers are the 2^n binary strings; two routers connect iff their
+labels differ in exactly one bit.  Diameter and average distance have
+closed forms (n and n/2 · 2^n/(2^n − 1)); concentration defaults to 1
+as in the paper's low-radix group.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+from repro.util.validation import check_positive_int
+
+
+class Hypercube(Topology):
+    """The n-dimensional binary hypercube."""
+
+    def __init__(self, n_dims: int, concentration: int = 1):
+        n_dims = check_positive_int(n_dims, "n_dims")
+        check_positive_int(concentration, "concentration")
+        self.n_dims = n_dims
+        n = 1 << n_dims
+        adjacency = [
+            [v ^ (1 << bit) for bit in range(n_dims)] for v in range(n)
+        ]
+        super().__init__(
+            name="HC",
+            adjacency=adjacency,
+            endpoint_map=Topology.uniform_endpoint_map(n, concentration),
+        )
+
+    @classmethod
+    def for_routers(cls, target_routers: int, concentration: int = 1) -> "Hypercube":
+        """The hypercube whose 2^n is closest to ``target_routers``."""
+        n = max(1, round(__import__("math").log2(max(2, target_routers))))
+        return cls(n, concentration)
+
+    def analytic_diameter(self) -> int:
+        return self.n_dims
+
+    def analytic_average_distance(self) -> float:
+        """n/2 scaled to distinct pairs: (n/2)·2^n/(2^n − 1)."""
+        n = self.num_routers
+        return (self.n_dims / 2.0) * n / (n - 1)
+
+    def analytic_bisection_links(self) -> int:
+        """N_r/2 links cross the balanced dimension cut."""
+        return self.num_routers // 2

@@ -1,0 +1,103 @@
+"""Topology serialisation: save/load networks as JSON documents.
+
+A practical necessity for an open-source release of the paper's
+"library of practical topologies" (§VII-A): built networks (including
+the randomised DLN instances, whose exact edges matter for
+reproducibility) can be written to disk and reloaded bit-identically,
+or exported as flat edge lists for external tools (Booksim
+configuration generators, METIS, graph viewers).
+
+Format (version 1):
+
+    {
+      "format": "repro-topology",
+      "version": 1,
+      "name": "SF",
+      "adjacency": [[...], ...],
+      "endpoint_map": [...],
+      "attributes": {...}          # optional construction metadata
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.topologies.base import Topology
+
+FORMAT_NAME = "repro-topology"
+FORMAT_VERSION = 1
+
+
+def topology_to_dict(topology: Topology, attributes: dict | None = None) -> dict:
+    """JSON-serialisable document for a topology."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": topology.name,
+        "adjacency": [list(nbrs) for nbrs in topology.adjacency],
+        "endpoint_map": list(topology.endpoint_map),
+        "attributes": dict(attributes or {}),
+    }
+
+
+def topology_from_dict(doc: dict) -> Topology:
+    """Rebuild a (generic) :class:`Topology` from a document.
+
+    The result is structurally identical to the original; subclass-
+    specific behaviour (e.g. Dragonfly group accessors) is not
+    reconstructed — the document's ``attributes`` carry whatever the
+    saver recorded for that purpose.
+    """
+    if doc.get("format") != FORMAT_NAME:
+        raise ValueError(f"not a {FORMAT_NAME} document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {doc.get('version')!r}")
+    return Topology(
+        name=doc["name"],
+        adjacency=[list(n) for n in doc["adjacency"]],
+        endpoint_map=list(doc["endpoint_map"]),
+    )
+
+
+def save_topology(topology: Topology, path, attributes: dict | None = None) -> None:
+    """Write a topology as JSON to ``path``."""
+    doc = topology_to_dict(topology, attributes)
+    Path(path).write_text(json.dumps(doc, separators=(",", ":")))
+
+
+def load_topology(path) -> Topology:
+    """Read a topology JSON document from ``path``."""
+    return topology_from_dict(json.loads(Path(path).read_text()))
+
+
+def export_edge_list(topology: Topology, path) -> None:
+    """Flat ``u v`` edge list (one undirected edge per line).
+
+    The header comment records N_r and N so external tools can size
+    buffers; lines starting with ``#`` are comments.
+    """
+    lines = [
+        f"# {topology.name}: Nr={topology.num_routers} "
+        f"N={topology.num_endpoints} links={topology.num_links}"
+    ]
+    lines += [f"{u} {v}" for u, v in topology.edges()]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def export_catalog_markdown(max_endpoints: int = 200_000) -> str:
+    """The §VII-A configuration library as a Markdown table."""
+    from repro.core.catalog import slimfly_catalog
+
+    lines = [
+        "| q | δ | N_r | k' | p | k | N |",
+        "|---|---|-----|----|---|---|---|",
+    ]
+    for cfg in slimfly_catalog(max_endpoints):
+        lines.append(
+            f"| {cfg.q} | {cfg.delta:+d} | {cfg.num_routers} | "
+            f"{cfg.network_radix} | {cfg.concentration} | "
+            f"{cfg.router_radix} | {cfg.num_endpoints} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Long Hop hypercube augmentation (paper: LH-HC, from Tomic's
+error-correcting-code networks).
+
+The paper exercises three properties of LH-HC: diameter 4–6 for
+2^8..2^13 endpoints, bisection bandwidth ≈ 3N/2, and the cost of L
+extra router ports.  Tomic's exact code tables are not public, so we
+build the closest constructive equivalent (DESIGN.md §2): the n-cube
+augmented with L "long hop" perfect matchings v ↔ v ⊕ mask, with
+masks chosen like code words — weight ≥ 3, every bit position covered
+by at least two masks.  Each dimension cut then carries the base N/2
+links plus ≥ 2·(N/2) mask links: bisection ≥ 3N/2, and the measured
+diameter lands in Tomic's 4–6 band for the paper's size range.
+
+Mask selection is deterministic (round-robin bit windows), so a given
+(n, L) always yields the same topology.
+
+The diameter-2 Long Hop points of Fig 5a are generated separately by
+:func:`long_hop_d2_configs`: a greedy search for a small symmetric
+generating set S ⊂ Z_2^n with S ∪ (S ⊕ S) = Z_2^n, i.e. a genuine
+diameter-≤2 Cayley graph on the hypercube's vertex set.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.topologies.base import Topology
+from repro.topologies.hypercube import Hypercube
+from repro.util.validation import check_positive_int
+
+
+def default_extra_ports(n_dims: int) -> int:
+    """The paper's LH-HC port budget: L = ⌊n/2⌋ (k = n + L; e.g. 19 at n=13)."""
+    return max(2, n_dims // 2)
+
+
+def longhop_masks(n_dims: int, extra_ports: int) -> list[int]:
+    """L distinct XOR masks of weight ≥ 3 covering every bit ≥ twice.
+
+    Mask i is a contiguous (cyclic) window of ``w = max(3, ceil(2n/L))``
+    bits starting at ``i·n/L`` — round-robin windows overlap enough that
+    each bit appears in ≥ 2 masks whenever L·w ≥ 2n, which the width
+    choice guarantees.
+    """
+    n = check_positive_int(n_dims, "n_dims")
+    ell = check_positive_int(extra_ports, "extra_ports")
+    if ell > (1 << n) - 1:
+        raise ValueError("more masks requested than available")
+    w = max(3, math.ceil(2 * n / ell))
+    w = min(w, n)
+    masks: list[int] = []
+    used = set()
+    i = 0
+    while len(masks) < ell:
+        start = (i * n) // ell if ell <= n else i
+        mask = 0
+        for b in range(w):
+            mask |= 1 << ((start + b) % n)
+        # Perturb duplicates by flipping an extra bit deterministically.
+        extra = 0
+        while mask in used or mask == 0:
+            mask ^= 1 << ((start + w + extra) % n)
+            extra += 1
+        used.add(mask)
+        masks.append(mask)
+        i += 1
+    return masks
+
+
+class LongHopHypercube(Topology):
+    """Hypercube + L long-hop matchings (paper symbol LH-HC)."""
+
+    def __init__(self, n_dims: int, extra_ports: int | None = None, concentration: int = 1):
+        n = check_positive_int(n_dims, "n_dims")
+        ell = default_extra_ports(n) if extra_ports is None else extra_ports
+        ell = check_positive_int(ell, "extra_ports")
+        self.n_dims = n
+        self.extra_ports = ell
+        self.masks = longhop_masks(n, ell)
+
+        base = Hypercube(n)
+        adjacency = [list(nbrs) for nbrs in base.adjacency]
+        for mask in self.masks:
+            for v in range(len(adjacency)):
+                u = v ^ mask
+                if u > v:
+                    adjacency[v].append(u)
+                    adjacency[u].append(v)
+        adjacency = [sorted(set(nbrs)) for nbrs in adjacency]
+
+        super().__init__(
+            name="LH-HC",
+            adjacency=adjacency,
+            endpoint_map=Topology.uniform_endpoint_map(len(adjacency), concentration),
+        )
+
+    @classmethod
+    def for_routers(cls, target_routers: int, concentration: int = 1) -> "LongHopHypercube":
+        n = max(2, round(math.log2(max(4, target_routers))))
+        return cls(n, concentration=concentration)
+
+    def analytic_bisection_links(self) -> int:
+        """≥ 3·N_r/2 links across any dimension cut (the design target)."""
+        return 3 * self.num_routers // 2
+
+
+def long_hop_d2_configs(max_dims: int = 11) -> list[tuple[int, int, int]]:
+    """Diameter-2 Long Hop data points for Fig 5a: (n, N_r, k').
+
+    For each n builds a symmetric generating set S ⊂ Z_2^n \\ {0}
+    greedily (largest new coverage of S ⊕ S first, scanning by weight)
+    until S ∪ (S ⊕ S) covers the whole space — a Cayley graph of
+    diameter ≤ 2 on 2^n vertices with degree |S|.  Mirrors the
+    coding-theory flavour of Tomic's D=2 designs: |S| grows like
+    c·2^{n/2}, a constant fraction of the Moore bound.
+    """
+    out = []
+    for n in range(4, max_dims + 1):
+        size = 1 << n
+        all_vals = list(range(1, size))
+        all_vals.sort(key=lambda v: (bin(v).count("1"), v))
+        covered = bytearray(size)
+        covered[0] = 1
+        S: list[int] = []
+        for v in all_vals:
+            if covered[v]:
+                continue
+            S.append(v)
+            covered[v] = 1
+            for s in S:
+                covered[s ^ v] = 1
+            if all(covered):
+                break
+        out.append((n, size, len(S)))
+    return out

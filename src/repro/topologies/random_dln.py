@@ -1,0 +1,118 @@
+"""DLN random-shortcut topologies (Koibuchi et al., paper §III).
+
+DLN-2-y starts from a ring (degree 2) and adds ``y`` random shortcuts
+per router — realised here, as in the original work, by overlaying
+``y`` random perfect matchings so the degree stays uniform at 2 + y.
+The paper's balanced concentration is p = ⌊√k⌋.
+
+Construction is seeded and retries matchings that would duplicate an
+existing edge; for odd router counts one router per matching round
+stays unmatched (degree then varies by at most y), which mirrors the
+published generator's behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.topologies.base import Topology
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive_int
+
+
+class RandomDLN(Topology):
+    """Ring plus ``shortcuts_per_router`` random matchings."""
+
+    def __init__(
+        self,
+        num_routers: int,
+        shortcuts_per_router: int,
+        concentration: int,
+        seed=None,
+    ):
+        nr = check_positive_int(num_routers, "num_routers")
+        y = check_positive_int(shortcuts_per_router, "shortcuts_per_router")
+        check_positive_int(concentration, "concentration")
+        if nr < 4:
+            raise ValueError("DLN needs at least 4 routers")
+        if y > nr - 3:
+            raise ValueError(f"cannot add {y} distinct shortcuts to {nr} routers")
+        self.shortcuts_per_router = y
+        rng = make_rng(seed)
+
+        neighbor_sets: list[set[int]] = [set() for _ in range(nr)]
+        for v in range(nr):  # base ring
+            neighbor_sets[v].add((v + 1) % nr)
+            neighbor_sets[v].add((v - 1) % nr)
+
+        for _ in range(y):
+            self._add_matching(neighbor_sets, rng)
+
+        adjacency = [sorted(s) for s in neighbor_sets]
+        super().__init__(
+            name="DLN",
+            adjacency=adjacency,
+            endpoint_map=Topology.uniform_endpoint_map(nr, concentration),
+        )
+
+    @staticmethod
+    def _add_matching(neighbor_sets: list[set[int]], rng, max_attempts: int = 200) -> None:
+        """Overlay one random perfect matching avoiding duplicate edges.
+
+        Random-permutation pairing with bounded retries; leftover
+        unpaired routers (odd counts or unlucky duplicates) are simply
+        skipped for this round, keeping degrees within spec.
+        """
+        nr = len(neighbor_sets)
+        for _ in range(max_attempts):
+            order = rng.permutation(nr)
+            pairs = []
+            ok = True
+            for i in range(0, nr - 1, 2):
+                u, v = int(order[i]), int(order[i + 1])
+                if v in neighbor_sets[u]:
+                    ok = False
+                    break
+                pairs.append((u, v))
+            if ok:
+                for u, v in pairs:
+                    neighbor_sets[u].add(v)
+                    neighbor_sets[v].add(u)
+                return
+        # Fallback: greedy pairing that tolerates a few skipped routers.
+        order = list(rng.permutation(nr))
+        unpaired = set(order)
+        for u in order:
+            if u not in unpaired:
+                continue
+            unpaired.discard(u)
+            for v in order:
+                if v in unpaired and v not in neighbor_sets[u]:
+                    unpaired.discard(v)
+                    neighbor_sets[u].add(v)
+                    neighbor_sets[v].add(u)
+                    break
+
+    @classmethod
+    def balanced(cls, router_radix: int, num_routers: int, seed=None) -> "RandomDLN":
+        """The paper's balanced DLN: p = ⌊√k⌋, degree k − p (ring + shortcuts)."""
+        k = check_positive_int(router_radix, "router_radix")
+        p = max(1, math.isqrt(k))
+        degree = k - p
+        if degree < 3:
+            raise ValueError(f"router radix {k} too small for a DLN")
+        return cls(
+            num_routers=num_routers,
+            shortcuts_per_router=degree - 2,
+            concentration=p,
+            seed=seed,
+        )
+
+    @classmethod
+    def for_endpoints(
+        cls, target_endpoints: int, router_radix: int, seed=None
+    ) -> "RandomDLN":
+        """Balanced DLN with ≈ ``target_endpoints`` at the given radix."""
+        p = max(1, math.isqrt(router_radix))
+        nr = max(4, round(target_endpoints / p))
+        return cls.balanced(router_radix, nr, seed=seed)

@@ -1,0 +1,106 @@
+"""Balanced-configuration builders keyed by paper symbol.
+
+The paper's comparisons always use *balanced* (full-global-bandwidth)
+variants with the concentrations of §III:
+
+    p = ⌊(k+1)/4⌋ (DF), ⌊(k+3)/4⌋ (FBF-3), ⌊√k⌋ (DLN), ⌊k/2⌋ (FT-3),
+    p = 1 (T3D, T5D, HC, LH-HC), p = ⌈k'/2⌉ (SF).
+
+:func:`balanced_instance` returns the constructible instance of a
+topology whose endpoint count is closest to a target — the common
+operation behind Fig 1, Fig 5c, Table III, and the cost sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.topologies.base import Topology
+from repro.topologies.dragonfly import Dragonfly
+from repro.topologies.fattree import FatTree3
+from repro.topologies.flattened_butterfly import FlattenedButterfly
+from repro.topologies.hypercube import Hypercube
+from repro.topologies.longhop import LongHopHypercube
+from repro.topologies.random_dln import RandomDLN
+from repro.topologies.slimfly import SlimFly
+from repro.topologies.torus import Torus
+
+
+def _sf(target: int, seed=None) -> Topology:
+    return SlimFly.for_endpoints(target)
+
+
+def _df(target: int, seed=None) -> Topology:
+    return Dragonfly.for_endpoints(target)
+
+
+def _ft3(target: int, seed=None) -> Topology:
+    return FatTree3.for_endpoints(target)
+
+
+def _fbf3(target: int, seed=None) -> Topology:
+    return FlattenedButterfly.for_endpoints(3, target)
+
+
+def _hc(target: int, seed=None) -> Topology:
+    return Hypercube.for_routers(target)
+
+
+def _t3d(target: int, seed=None) -> Topology:
+    return Torus.cube(3, target)
+
+
+def _t5d(target: int, seed=None) -> Topology:
+    return Torus.cube(5, target)
+
+
+def _dln(target: int, seed=None) -> Topology:
+    # Radix matched to the comparable Slim Fly, as the paper's
+    # same-k comparisons do.
+    sf = SlimFly.for_endpoints(target)
+    return RandomDLN.for_endpoints(target, router_radix=sf.router_radix, seed=seed)
+
+
+def _lh(target: int, seed=None) -> Topology:
+    return LongHopHypercube.for_routers(target)
+
+
+TOPOLOGY_BUILDERS: dict[str, Callable[..., Topology]] = {
+    "SF": _sf,
+    "DF": _df,
+    "FT-3": _ft3,
+    "FBF-3": _fbf3,
+    "HC": _hc,
+    "T3D": _t3d,
+    "T5D": _t5d,
+    "DLN": _dln,
+    "LH-HC": _lh,
+}
+
+#: Display order used by the figures (paper legend order).
+TOPOLOGY_ORDER = ["T3D", "HC", "T5D", "LH-HC", "FT-3", "FBF-3", "DF", "DLN", "SF"]
+
+
+def balanced_instance(name: str, target_endpoints: int, seed=None) -> Topology:
+    """Balanced instance of topology ``name`` with N ≈ target_endpoints."""
+    try:
+        builder = TOPOLOGY_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; choose from {sorted(TOPOLOGY_BUILDERS)}"
+        ) from None
+    return builder(target_endpoints, seed=seed)
+
+
+def balanced_config_sweep(
+    name: str, targets: list[int], seed=None
+) -> list[Topology]:
+    """Balanced instances of ``name`` near each target size, deduplicated."""
+    seen: set[int] = set()
+    out: list[Topology] = []
+    for t in targets:
+        topo = balanced_instance(name, t, seed=seed)
+        if topo.num_endpoints not in seen:
+            seen.add(topo.num_endpoints)
+            out.append(topo)
+    return out

@@ -1,0 +1,82 @@
+"""The Slim Fly topology (paper §II): MMS router graph + endpoints.
+
+:class:`SlimFly` wraps :class:`repro.core.mms.MMSGraph` in the common
+:class:`~repro.topologies.base.Topology` interface, attaching the
+balanced concentration p = ⌈k'/2⌉ by default (§II-B2), or any caller-
+specified p for the oversubscription studies (§V-E).
+"""
+
+from __future__ import annotations
+
+from repro.core.balance import balanced_concentration
+from repro.core.mms import MMSGraph, mms_q_values
+from repro.topologies.base import Topology
+
+
+class SlimFly(Topology):
+    """Slim Fly SF MMS.
+
+    Use :meth:`from_q` (preferred) or :meth:`for_endpoints`.
+
+    Attributes
+    ----------
+    mms:
+        The underlying :class:`MMSGraph`, exposing the algebraic
+        structure (q, δ, generator sets, subgraph/group labels) used by
+        the physical layout and the worst-case traffic generator.
+    """
+
+    def __init__(self, mms: MMSGraph, concentration: int | None = None):
+        self.mms = mms
+        p = (
+            concentration
+            if concentration is not None
+            else balanced_concentration(mms.num_routers, mms.network_radix)
+        )
+        if p < 1:
+            raise ValueError(f"concentration must be >= 1, got {p}")
+        super().__init__(
+            name="SF",
+            adjacency=mms.adjacency,
+            endpoint_map=Topology.uniform_endpoint_map(mms.num_routers, p),
+        )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_q(cls, q: int, concentration: int | None = None) -> "SlimFly":
+        """Build the Slim Fly for prime power q (balanced p unless given)."""
+        return cls(MMSGraph(q), concentration=concentration)
+
+    @classmethod
+    def for_endpoints(cls, target_endpoints: int, max_q: int = 200) -> "SlimFly":
+        """The balanced Slim Fly with N closest to ``target_endpoints``."""
+        from repro.core.catalog import find_slimfly_for_endpoints
+
+        cfg = find_slimfly_for_endpoints(target_endpoints, max_q=max_q)
+        return cls.from_q(cfg.q)
+
+    @classmethod
+    def available_q(cls, limit: int = 200) -> list[int]:
+        """Valid construction parameters q ≤ limit."""
+        return mms_q_values(limit)
+
+    # -- structure accessors used by layout / adversarial traffic -------------
+
+    @property
+    def q(self) -> int:
+        return self.mms.q
+
+    @property
+    def delta(self) -> int:
+        return self.mms.delta
+
+    def router_group(self, router: int) -> tuple[int, int]:
+        """(subgraph, column) — the modular building block of §VI-A."""
+        return self.mms.group_of(router)
+
+    def is_oversubscribed(self) -> bool:
+        """§V-E: True when p exceeds the balanced concentration."""
+        return self.concentration > balanced_concentration(
+            self.num_routers, self.network_radix
+        )

@@ -1,0 +1,112 @@
+"""k-ary n-dimensional torus topologies (paper Table II: T3D, T5D).
+
+Routers sit on an n-dimensional grid with wrap-around links in every
+dimension: the Cray Gemini 3D torus and Blue Gene/Q 5D torus patterns.
+The paper uses concentration p = 1 for tori (following the cited
+deployment practice) and models them with electric cabling only (the
+"folded" physical arrangement, §VI-B3a).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.util.validation import check_positive_int
+
+
+class Torus(Topology):
+    """An n-dimensional torus with per-dimension sizes ``dims``.
+
+    Dimensions of size 1 are rejected (self-loop); size-2 dimensions
+    contribute a single link (not a parallel pair), as in real
+    machines.
+    """
+
+    def __init__(self, dims: tuple[int, ...], concentration: int = 1):
+        dims = tuple(int(d) for d in dims)
+        if not dims:
+            raise ValueError("torus needs at least one dimension")
+        for d in dims:
+            if d < 2:
+                raise ValueError(f"torus dimensions must be >= 2, got {dims}")
+        check_positive_int(concentration, "concentration")
+        self.dims = dims
+        n = int(np.prod(dims))
+        adjacency = self._build(dims, n)
+        super().__init__(
+            name=f"T{len(dims)}D",
+            adjacency=adjacency,
+            endpoint_map=Topology.uniform_endpoint_map(n, concentration),
+        )
+
+    @staticmethod
+    def _build(dims: tuple[int, ...], n: int) -> list[list[int]]:
+        strides = [1] * len(dims)
+        for i in range(len(dims) - 2, -1, -1):
+            strides[i] = strides[i + 1] * dims[i + 1]
+
+        adjacency: list[list[int]] = [[] for _ in range(n)]
+        for coord in itertools.product(*(range(d) for d in dims)):
+            v = sum(c * s for c, s in zip(coord, strides))
+            for axis, d in enumerate(dims):
+                for step in (1, -1):
+                    c2 = list(coord)
+                    c2[axis] = (c2[axis] + step) % d
+                    u = sum(c * s for c, s in zip(c2, strides))
+                    if u != v and u not in adjacency[v]:
+                        adjacency[v].append(u)
+        return adjacency
+
+    @classmethod
+    def cube(cls, n_dims: int, target_routers: int, concentration: int = 1) -> "Torus":
+        """Near-cubic torus with ≥ 2 routers per dimension, N_r ≈ target.
+
+        Picks the per-dimension size ``round(target ** (1/n))`` (min 2)
+        and nudges the first dimensions up/down to approach the target,
+        mirroring how deployments pick torus shapes.
+        """
+        base = max(2, round(target_routers ** (1.0 / n_dims)))
+        dims = [base] * n_dims
+        # Greedy nudge: grow/shrink dimensions while it improves.
+        def total(ds):
+            return int(np.prod(ds))
+
+        improved = True
+        while improved:
+            improved = False
+            for i in range(n_dims):
+                for delta in (1, -1):
+                    cand = list(dims)
+                    cand[i] += delta
+                    if cand[i] < 2:
+                        continue
+                    if abs(total(cand) - target_routers) < abs(
+                        total(dims) - target_routers
+                    ):
+                        dims = cand
+                        improved = True
+        return cls(tuple(sorted(dims, reverse=True)), concentration)
+
+    def analytic_diameter(self) -> int:
+        """sum(⌊d_i/2⌋) — Table II's ⌈(n/2)·N_r^{1/n}⌉ for even cubic shapes."""
+        return sum(d // 2 for d in self.dims)
+
+    def analytic_average_distance(self) -> float:
+        """Exact closed-form average over distinct router pairs.
+
+        Per dimension of size d the mean ring distance is d/4 (even d)
+        or (d²−1)/(4d) (odd d); dimensions are independent, and the
+        all-pairs mean (including self) scales by N/(N−1) for the
+        distinct-pairs mean.
+        """
+        n = self.num_routers
+        mean_with_self = 0.0
+        for d in self.dims:
+            if d % 2 == 0:
+                mean_with_self += d / 4.0
+            else:
+                mean_with_self += (d * d - 1) / (4.0 * d)
+        return mean_with_self * n / (n - 1)

@@ -1,0 +1,39 @@
+"""Traffic patterns for the performance evaluation (paper §V).
+
+- :mod:`repro.traffic.patterns` — uniform random plus the base class.
+- :mod:`repro.traffic.permutations` — bit permutations (shuffle, bit
+  reversal, bit complement) and the shift pattern (§V-B).
+- :mod:`repro.traffic.adversarial` — the Slim Fly worst-case pattern
+  of §V-C (Fig 9), the Dragonfly group-to-group worst case, and the
+  fat-tree cross-pod (core-stressing) worst case.
+"""
+
+from repro.traffic.patterns import TrafficPattern, UniformRandom, FixedPermutation
+from repro.traffic.permutations import (
+    ShufflePattern,
+    BitReversalPattern,
+    BitComplementPattern,
+    ShiftPattern,
+    active_power_of_two,
+)
+from repro.traffic.adversarial import (
+    SlimFlyWorstCase,
+    DragonflyWorstCase,
+    FatTreeWorstCase,
+    worst_case_for,
+)
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandom",
+    "FixedPermutation",
+    "ShufflePattern",
+    "BitReversalPattern",
+    "BitComplementPattern",
+    "ShiftPattern",
+    "active_power_of_two",
+    "SlimFlyWorstCase",
+    "DragonflyWorstCase",
+    "FatTreeWorstCase",
+    "worst_case_for",
+]

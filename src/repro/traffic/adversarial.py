@@ -1,0 +1,148 @@
+"""Worst-case (adversarial) traffic patterns (paper §V-C, Fig 9).
+
+**Slim Fly** (Fig 9): pick a link (R_x, R_y).  Senders are placed on
+routers R_1..R_a adjacent to R_y whose *only* minimal path to R_x runs
+through R_y (in a near-Moore diameter-2 graph the two-hop path between
+non-adjacent routers is essentially unique, which is what makes the
+pattern adversarial); they exchange traffic with the endpoints of R_x.
+Symmetrically, routers adjacent to R_x whose minimal path to R_y runs
+through R_x exchange traffic with R_y's endpoints.  Every flow in both
+directions crosses the single (R_x, R_y) cable.  The generator repeats
+this over disjoint links "until all possibilities are exhausted", and
+pairs endpoints one-to-one so the pattern never overloads an endpoint
+(the paper's admissibility requirement).
+
+**Dragonfly** (Kim et al. §4.2): group g sends to group g+1 — all
+minimal traffic of a group funnels through one global cable.
+
+**Fat tree**: a cross-pod permutation, forcing every packet through
+the core level.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+from repro.topologies.dragonfly import Dragonfly
+from repro.topologies.fattree import FatTree3
+from repro.traffic.patterns import FixedPermutation
+from repro.util.rng import make_rng
+
+
+def _pair(mapping: dict[int, int], senders: list[int], receivers: list[int]) -> None:
+    """Bidirectional one-to-one pairing (a partial permutation)."""
+    for s, r in zip(senders, receivers):
+        mapping[s] = r
+        mapping[r] = s
+
+
+class SlimFlyWorstCase(FixedPermutation):
+    """The Fig 9 pattern as an admissible endpoint permutation."""
+
+    name = "sf-worstcase"
+
+    def __init__(self, topology: Topology, tables=None, seed=None):
+        if tables is None:
+            from repro.routing.tables import RoutingTables
+
+            tables = RoutingTables(topology.adjacency)
+        mapping = self._build(topology, tables, make_rng(seed))
+        super().__init__(mapping, name=self.name)
+        self.topology = topology
+
+    @staticmethod
+    def _victims(topology: Topology, tables, rx: int, ry: int, used: set[int]):
+        """Routers adjacent to ry whose minimal path to rx runs via ry."""
+        out = []
+        for r in topology.adjacency[ry]:
+            if r in (rx, ry) or r in used:
+                continue
+            if tables.distance(r, rx) != 2:
+                continue
+            # Unique-ish 2-hop path via ry: every minimal next hop is ry.
+            if tables.next_hop_candidates(r, rx) == [ry]:
+                out.append(r)
+        return out
+
+    @classmethod
+    def _build(cls, topology: Topology, tables, rng) -> dict[int, int]:
+        mapping: dict[int, int] = {}
+        used: set[int] = set()
+        eps = topology.endpoints_of_router
+        # Deterministic link scan; shuffled start for seed variety.
+        links = [(u, v) for u, nbrs in enumerate(topology.adjacency) for v in nbrs if u < v]
+        order = rng.permutation(len(links))
+        for idx in order:
+            rx, ry = links[idx]
+            if rx in used or ry in used:
+                continue
+            a_side = cls._victims(topology, tables, rx, ry, used)
+            b_side = cls._victims(topology, tables, ry, rx, used | set(a_side))
+            if not a_side or not b_side:
+                continue
+            p = len(eps[rx])
+            # One endpoint per A-router (spread over routers first).
+            a_endpoints: list[int] = []
+            for i in range(p):
+                router = a_side[i % len(a_side)]
+                slot = i // len(a_side)
+                if slot < len(eps[router]):
+                    a_endpoints.append(eps[router][slot])
+            b_endpoints: list[int] = []
+            for i in range(len(eps[ry])):
+                router = b_side[i % len(b_side)]
+                slot = i // len(b_side)
+                if slot < len(eps[router]):
+                    b_endpoints.append(eps[router][slot])
+            if not a_endpoints or not b_endpoints:
+                continue
+            _pair(mapping, a_endpoints, eps[rx])
+            _pair(mapping, b_endpoints, eps[ry])
+            used.update([rx, ry], a_side, b_side)
+        if not mapping:
+            raise RuntimeError("could not build a worst-case pattern (graph too small)")
+        return mapping
+
+
+class DragonflyWorstCase(FixedPermutation):
+    """Group g → group g+1: every flow shares one global cable."""
+
+    name = "df-worstcase"
+
+    def __init__(self, topology: Dragonfly):
+        g, a, p = topology.g, topology.a, topology.p_conc
+        per_group = a * p
+        mapping: dict[int, int] = {}
+        for ep in range(topology.num_endpoints):
+            grp, local = divmod(ep, per_group)
+            dst = ((grp + 1) % g) * per_group + local
+            if dst != ep:
+                mapping[ep] = dst
+        super().__init__(mapping, name=self.name)
+        self.topology = topology
+
+
+class FatTreeWorstCase(FixedPermutation):
+    """Cross-pod shift: every packet must climb to the core level."""
+
+    name = "ft-worstcase"
+
+    def __init__(self, topology: FatTree3):
+        p = topology.p
+        pod_size = p * p  # endpoints per pod
+        n = topology.num_endpoints
+        mapping: dict[int, int] = {}
+        for ep in range(n):
+            dst = (ep + pod_size) % n
+            if dst != ep:
+                mapping[ep] = dst
+        super().__init__(mapping, name=self.name)
+        self.topology = topology
+
+
+def worst_case_for(topology: Topology, tables=None, seed=None) -> FixedPermutation:
+    """Dispatch the matching adversarial pattern for a topology."""
+    if isinstance(topology, Dragonfly):
+        return DragonflyWorstCase(topology)
+    if isinstance(topology, FatTree3):
+        return FatTreeWorstCase(topology)
+    return SlimFlyWorstCase(topology, tables=tables, seed=seed)

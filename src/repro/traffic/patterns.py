@@ -1,0 +1,70 @@
+"""Traffic-pattern base class and uniform random traffic (§V-A).
+
+A pattern answers two questions for the injection process: which
+endpoints inject at all (``active_endpoints``), and where a given
+source sends (``destination``).  Destinations may be stochastic
+(uniform random draws a fresh destination per packet) or fixed
+(permutations, adversarial patterns).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.topologies.base import Topology
+
+
+class TrafficPattern(ABC):
+    """Interface consumed by :class:`repro.sim.engine.SimEngine`."""
+
+    name: str = "traffic"
+
+    @abstractmethod
+    def destination(self, src_endpoint: int, rng) -> int | None:
+        """Destination endpoint for a packet from ``src_endpoint``.
+
+        ``None`` means the source stays idle for this packet slot.
+        """
+
+    def active_endpoints(self, topology: Topology) -> list[int]:
+        """Endpoints that inject (defaults to all)."""
+        return list(range(topology.num_endpoints))
+
+
+class UniformRandom(TrafficPattern):
+    """Each packet draws a uniform random destination ≠ source (§V-A).
+
+    Represents irregular workloads: graph computations, sparse linear
+    algebra, adaptive mesh refinement.
+    """
+
+    name = "uniform"
+
+    def __init__(self, num_endpoints: int):
+        if num_endpoints < 2:
+            raise ValueError("uniform traffic needs at least 2 endpoints")
+        self.num_endpoints = num_endpoints
+
+    def destination(self, src_endpoint: int, rng) -> int:
+        dst = int(rng.integers(self.num_endpoints - 1))
+        return dst if dst < src_endpoint else dst + 1
+
+
+class FixedPermutation(TrafficPattern):
+    """An arbitrary fixed endpoint permutation (building block)."""
+
+    name = "permutation"
+
+    def __init__(self, mapping: dict[int, int], name: str | None = None):
+        self.mapping = dict(mapping)
+        if name:
+            self.name = name
+        for s, d in self.mapping.items():
+            if s == d:
+                raise ValueError(f"self-directed traffic at endpoint {s}")
+
+    def destination(self, src_endpoint: int, rng) -> int | None:
+        return self.mapping.get(src_endpoint)
+
+    def active_endpoints(self, topology: Topology) -> list[int]:
+        return sorted(self.mapping)

@@ -1,0 +1,93 @@
+"""Bit-permutation and shift patterns (paper §V-B).
+
+The paper evaluates collectives via address-bit permutations.  Since
+they need a power-of-two endpoint count, "we artificially prevent some
+endpoints from sending and receiving packets": only the largest
+2^b ≤ N endpoints are active (:func:`active_power_of_two`).
+
+With b address bits, s_i the i-th source bit and d_i the i-th
+destination bit:
+
+- shuffle:        d_i = s_{(i−1) mod b}   (cyclic left rotate)
+- bit reversal:   d_i = s_{b−i−1}
+- bit complement: d_i = ¬s_i
+- shift:          d = (s mod N/2) + N/2 or (s mod N/2), p = 1/2 each
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+from repro.traffic.patterns import TrafficPattern
+
+
+def active_power_of_two(num_endpoints: int) -> int:
+    """Largest power of two ≤ num_endpoints (the active-endpoint count)."""
+    if num_endpoints < 2:
+        raise ValueError("need at least 2 endpoints")
+    return 1 << (num_endpoints.bit_length() - 1)
+
+
+class _BitPattern(TrafficPattern):
+    """Shared machinery: fixed bit-level map on 2^b active endpoints."""
+
+    def __init__(self, num_endpoints: int):
+        self.size = active_power_of_two(num_endpoints)
+        self.bits = self.size.bit_length() - 1
+
+    def active_endpoints(self, topology: Topology) -> list[int]:
+        return list(range(self.size))
+
+    def _map(self, src: int) -> int:
+        raise NotImplementedError
+
+    def destination(self, src_endpoint: int, rng) -> int | None:
+        if src_endpoint >= self.size:
+            return None
+        dst = self._map(src_endpoint)
+        return None if dst == src_endpoint else dst
+
+
+class ShufflePattern(_BitPattern):
+    """d_i = s_{(i−1) mod b}: rotate address bits left by one."""
+
+    name = "shuffle"
+
+    def _map(self, src: int) -> int:
+        b = self.bits
+        return ((src << 1) | (src >> (b - 1))) & (self.size - 1)
+
+
+class BitReversalPattern(_BitPattern):
+    """d_i = s_{b−i−1}: reverse the address bits."""
+
+    name = "bitrev"
+
+    def _map(self, src: int) -> int:
+        out = 0
+        for i in range(self.bits):
+            if src & (1 << i):
+                out |= 1 << (self.bits - 1 - i)
+        return out
+
+
+class BitComplementPattern(_BitPattern):
+    """d_i = ¬s_i: flip every address bit."""
+
+    name = "bitcomp"
+
+    def _map(self, src: int) -> int:
+        return ~src & (self.size - 1)
+
+
+class ShiftPattern(_BitPattern):
+    """§V-B shift: d = (s mod N/2) + N/2 or (s mod N/2), equal odds."""
+
+    name = "shift"
+
+    def destination(self, src_endpoint: int, rng) -> int | None:
+        if src_endpoint >= self.size:
+            return None
+        half = self.size // 2
+        base = src_endpoint % half
+        dst = base + half if rng.random() < 0.5 else base
+        return None if dst == src_endpoint else dst

@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG helpers, ASCII tables, data series, validation.
+
+These are small, dependency-light helpers used across the library; they
+carry no domain logic of their own.
+"""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import ascii_table, format_row
+from repro.util.series import Series, SeriesBundle
+from repro.util.validation import (
+    check_positive_int,
+    check_in_range,
+    check_probability,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "ascii_table",
+    "format_row",
+    "Series",
+    "SeriesBundle",
+    "check_positive_int",
+    "check_in_range",
+    "check_probability",
+]

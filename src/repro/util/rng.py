@@ -1,0 +1,45 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library (random topologies, Valiant
+path selection, Bernoulli injection, failure sampling) accepts either a
+seed or a ready-made :class:`numpy.random.Generator`.  Centralising the
+coercion here keeps experiments reproducible: the same seed always
+yields the same topology, traffic, and simulation outcome.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default seed used by experiments when the caller does not provide one.
+DEFAULT_SEED = 0x51F
+
+
+def make_rng(seed=None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an ``int`` seed, or an existing
+        ``Generator`` (returned unchanged so callers can thread one
+        generator through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, which guarantees
+    statistically independent streams — important when e.g. every
+    endpoint of the simulator owns its own injection process.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's bit stream.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

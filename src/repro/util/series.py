@@ -1,0 +1,93 @@
+"""Data-series containers for figure reproduction.
+
+A paper figure is a set of named (x, y) series.  :class:`Series` holds
+one curve; :class:`SeriesBundle` holds a figure's worth of curves plus
+axis labels, and renders them as aligned text for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Series:
+    """One named curve: parallel ``x`` and ``y`` sequences."""
+
+    name: str
+    x: list = field(default_factory=list)
+    y: list = field(default_factory=list)
+
+    def append(self, x, y) -> None:
+        self.x.append(x)
+        self.y.append(y)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def as_pairs(self) -> list[tuple]:
+        return list(zip(self.x, self.y))
+
+
+@dataclass
+class SeriesBundle:
+    """A figure: several curves sharing axis semantics."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+
+    def add(self, series: Series) -> Series:
+        self.series.append(series)
+        return series
+
+    def new(self, name: str) -> Series:
+        return self.add(Series(name))
+
+    def get(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named {name!r} in {self.title!r}")
+
+    @property
+    def names(self) -> list[str]:
+        return [s.name for s in self.series]
+
+    def render(self, max_points: int | None = None) -> str:
+        """Render every curve as ``name: (x, y) ...`` text lines."""
+        lines = [f"== {self.title} ==", f"x: {self.xlabel}   y: {self.ylabel}"]
+        for s in self.series:
+            pairs = s.as_pairs()
+            if max_points is not None and len(pairs) > max_points:
+                pairs = pairs[:: max(1, len(pairs) // max_points)]
+            body = "  ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in pairs)
+            lines.append(f"{s.name}: {body}")
+        return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def crossover(a: Series, b: Series) -> float | None:
+    """Return the first x at which curve ``a`` overtakes curve ``b``.
+
+    Used to check "where crossovers fall" claims; returns ``None`` when
+    the curves never cross over the shared x range.
+    """
+    shared = sorted(set(a.x) & set(b.x))
+    prev_sign = None
+    for x in shared:
+        ya = a.y[a.x.index(x)]
+        yb = b.y[b.x.index(x)]
+        sign = (ya > yb) - (ya < yb)
+        if prev_sign is not None and sign != 0 and sign != prev_sign:
+            return x
+        if sign != 0:
+            prev_sign = sign
+    return None

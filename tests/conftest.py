@@ -1,0 +1,48 @@
+"""Shared fixtures: small canonical instances reused across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.galois.field import GaloisField
+from repro.routing.tables import RoutingTables
+from repro.topologies import Dragonfly, FatTree3, SlimFly
+
+
+@pytest.fixture(scope="session")
+def gf5() -> GaloisField:
+    return GaloisField.get(5)
+
+
+@pytest.fixture(scope="session")
+def gf9() -> GaloisField:
+    """A non-prime field — exercises polynomial arithmetic."""
+    return GaloisField.get(9)
+
+
+@pytest.fixture(scope="session")
+def sf5() -> SlimFly:
+    """The Hoffman–Singleton Slim Fly: 50 routers, k'=7, p=4, N=200."""
+    return SlimFly.from_q(5)
+
+
+@pytest.fixture(scope="session")
+def sf7() -> SlimFly:
+    return SlimFly.from_q(7)
+
+
+@pytest.fixture(scope="session")
+def sf5_tables(sf5) -> RoutingTables:
+    return RoutingTables(sf5.adjacency)
+
+
+@pytest.fixture(scope="session")
+def df3() -> Dragonfly:
+    """Balanced Dragonfly h=3: 114 routers, N=342."""
+    return Dragonfly.balanced(3)
+
+
+@pytest.fixture(scope="session")
+def ft4() -> FatTree3:
+    """FT-3 with p=4: 48 switches, N=64."""
+    return FatTree3(4)

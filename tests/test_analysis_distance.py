@@ -1,0 +1,95 @@
+"""Tests for distance/diameter computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.distance import (
+    adjacency_to_csr,
+    average_distance,
+    bfs_distances,
+    diameter,
+    diameter_and_average_distance,
+    distance_matrix,
+    eccentricity,
+)
+
+
+def ring(n):
+    return [[(i - 1) % n, (i + 1) % n] for i in range(n)]
+
+
+def path(n):
+    adj = [[] for _ in range(n)]
+    for i in range(n - 1):
+        adj[i].append(i + 1)
+        adj[i + 1].append(i)
+    return adj
+
+
+class TestBFS:
+    def test_ring_distances(self):
+        d = bfs_distances(ring(8), 0)
+        assert list(d) == [0, 1, 2, 3, 4, 3, 2, 1]
+
+    def test_disconnected_marks_minus_one(self):
+        adj = [[1], [0], []]
+        d = bfs_distances(adj, 0)
+        assert d[2] == -1
+
+    def test_csr_roundtrip(self):
+        adj = ring(6)
+        csr = adjacency_to_csr(adj)
+        assert csr.shape == (6, 6)
+        assert csr.nnz == 12
+
+
+class TestDiameterAverage:
+    def test_ring(self):
+        d, avg = diameter_and_average_distance(ring(8))
+        assert d == 4
+        # ring of 8: distances 1,2,3,4,3,2,1 from any node; avg = 16/7
+        assert avg == pytest.approx(16 / 7)
+
+    def test_path_graph(self):
+        d, avg = diameter_and_average_distance(path(5))
+        assert d == 4
+
+    def test_single_vertex(self):
+        assert diameter_and_average_distance([[]]) == (0, 0.0)
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            diameter_and_average_distance([[1], [0], []])
+
+    def test_sampled_estimate_close(self):
+        adj = ring(64)
+        _, exact = diameter_and_average_distance(adj)
+        _, sampled = diameter_and_average_distance(adj, sources=16, seed=0)
+        # Ring is vertex-transitive: any source gives the exact average.
+        assert sampled == pytest.approx(exact)
+
+    def test_matches_distance_matrix(self):
+        adj = ring(10)
+        dm = distance_matrix(adj)
+        d, avg = diameter_and_average_distance(adj)
+        assert d == dm.max()
+        n = len(adj)
+        assert avg == pytest.approx(dm.sum() / (n * (n - 1)))
+
+    def test_convenience_wrappers(self):
+        adj = ring(6)
+        assert diameter(adj) == 3
+        assert average_distance(adj) == pytest.approx(9 / 5)
+        assert eccentricity(adj, 0) == 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 40))
+    def test_ring_closed_form(self, n):
+        d, avg = diameter_and_average_distance(ring(n))
+        assert d == n // 2
+        if n % 2 == 0:
+            expected = (n * n / 4) / (n - 1)
+        else:
+            expected = (n * n - 1) / 4 / (n - 1)
+        assert avg == pytest.approx(expected)

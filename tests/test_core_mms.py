@@ -1,0 +1,167 @@
+"""Tests for the MMS graph construction — the heart of the paper."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.distance import diameter_and_average_distance
+from repro.core.mms import MMSGraph, MMSParams, mms_delta, mms_q_values, valid_mms_q
+
+#: One q per delta class, prime and prime power each.
+REPRESENTATIVE_Q = [3, 4, 5, 7, 8, 9, 13]
+
+
+class TestParameters:
+    def test_delta_classes(self):
+        assert mms_delta(5) == 1
+        assert mms_delta(4) == 0
+        assert mms_delta(7) == -1
+        assert mms_delta(2) is None  # q ≡ 2 (mod 4)
+
+    def test_valid_q_list(self):
+        assert mms_q_values(30) == [3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29]
+
+    def test_invalid_q_rejected(self):
+        for q in (2, 6, 10, 12, 15, 21):
+            assert not valid_mms_q(q)
+            with pytest.raises(ValueError):
+                MMSParams.from_q(q)
+
+    def test_paper_configuration_q19(self):
+        """§V: the 10,830-endpoint network has Nr=722, k'=29."""
+        p = MMSParams.from_q(19)
+        assert p.num_routers == 722
+        assert p.network_radix == 29
+        assert p.delta == -1
+
+    def test_radix_formula(self):
+        for q in REPRESENTATIVE_Q:
+            p = MMSParams.from_q(q)
+            assert p.network_radix == (3 * q - p.delta) // 2
+            assert p.num_routers == 2 * q * q
+
+
+@pytest.fixture(scope="module", params=REPRESENTATIVE_Q)
+def mms(request):
+    return MMSGraph(request.param)
+
+
+class TestStructure:
+    def test_regular(self, mms):
+        k = mms.network_radix
+        assert all(len(nbrs) == k for nbrs in mms.adjacency)
+
+    def test_symmetric_no_loops(self, mms):
+        for u, nbrs in enumerate(mms.adjacency):
+            assert u not in nbrs
+            assert len(set(nbrs)) == len(nbrs)
+            for v in nbrs:
+                assert u in mms.adjacency[v]
+
+    def test_diameter_two(self, mms):
+        d, avg = diameter_and_average_distance(mms.adjacency)
+        assert d == 2
+        assert 1.0 < avg < 2.0
+
+    def test_vertex_count(self, mms):
+        assert len(mms.adjacency) == 2 * mms.q * mms.q
+
+    def test_generator_sets_partition_like(self, mms):
+        union = mms.X | mms.Xp
+        assert len(union) >= mms.q - 1
+        assert 0 not in union
+
+    def test_generator_sets_symmetric(self, mms):
+        f = mms.field
+        for s in mms.X:
+            assert f.neg(s) in mms.X
+        for s in mms.Xp:
+            assert f.neg(s) in mms.Xp
+
+    def test_full_validation(self, mms):
+        mms.validate()  # should not raise
+
+    def test_label_roundtrip(self, mms):
+        q = mms.q
+        for v in range(0, 2 * q * q, max(1, q)):
+            s, a, b = mms.vertex_label(v)
+            assert mms.vertex_id(s, a, b) == v
+            assert 0 <= s <= 1 and 0 <= a < q and 0 <= b < q
+
+
+class TestEquations:
+    """Edges follow Eq. (1)-(3) exactly."""
+
+    def test_eq1_subgraph0(self, mms):
+        f, q = mms.field, mms.q
+        for x in range(min(q, 3)):
+            for y in range(q):
+                u = mms.vertex_id(0, x, y)
+                for v in mms.adjacency[u]:
+                    s, x2, y2 = mms.vertex_label(v)
+                    if s == 0:
+                        assert x2 == x, "subgraph-0 edges stay within a column"
+                        assert f.sub(y, y2) in mms.X
+
+    def test_eq2_subgraph1(self, mms):
+        f, q = mms.field, mms.q
+        for m in range(min(q, 3)):
+            for c in range(q):
+                u = mms.vertex_id(1, m, c)
+                for v in mms.adjacency[u]:
+                    s, m2, c2 = mms.vertex_label(v)
+                    if s == 1:
+                        assert m2 == m
+                        assert f.sub(c, c2) in mms.Xp
+
+    def test_eq3_cross(self, mms):
+        f, q = mms.field, mms.q
+        for x in range(min(q, 3)):
+            for y in range(q):
+                u = mms.vertex_id(0, x, y)
+                cross = [v for v in mms.adjacency[u] if mms.vertex_label(v)[0] == 1]
+                assert len(cross) == q  # one per m
+                for v in cross:
+                    _, m, c = mms.vertex_label(v)
+                    assert y == f.add(f.mul(m, x), c)
+
+
+class TestHoffmanSingleton:
+    """q=5 yields the Hoffman–Singleton graph: the unique (7,5)-Moore graph."""
+
+    def test_is_moore_graph(self):
+        g = MMSGraph(5)
+        assert g.num_routers == 50
+        assert g.network_radix == 7
+        d, _ = diameter_and_average_distance(g.adjacency)
+        assert d == 2
+        # Moore graph: girth 5 -> no common neighbour for adjacent pairs,
+        # exactly one for non-adjacent pairs.
+        adj_sets = [set(nbrs) for nbrs in g.adjacency]
+        for u in range(50):
+            for v in range(u + 1, 50):
+                common = len(adj_sets[u] & adj_sets[v])
+                if v in adj_sets[u]:
+                    assert common == 0
+                else:
+                    assert common == 1
+
+    def test_num_edges(self):
+        g = MMSGraph(5)
+        assert len(g.edges()) == 175
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from(mms_q_values(17)))
+def test_property_every_valid_q_builds_diameter2(q):
+    g = MMSGraph(q)
+    d, _ = diameter_and_average_distance(g.adjacency)
+    assert d == 2
+    assert all(len(n) == g.network_radix for n in g.adjacency)
+
+
+def test_networkx_export():
+    g = MMSGraph(5)
+    nxg = g.to_networkx()
+    assert nxg.number_of_nodes() == 50
+    assert nxg.number_of_edges() == 175
+    assert nxg.nodes[0]["subgraph"] == 0

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script parses, imports, and exposes main().
+
+Running the examples end-to-end takes minutes (they sweep the
+simulator); correctness of the underlying calls is covered by the unit
+and integration suites, so here we assert the scripts are importable
+and their entry points exist — the failure mode that actually bites
+shipped examples.
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_imports(path):
+    # Parse (catches syntax errors with a clear message).
+    tree = ast.parse(path.read_text())
+    # Has a main() and a __main__ guard.
+    names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in names, f"{path.name} lacks a main() function"
+    assert "__main__" in path.read_text()
+    # Import executes top-level code (the import block) without running main.
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)
+
+
+def test_at_least_three_examples():
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,84 @@
+"""Integration tests: every experiment runs at quick scale and its
+paper-shape notes hold (no SHAPE VIOLATION markers)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.runner import ALL_ORDER, EXPERIMENTS, build_parser, run_experiment
+
+FAST_EXPERIMENTS = [
+    "fig1", "fig5a", "fig5b", "fig5c", "table2", "table3",
+    "table4", "costmodel", "fig11-cost", "fig11-power",
+]
+
+
+class TestRegistry:
+    def test_all_order_registered(self):
+        for name in ALL_ORDER:
+            assert name in EXPERIMENTS
+
+    def test_parser(self):
+        args = build_parser().parse_args(["fig1", "--scale", "quick"])
+        assert args.experiment == "fig1"
+        assert args.scale == "quick"
+
+    def test_scale_coercion(self):
+        assert Scale.coerce("paper") is Scale.PAPER
+        assert Scale.coerce(Scale.QUICK) is Scale.QUICK
+        with pytest.raises(ValueError):
+            Scale.coerce("huge")
+
+
+@pytest.mark.parametrize("name", FAST_EXPERIMENTS)
+def test_experiment_runs_and_shapes_hold(name):
+    result = run_experiment(name, Scale.QUICK, seed=0)
+    assert isinstance(result, ExperimentResult)
+    assert result.tables or result.bundles
+    rendered = result.render()
+    assert "SHAPE VIOLATION" not in rendered
+    assert len(rendered) > 100
+
+
+class TestResultRendering:
+    def test_render_contains_tables_and_series(self):
+        result = run_experiment("fig5a", Scale.QUICK, seed=0)
+        text = result.render()
+        assert "Moore Bound 2" in text
+        assert "Slim Fly MMS" in text
+
+    def test_notes_survive(self):
+        result = run_experiment("table2", Scale.QUICK, seed=0)
+        assert any("shape holds" in n for n in result.notes)
+
+
+class TestVCCountsExperiment:
+    def test_runs(self):
+        result = run_experiment("vc-counts", Scale.QUICK, seed=0)
+        assert "SHAPE VIOLATION" not in result.render()
+        # Gopal columns must all verify.
+        headers, rows = result.tables[0]
+        for row in rows[:-1]:  # SF rows
+            assert row[2] is True
+            assert row[3] is True
+
+
+class TestResiliencyExperiments:
+    def test_diameter_variant(self):
+        result = run_experiment("res-diameter", Scale.QUICK, seed=0)
+        assert result.tables[0][1]  # non-empty rows
+
+    def test_pathlen_variant(self):
+        result = run_experiment("res-pathlen", Scale.QUICK, seed=0)
+        assert result.tables[0][1]
+
+
+class TestAblations:
+    def test_val_cap_ablation(self):
+        result = run_experiment("ablate-val", Scale.QUICK, seed=0)
+        assert "SHAPE VIOLATION" not in result.render()
+        headers, rows = result.tables[0]
+        assert len(rows) == 2
+
+    def test_primitive_element_ablation(self):
+        result = run_experiment("ablate-xi", Scale.QUICK, seed=0)
+        assert any("shape holds" in n for n in result.notes)

@@ -1,0 +1,112 @@
+"""Tests for polynomial arithmetic over GF(p)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.galois.polynomials import (
+    find_irreducible,
+    is_irreducible,
+    poly_add,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_trim,
+)
+
+PRIMES = [2, 3, 5, 7]
+
+
+def coeffs(p, max_deg=6):
+    return st.lists(st.integers(0, p - 1), min_size=0, max_size=max_deg)
+
+
+class TestBasics:
+    def test_trim(self):
+        assert poly_trim([0, 0, 0]) == []
+        assert poly_trim([1, 0, 2, 0]) == [1, 0, 2]
+
+    def test_add_mod2(self):
+        assert poly_add([1, 1], [1, 0, 1], 2) == [0, 1, 1]
+
+    def test_mul_known(self):
+        # (x+1)(x+1) = x^2 + 2x + 1 over GF(3)
+        assert poly_mul([1, 1], [1, 1], 3) == [1, 2, 1]
+        # over GF(2): x^2 + 1
+        assert poly_mul([1, 1], [1, 1], 2) == [1, 0, 1]
+
+    def test_mul_zero(self):
+        assert poly_mul([], [1, 2], 5) == []
+
+
+class TestDivMod:
+    def test_known_division(self):
+        # x^2 - 1 = (x-1)(x+1) over GF(5)
+        q, r = poly_divmod([4, 0, 1], [1, 1], 5)
+        assert r == []
+        assert q == [4, 1]
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod([1], [], 3)
+
+    @given(st.sampled_from(PRIMES), st.data())
+    def test_divmod_identity(self, p, data):
+        a = data.draw(coeffs(p))
+        b = poly_trim(data.draw(coeffs(p)))
+        if not b:
+            b = [1]
+        q, r = poly_divmod(a, b, p)
+        recon = poly_add(poly_mul(q, b, p), r, p)
+        assert recon == poly_trim([c % p for c in a])
+        assert len(r) < len(b) or not r
+
+
+class TestIrreducible:
+    def test_known_irreducible_gf2(self):
+        assert is_irreducible([1, 1, 1], 2)  # x^2+x+1
+        assert not is_irreducible([1, 0, 1], 2)  # x^2+1 = (x+1)^2
+
+    def test_known_irreducible_gf3(self):
+        assert is_irreducible([1, 0, 1], 3)  # x^2+1 has no root mod 3
+        assert not is_irreducible([2, 0, 1], 3)  # x^2+2 = (x+1)(x+2)
+
+    @pytest.mark.parametrize("p,m", [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (5, 2), (7, 2)])
+    def test_find_irreducible_has_no_roots(self, p, m):
+        f = find_irreducible(p, m)
+        assert len(f) == m + 1
+        assert f[-1] == 1  # monic
+        for x in range(p):
+            val = sum(c * pow(x, i, p) for i, c in enumerate(f)) % p
+            if m >= 2:
+                assert val != 0, f"root {x} found in supposedly irreducible {f}"
+
+    def test_degree_one(self):
+        assert find_irreducible(5, 1) == [0, 1]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            find_irreducible(4, 2)
+        with pytest.raises(ValueError):
+            find_irreducible(3, 0)
+
+
+class TestGcd:
+    def test_shared_factor(self):
+        # gcd((x+1)(x+2), (x+1)) = x+1 over GF(3), monic
+        prod = poly_mul([1, 1], [2, 1], 3)
+        assert poly_gcd(prod, [1, 1], 3) == [1, 1]
+
+    def test_coprime(self):
+        assert poly_gcd([1, 1], [2, 1], 5) == [1]
+
+    @given(st.sampled_from(PRIMES), st.data())
+    def test_gcd_divides_both(self, p, data):
+        a = poly_trim(data.draw(coeffs(p)))
+        b = poly_trim(data.draw(coeffs(p)))
+        g = poly_gcd(a, b, p)
+        if g:
+            if a:
+                assert poly_mod(a, g, p) == []
+            if b:
+                assert poly_mod(b, g, p) == []

@@ -1,0 +1,90 @@
+"""Unit + property tests for primality/factorisation helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.galois.primes import (
+    factorize,
+    is_prime,
+    is_prime_power,
+    prime_powers_up_to,
+    primes_up_to,
+)
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        known = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31}
+        for n in range(-5, 32):
+            assert is_prime(n) == (n in known)
+
+    def test_larger_primes(self):
+        assert is_prime(7919)
+        assert is_prime(104729)
+
+    def test_larger_composites(self):
+        assert not is_prime(7917)
+        assert not is_prime(104730)
+        assert not is_prime(7919 * 7919)
+
+    def test_carmichael_number(self):
+        # 561 = 3*11*17 fools Fermat tests; trial division does not care.
+        assert not is_prime(561)
+
+
+class TestSieve:
+    def test_matches_trial_division(self):
+        sieve = set(primes_up_to(500))
+        for n in range(501):
+            assert (n in sieve) == is_prime(n)
+
+    def test_empty_below_two(self):
+        assert primes_up_to(1) == []
+        assert primes_up_to(-3) == []
+
+
+class TestFactorize:
+    def test_examples(self):
+        assert factorize(1) == {}
+        assert factorize(2) == {2: 1}
+        assert factorize(12) == {2: 2, 3: 1}
+        assert factorize(9702) == {2: 1, 3: 2, 7: 2, 11: 1}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_product_reconstructs(self, n):
+        total = 1
+        for p, e in factorize(n).items():
+            assert is_prime(p)
+            total *= p**e
+        assert total == n
+
+
+class TestPrimePower:
+    def test_detects_powers(self):
+        assert is_prime_power(5) == (5, 1)
+        assert is_prime_power(8) == (2, 3)
+        assert is_prime_power(9) == (3, 2)
+        assert is_prime_power(49) == (7, 2)
+        assert is_prime_power(343) == (7, 3)
+
+    def test_rejects_composites_and_trivia(self):
+        for n in (0, 1, 6, 10, 12, 100):
+            assert is_prime_power(n) is None
+
+    def test_listing(self):
+        pps = prime_powers_up_to(32)
+        assert pps == [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32]
+
+    @given(st.integers(min_value=2, max_value=5000))
+    def test_consistency_with_factorize(self, n):
+        result = is_prime_power(n)
+        factors = factorize(n)
+        if len(factors) == 1:
+            (p, e), = factors.items()
+            assert result == (p, e)
+        else:
+            assert result is None

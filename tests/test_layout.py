@@ -1,0 +1,114 @@
+"""Tests for rack partitioning and placement geometry (§VI-A)."""
+
+import pytest
+
+from repro.layout import (
+    RackGrid,
+    average_manhattan,
+    block_racks,
+    group_racks,
+    near_square_dims,
+    racks_for,
+    slimfly_racks,
+)
+from repro.layout.placement import GLOBAL_CABLE_OVERHEAD_M, INTRA_RACK_LENGTH_M
+from repro.layout.racks import fattree_racks
+from repro.topologies import Dragonfly, FatTree3, FlattenedButterfly, Hypercube, SlimFly
+
+
+class TestPlacement:
+    def test_near_square(self):
+        assert near_square_dims(9) == (3, 3, 0)
+        assert near_square_dims(10) == (3, 3, 1)
+        assert near_square_dims(19) == (4, 4, 3)
+        with pytest.raises(ValueError):
+            near_square_dims(0)
+
+    def test_grid_distances(self):
+        grid = RackGrid(9)
+        assert grid.distance(0, 0) == 0.0
+        # racks 0 and 8 sit at opposite corners of a 3x3 square.
+        assert grid.distance(0, 8) == pytest.approx(4.0)
+
+    def test_cable_lengths(self):
+        grid = RackGrid(4)
+        assert grid.cable_length(1, 1) == INTRA_RACK_LENGTH_M
+        assert grid.cable_length(0, 1) == pytest.approx(1.0 + GLOBAL_CABLE_OVERHEAD_M)
+
+    def test_average_manhattan_matches_grid(self):
+        # The closed form is a with-replacement approximation: it
+        # converges to the distinct-pair grid mean as racks grow.
+        for n, rel in ((16, 0.25), (64, 0.12), (400, 0.05)):
+            grid = RackGrid(n)
+            assert average_manhattan(n) == pytest.approx(
+                grid.all_pair_mean_distance(), rel=rel
+            )
+
+
+class TestSlimFlyRacks:
+    def test_q_racks_of_2q_routers(self, sf5):
+        racks = slimfly_racks(sf5)
+        assert racks.num_racks == 5
+        counts = [racks.rack_of.count(r) for r in range(5)]
+        assert counts == [10] * 5  # 2q routers per rack
+
+    def test_pairs_one_subgroup_from_each_side(self, sf5):
+        racks = slimfly_racks(sf5)
+        q = sf5.q
+        for rack in range(q):
+            members = [r for r in range(sf5.num_routers) if racks.rack_of[r] == rack]
+            sides = [sf5.router_group(r)[0] for r in members]
+            assert sides.count(0) == q and sides.count(1) == q
+
+    def test_full_rack_connectivity_2q_cables(self, sf5):
+        """§VI-A: every rack pair is joined by exactly 2q cables."""
+        racks = slimfly_racks(sf5)
+        q = sf5.q
+        between: dict[tuple[int, int], int] = {}
+        for u, v in sf5.edges():
+            ru, rv = racks.rack_of[u], racks.rack_of[v]
+            if ru != rv:
+                key = (min(ru, rv), max(ru, rv))
+                between[key] = between.get(key, 0) + 1
+        assert len(between) == q * (q - 1) // 2  # complete rack graph
+        assert set(between.values()) == {2 * q}
+
+    def test_census(self, sf5):
+        racks = slimfly_racks(sf5)
+        electric, fiber, mean_len = racks.cable_census(sf5)
+        assert electric + fiber == sf5.num_links
+        assert fiber == 2 * 5 * (5 * 4 // 2)  # 2q per pair × C(q,2)
+        assert mean_len > GLOBAL_CABLE_OVERHEAD_M
+
+
+class TestOtherRacks:
+    def test_group_racks(self, df3):
+        racks = group_racks(df3, df3.a)
+        assert racks.num_racks == df3.g
+        # Intra-group (electric) cables = complete graph per rack.
+        electric, fiber, _ = racks.cable_census(df3)
+        assert electric == df3.g * df3.a * (df3.a - 1) // 2
+        assert fiber == df3.g * (df3.g - 1) // 2
+
+    def test_fattree_racks(self, ft4):
+        racks = fattree_racks(ft4)
+        assert racks.num_racks == 2 * ft4.p
+        for r in range(ft4.num_routers):
+            pod = ft4.pod(r)
+            if pod is not None:
+                assert racks.rack_of[r] == pod
+            else:
+                assert racks.rack_of[r] >= ft4.p
+
+    def test_block_racks(self):
+        hc = Hypercube(6)
+        racks = block_racks(hc, routers_per_rack=16)
+        assert racks.num_racks == 4
+
+    def test_dispatch(self, sf5, df3, ft4):
+        assert racks_for(sf5).num_racks == sf5.q
+        assert racks_for(df3).num_racks == df3.g
+        assert racks_for(ft4).num_racks == 2 * ft4.p
+        fbf = FlattenedButterfly(3, 3)
+        assert racks_for(fbf).num_racks == 9
+        assert racks_for(Hypercube(6)).num_racks == 2

@@ -1,0 +1,230 @@
+"""Tests for routing tables, MIN/VAL/UGAL, DF and FT protocols."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import (
+    ANCARouting,
+    DragonflyMinimal,
+    DragonflyUGAL,
+    MinimalRouting,
+    RoutingTables,
+    UGALRouting,
+    ValiantRouting,
+)
+from repro.routing.valiant import stitch
+from repro.topologies.fattree import AGG, CORE, EDGE
+
+
+class FakeNetwork:
+    """Minimal queue-length oracle for UGAL decisions outside the sim."""
+
+    def __init__(self, lengths=None, default=0):
+        self.lengths = lengths or {}
+        self.default = default
+
+    def queue_length(self, u, v):
+        return self.lengths.get((u, v), self.default)
+
+
+class TestTables:
+    def test_distance_symmetry(self, sf5_tables):
+        t = sf5_tables
+        assert (t.dist == t.dist.T).all()
+        assert (t.dist.diagonal() == 0).all()
+
+    def test_sf_max_distance_two(self, sf5_tables):
+        assert sf5_tables.diameter() == 2
+
+    def test_next_hop_candidates_shrink_distance(self, sf5_tables):
+        t = sf5_tables
+        for src in range(0, 50, 7):
+            for dst in range(0, 50, 11):
+                if src == dst:
+                    continue
+                for cand in t.next_hop_candidates(src, dst):
+                    assert t.distance(cand, dst) == t.distance(src, dst) - 1
+
+    def test_min_path_is_shortest(self, sf5_tables):
+        t = sf5_tables
+        for src in range(0, 50, 5):
+            for dst in range(0, 50, 13):
+                path = t.min_path(src, dst)
+                assert len(path) - 1 == t.distance(src, dst)
+                assert path[0] == src and path[-1] == dst
+
+    def test_min_path_deterministic(self, sf5_tables):
+        assert sf5_tables.min_path(0, 37) == sf5_tables.min_path(0, 37)
+
+    def test_count_min_paths_unique_in_moore_graph(self, sf5_tables):
+        """Hoffman–Singleton: exactly one shortest path between any pair."""
+        t = sf5_tables
+        for src in range(0, 50, 3):
+            for dst in range(50):
+                if src != dst:
+                    assert t.count_min_paths(src, dst) == 1
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingTables([[1], [0], []])
+
+    def test_average_distance(self, sf5_tables, sf5):
+        assert sf5_tables.average_distance() == pytest.approx(
+            sf5.average_distance(), rel=1e-6
+        )
+
+
+class TestMinimal:
+    def test_plan_matches_tables(self, sf5_tables):
+        r = MinimalRouting(sf5_tables)
+        assert r.plan(0, 42, None) == sf5_tables.min_path(0, 42)
+        assert r.num_vcs == 2  # SF diameter
+
+    def test_source_routed_flag(self, sf5_tables):
+        r = MinimalRouting(sf5_tables)
+        assert r.source_routed
+        with pytest.raises(NotImplementedError):
+            r.next_hop(0, 1, None, None)
+
+
+class TestValiant:
+    def test_paths_valid_and_bounded(self, sf5_tables):
+        r = ValiantRouting(sf5_tables, seed=0)
+        for dst in range(1, 50, 7):
+            path = r.plan(0, dst, None)
+            assert path[0] == 0 and path[-1] == dst
+            # SF: VAL paths have 2..4 hops.
+            assert 1 <= len(path) - 1 <= 4
+            for u, v in zip(path, path[1:]):
+                assert v in sf5_tables.adjacency[u]
+
+    def test_max_hops_constraint(self, sf5_tables):
+        r = ValiantRouting(sf5_tables, seed=0, max_hops=3)
+        for dst in range(1, 50, 5):
+            assert len(r.plan(0, dst, None)) - 1 <= 3
+
+    def test_stitch_validates(self):
+        assert stitch([1, 2], [2, 3]) == [1, 2, 3]
+        with pytest.raises(ValueError):
+            stitch([1, 2], [5, 3])
+
+    def test_self_path(self, sf5_tables):
+        r = ValiantRouting(sf5_tables, seed=0)
+        assert r.plan(4, 4, None) == [4]
+
+    def test_randomised_intermediates(self, sf5_tables):
+        r = ValiantRouting(sf5_tables, seed=0)
+        mids = {tuple(r.plan(0, 30, None)) for _ in range(20)}
+        assert len(mids) > 3  # genuinely random path choices
+
+
+class TestUGAL:
+    def test_empty_network_prefers_min(self, sf5_tables):
+        r = UGALRouting(sf5_tables, "local", seed=0)
+        net = FakeNetwork(default=0)
+        for dst in range(1, 50, 9):
+            path = r.plan(0, dst, net)
+            assert len(path) - 1 == sf5_tables.distance(0, dst)
+
+    def test_congested_min_port_diverts(self, sf5_tables):
+        r = UGALRouting(sf5_tables, "local", seed=1)
+        dst = 37
+        min_path = sf5_tables.min_path(0, dst)
+        # Saturate the local queue toward the minimal first hop.
+        net = FakeNetwork({(0, min_path[1]): 500}, default=0)
+        path = r.plan(0, dst, net)
+        assert path[1] != min_path[1], "UGAL-L should avoid the hot output"
+
+    def test_global_mode_uses_whole_path(self, sf5_tables):
+        r = UGALRouting(sf5_tables, "global", seed=2)
+        dst = 42
+        min_path = sf5_tables.min_path(0, dst)
+        # Congest a *downstream* link of the min path: UGAL-G sees it,
+        # UGAL-L does not.
+        hot = {(min_path[-2], min_path[-1]): 500}
+        g_path = r.plan(0, dst, FakeNetwork(hot))
+        assert g_path[-2] != min_path[-2] or len(g_path) != len(min_path)
+
+    def test_mode_validation(self, sf5_tables):
+        with pytest.raises(ValueError):
+            UGALRouting(sf5_tables, "sideways")
+
+    def test_candidate_count(self, sf5_tables):
+        r = UGALRouting(sf5_tables, "local", num_candidates=4, seed=0)
+        cands = r.candidate_paths(0, 23)
+        assert len(cands) == 5  # MIN + 4 VAL
+
+
+class TestDragonflyRouting:
+    def test_minimal_lgl(self, df3):
+        tables = RoutingTables(df3.adjacency)
+        r = DragonflyMinimal(df3, tables)
+        for src in range(0, df3.num_routers, 13):
+            for dst in range(0, df3.num_routers, 17):
+                if src == dst:
+                    continue
+                path = r.plan(src, dst, None)
+                # Canonical DF minimal: at most local-global-local.
+                assert len(path) - 1 <= 3
+                for u, v in zip(path, path[1:]):
+                    assert v in df3.adjacency[u]
+                groups = [df3.group_of(x) for x in path]
+                changes = sum(1 for a, b in zip(groups, groups[1:]) if a != b)
+                assert changes == (0 if groups[0] == groups[-1] else 1)
+
+    def test_valiant_goes_through_third_group(self, df3):
+        tables = RoutingTables(df3.adjacency)
+        r = DragonflyUGAL(df3, tables, seed=0)
+        src, dst = 0, df3.num_routers - 1
+        seen_mid_groups = set()
+        for _ in range(30):
+            path = r._valiant_group_path(src, dst)
+            groups = {df3.group_of(x) for x in path}
+            seen_mid_groups |= groups - {df3.group_of(src), df3.group_of(dst)}
+        assert seen_mid_groups, "VAL-group paths should visit intermediate groups"
+
+    def test_ugal_prefers_min_when_idle(self, df3):
+        tables = RoutingTables(df3.adjacency)
+        r = DragonflyUGAL(df3, tables, seed=0)
+        net = FakeNetwork(default=0)
+        path = r.plan(0, df3.num_routers - 1, net)
+        assert len(path) - 1 <= 3
+
+
+class TestANCA:
+    def test_same_pod_two_hops(self, ft4):
+        r = ANCARouting(ft4, seed=0)
+        # Two edge switches in pod 0.
+        src, dst = 0, 1
+        at = src
+        hops = 0
+        while at != dst:
+            at = r.next_hop(at, dst, None, None)
+            hops += 1
+            assert hops <= 4
+        assert hops == 2  # edge -> agg -> edge
+
+    def test_cross_pod_four_hops_via_core(self, ft4):
+        r = ANCARouting(ft4, seed=0)
+        src, dst = 0, ft4.p * ft4.p - 1  # first pod vs last pod edge switch
+        at, hops, levels = src, 0, [ft4.level(src)]
+        while at != dst:
+            at = r.next_hop(at, dst, None, None)
+            levels.append(ft4.level(at))
+            hops += 1
+            assert hops <= 4
+        assert hops == 4
+        assert levels == [EDGE, AGG, CORE, AGG, EDGE]
+
+    def test_adaptive_choice_uses_queues(self, ft4):
+        r = ANCARouting(ft4, seed=0)
+        ups = ft4.up_neighbors(0)
+        # All but one uplink congested.
+        hot = {(0, u): 99 for u in ups[1:]}
+        net = FakeNetwork(hot, default=99)
+        net.lengths[(0, ups[0])] = 0
+        chosen = r.next_hop(0, ft4.p * ft4.p - 1, None, net)
+        assert chosen == ups[0]
+
+    def test_plan_returns_none(self, ft4):
+        assert ANCARouting(ft4).plan(0, 5, None) is None

@@ -1,0 +1,93 @@
+"""Tests for the deadlock-freedom machinery (§IV-D)."""
+
+import pytest
+
+from repro.routing import (
+    MinimalRouting,
+    RoutingTables,
+    ValiantRouting,
+    channel_dependency_graph,
+    dfsssp_vc_count,
+    gopal_vc_assignment_is_deadlock_free,
+    is_acyclic,
+)
+from repro.routing.deadlock import paths_to_dependencies
+from repro.topologies import RandomDLN
+
+
+class TestCDG:
+    def test_dependencies_from_path(self):
+        deps = paths_to_dependencies([[0, 1, 2, 3]])
+        assert ((0, 1), (1, 2)) in deps
+        assert ((1, 2), (2, 3)) in deps
+        assert len(deps) == 2
+
+    def test_single_hop_no_dependency(self):
+        assert paths_to_dependencies([[0, 1]]) == set()
+
+    def test_cdg_structure(self):
+        g = channel_dependency_graph([[0, 1, 2], [2, 1, 0]])
+        assert g[(0, 1)] == {(1, 2)}
+        assert g[(2, 1)] == {(1, 0)}
+
+    def test_acyclic_detection(self):
+        acyclic = {(0, 1): {(1, 2)}, (1, 2): {(2, 3)}}
+        assert is_acyclic(acyclic)
+        cyclic = {
+            (0, 1): {(1, 2)},
+            (1, 2): {(2, 0)},
+            (2, 0): {(0, 1)},
+        }
+        assert not is_acyclic(cyclic)
+
+    def test_ring_minimal_routing_has_cycle(self):
+        """A unidirectional ring CDG is the canonical deadlock example."""
+        n = 6
+        paths = [[(i + j) % n for j in range(3)] for i in range(n)]
+        g = channel_dependency_graph(paths)
+        assert not is_acyclic(g)
+
+
+class TestGopal:
+    def test_sf_minimal_two_vcs(self, sf5_tables):
+        paths = [
+            sf5_tables.min_path(s, d)
+            for s in range(50)
+            for d in range(50)
+            if s != d
+        ]
+        assert gopal_vc_assignment_is_deadlock_free(paths, num_vcs=2)
+
+    def test_sf_adaptive_four_vcs(self, sf5_tables):
+        val = ValiantRouting(sf5_tables, seed=0)
+        paths = [val.plan(s, (s * 7 + 13) % 50, None) for s in range(50)]
+        paths = [p for p in paths if len(p) > 1]
+        assert gopal_vc_assignment_is_deadlock_free(paths, num_vcs=4)
+
+    def test_one_vc_ring_deadlocks(self):
+        n = 6
+        paths = [[(i + j) % n for j in range(4)] for i in range(n)]
+        assert not gopal_vc_assignment_is_deadlock_free(paths, num_vcs=1)
+        # Enough VCs for the 3-hop paths: deadlock-free.
+        assert gopal_vc_assignment_is_deadlock_free(paths, num_vcs=3)
+
+
+class TestDFSSSP:
+    def test_sf_needs_few_layers(self, sf5_tables):
+        layers = dfsssp_vc_count(sf5_tables)
+        assert layers <= 3  # paper: OFED DFSSSP used 3 on every SF
+
+    def test_dln_needs_more_than_sf(self, sf5_tables):
+        dln = RandomDLN.balanced(11, 60, seed=0)
+        dln_tables = RoutingTables(dln.adjacency)
+        sf_layers = dfsssp_vc_count(sf5_tables)
+        dln_layers = dfsssp_vc_count(dln_tables)
+        assert dln_layers >= sf_layers  # §IV-D shape: SF ≤ DLN
+
+    def test_sources_subset(self, sf5_tables):
+        layers = dfsssp_vc_count(sf5_tables, sources=list(range(10)))
+        assert layers >= 1
+
+    def test_max_vcs_guard(self, sf5_tables):
+        with pytest.raises(RuntimeError):
+            dfsssp_vc_count(sf5_tables, max_vcs=0)

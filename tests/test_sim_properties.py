@@ -1,0 +1,88 @@
+"""Property-based tests for the simulator: conservation and flow-control
+invariants over randomised configurations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import MinimalRouting, RoutingTables, ValiantRouting
+from repro.sim import SimConfig, SimEngine, simulate
+from repro.topologies import SlimFly
+from repro.traffic import UniformRandom
+
+
+@pytest.fixture(scope="module")
+def net():
+    sf = SlimFly.from_q(5)
+    return sf, RoutingTables(sf.adjacency)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    load=st.floats(min_value=0.02, max_value=0.5),
+    buffer_per_port=st.sampled_from([6, 16, 64]),
+    seed=st.integers(0, 10_000),
+)
+def test_packet_conservation(net, load, buffer_per_port, seed):
+    """Every measured packet injected below saturation is delivered, and
+    after drain nothing remains buffered anywhere."""
+    sf, tables = net
+    cfg = SimConfig(
+        buffer_per_port=buffer_per_port,
+        warmup_cycles=60,
+        measure_cycles=180,
+        drain_cycles=4000,
+        seed=seed,
+    )
+    engine = SimEngine(sf, MinimalRouting(tables), UniformRandom(200), load, cfg)
+    result = engine.run()
+    assert result.delivered == result.injected
+    assert engine.net.total_buffered() == 0
+    assert not engine._arrivals
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_credits_restored_after_drain(net, seed):
+    """Credit accounting must return to full capacity once idle."""
+    sf, tables = net
+    cfg = SimConfig(
+        warmup_cycles=50, measure_cycles=150, drain_cycles=3000, seed=seed
+    )
+    engine = SimEngine(
+        sf, ValiantRouting(tables, seed=seed), UniformRandom(200), 0.15, cfg
+    )
+    engine.run()
+    # Let in-flight credit messages land.
+    for _ in range(cfg.credit_delay + cfg.hop_latency + 2):
+        engine._phase_arrivals()
+        engine.now += 1
+    cap = engine.config.buffer_per_vc
+    for router_credits in engine.net.credits:
+        for port_credits in router_credits:
+            for c in port_credits:
+                assert c == cap
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    load=st.floats(min_value=0.05, max_value=0.4),
+    seed=st.integers(0, 1000),
+)
+def test_latency_bounded_below_by_path_time(net, load, seed):
+    """No packet can beat the physical pipeline: latency >= hops*4 + 1."""
+    sf, tables = net
+    cfg = SimConfig(warmup_cycles=60, measure_cycles=150, drain_cycles=2500, seed=seed)
+    res = simulate(sf, MinimalRouting(tables), UniformRandom(200), load, cfg)
+    if res.delivered:
+        # Minimum possible: 1-hop path = 4 cycles + ejection 1.
+        assert res.avg_latency >= 5.0
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_accepted_never_exceeds_offered(net, seed):
+    sf, tables = net
+    cfg = SimConfig(warmup_cycles=80, measure_cycles=200, drain_cycles=2000, seed=seed)
+    for load in (0.2, 0.6):
+        res = simulate(sf, MinimalRouting(tables), UniformRandom(200), load, cfg)
+        assert res.accepted_load <= load * 1.15 + 0.02  # Bernoulli noise margin

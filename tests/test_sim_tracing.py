@@ -1,0 +1,70 @@
+"""Channel-tracing tests: the Fig 9 hot-link story, measured in the sim."""
+
+import pytest
+
+from repro.routing import MinimalRouting, UGALRouting
+from repro.sim import SimConfig, SimEngine
+from repro.traffic import SlimFlyWorstCase, UniformRandom
+
+CFG = SimConfig(warmup_cycles=100, measure_cycles=300, drain_cycles=1500, seed=3)
+
+
+class TestChannelTracing:
+    def test_disabled_by_default(self, sf5, sf5_tables):
+        eng = SimEngine(sf5, MinimalRouting(sf5_tables), UniformRandom(200), 0.2, CFG)
+        eng.run()
+        assert eng.channel_flits == {}
+
+    def test_uniform_load_spreads(self, sf5, sf5_tables):
+        eng = SimEngine(
+            sf5, MinimalRouting(sf5_tables), UniformRandom(200), 0.3, CFG,
+            trace_channels=True,
+        )
+        eng.run()
+        counts = list(eng.channel_flits.values())
+        assert len(counts) > 300  # most of the 350 channels touched
+        # Uniform traffic on a vertex-transitive graph: spread within ~4x.
+        assert max(counts) <= 5 * (sum(counts) / len(counts))
+
+    def test_worstcase_min_concentrates_on_hot_links(self, sf5, sf5_tables):
+        """Fig 9: minimal routing funnels flows onto the (Rx, Ry) cables."""
+        wc = SlimFlyWorstCase(sf5, sf5_tables, seed=0)
+        eng = SimEngine(
+            sf5, MinimalRouting(sf5_tables), wc, 0.2, CFG, trace_channels=True
+        )
+        eng.run()
+        counts = sorted(eng.channel_flits.values(), reverse=True)
+        mean = sum(counts) / len(counts)
+        assert counts[0] > 3 * mean  # pronounced hot links
+
+    def test_ugal_disperses_worstcase(self, sf5, sf5_tables):
+        """UGAL-L spreads the same pattern over many more channels."""
+        wc = SlimFlyWorstCase(sf5, sf5_tables, seed=0)
+
+        def profile(routing):
+            eng = SimEngine(sf5, routing, wc, 0.15, CFG, trace_channels=True)
+            eng.run()
+            counts = sorted(eng.channel_flits.values(), reverse=True)
+            return counts[0] / sum(counts), len(counts)
+
+        min_share, min_channels = profile(MinimalRouting(sf5_tables))
+        ugal_share, ugal_channels = profile(UGALRouting(sf5_tables, "local", seed=3))
+        # UGAL pushes traffic over many more channels, so the busiest
+        # one carries a much smaller share of total flit-hops.
+        assert ugal_channels > 2 * min_channels
+        assert ugal_share < min_share / 2
+
+
+class TestXiOverride:
+    def test_valid_override(self):
+        from repro.core.mms import MMSGraph
+
+        g = MMSGraph(5, xi=3)  # 3 is also primitive mod 5
+        assert g.xi == 3
+        g.validate()
+
+    def test_invalid_override_rejected(self):
+        from repro.core.mms import MMSGraph
+
+        with pytest.raises(ValueError):
+            MMSGraph(5, xi=4)  # 4 has order 2 mod 5

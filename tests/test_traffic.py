@@ -1,0 +1,152 @@
+"""Tests for traffic patterns, permutations, and adversarial generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import RoutingTables
+from repro.topologies import Dragonfly, FatTree3, SlimFly
+from repro.traffic import (
+    BitComplementPattern,
+    BitReversalPattern,
+    DragonflyWorstCase,
+    FatTreeWorstCase,
+    FixedPermutation,
+    ShiftPattern,
+    ShufflePattern,
+    SlimFlyWorstCase,
+    UniformRandom,
+    active_power_of_two,
+    worst_case_for,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestUniform:
+    def test_never_self(self):
+        tr = UniformRandom(50)
+        for src in range(50):
+            for _ in range(20):
+                assert tr.destination(src, RNG) != src
+
+    def test_covers_space(self):
+        tr = UniformRandom(10)
+        seen = {tr.destination(3, RNG) for _ in range(500)}
+        assert seen == set(range(10)) - {3}
+
+    def test_requires_two(self):
+        with pytest.raises(ValueError):
+            UniformRandom(1)
+
+
+class TestBitPatterns:
+    def test_active_power_of_two(self):
+        assert active_power_of_two(200) == 128
+        assert active_power_of_two(1024) == 1024
+        with pytest.raises(ValueError):
+            active_power_of_two(1)
+
+    def test_shuffle(self):
+        tr = ShufflePattern(8)
+        # b=3: d = rotate-left(s).
+        assert tr._map(0b001) == 0b010
+        assert tr._map(0b100) == 0b001
+        assert tr._map(0b101) == 0b011
+
+    def test_bit_reversal(self):
+        tr = BitReversalPattern(8)
+        assert tr._map(0b001) == 0b100
+        assert tr._map(0b011) == 0b110
+
+    def test_bit_complement(self):
+        tr = BitComplementPattern(8)
+        assert tr._map(0b000) == 0b111
+        assert tr._map(0b101) == 0b010
+
+    def test_inactive_endpoints_silent(self):
+        tr = BitReversalPattern(200)  # active = 128
+        assert tr.destination(150, RNG) is None
+        assert tr.destination(5, RNG) is not None
+
+    def test_shift_destinations(self):
+        tr = ShiftPattern(16)
+        # src 3: base 3 -> {3, 11}; 3 == src becomes an idle slot (None).
+        seen = {tr.destination(3, RNG) for _ in range(100)}
+        assert seen == {None, 11}
+        # src 10: base 2 -> {2, 10}; 10 == src becomes None.
+        seen10 = {tr.destination(10, RNG) for _ in range(200)}
+        assert seen10 == {None, 2}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from([ShufflePattern, BitReversalPattern, BitComplementPattern]))
+    def test_patterns_are_permutations(self, cls):
+        tr = cls(64)
+        images = [tr._map(s) for s in range(64)]
+        assert sorted(images) == list(range(64))
+
+
+class TestFixedPermutation:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            FixedPermutation({3: 3})
+
+    def test_active_endpoints(self, sf5):
+        fp = FixedPermutation({0: 1, 1: 0, 10: 11, 11: 10})
+        assert fp.active_endpoints(sf5) == [0, 1, 10, 11]
+
+
+class TestSlimFlyWorstCase:
+    def test_pattern_is_permutation_like(self, sf5, sf5_tables):
+        wc = SlimFlyWorstCase(sf5, sf5_tables, seed=0)
+        # Bidirectional pairing: applying the map twice is the identity.
+        for s, d in wc.mapping.items():
+            assert wc.mapping[d] == s
+            assert s != d
+
+    def test_flows_share_a_hot_link(self, sf5, sf5_tables):
+        """Some directed channel carries many of the pattern's min paths."""
+        wc = SlimFlyWorstCase(sf5, sf5_tables, seed=0)
+        load = {}
+        for s, d in wc.mapping.items():
+            path = sf5_tables.min_path(
+                sf5.endpoint_map[s], sf5.endpoint_map[d]
+            )
+            for u, v in zip(path, path[1:]):
+                load[(u, v)] = load.get((u, v), 0) + 1
+        assert max(load.values()) >= sf5.concentration
+
+    def test_deterministic(self, sf5, sf5_tables):
+        a = SlimFlyWorstCase(sf5, sf5_tables, seed=4)
+        b = SlimFlyWorstCase(sf5, sf5_tables, seed=4)
+        assert a.mapping == b.mapping
+
+
+class TestDragonflyWorstCase:
+    def test_next_group_targeting(self, df3):
+        wc = DragonflyWorstCase(df3)
+        per_group = df3.a * df3.p_conc
+        for s, d in wc.mapping.items():
+            assert d // per_group == (s // per_group + 1) % df3.g
+
+    def test_all_endpoints_active(self, df3):
+        wc = DragonflyWorstCase(df3)
+        assert len(wc.mapping) == df3.num_endpoints
+
+
+class TestFatTreeWorstCase:
+    def test_cross_pod(self, ft4):
+        wc = FatTreeWorstCase(ft4)
+        pod_size = ft4.p * ft4.p
+        for s, d in wc.mapping.items():
+            pod_s = ft4.pod(ft4.endpoint_map[s])
+            pod_d = ft4.pod(ft4.endpoint_map[d])
+            assert pod_s != pod_d
+        assert len(wc.mapping) == ft4.num_endpoints
+
+
+class TestDispatch:
+    def test_worst_case_for(self, sf5, df3, ft4, sf5_tables):
+        assert isinstance(worst_case_for(sf5, sf5_tables, seed=0), SlimFlyWorstCase)
+        assert isinstance(worst_case_for(df3), DragonflyWorstCase)
+        assert isinstance(worst_case_for(ft4), FatTreeWorstCase)

@@ -1,0 +1,125 @@
+"""Tests for the util package: rng, tables, series, validation."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    Series,
+    SeriesBundle,
+    ascii_table,
+    check_in_range,
+    check_positive_int,
+    check_probability,
+    format_row,
+    make_rng,
+    spawn_rngs,
+)
+from repro.util.series import crossover
+from repro.util.tables import format_cell
+
+
+class TestRng:
+    def test_seed_determinism(self):
+        assert make_rng(7).integers(1000) == make_rng(7).integers(1000)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_spawn_independence(self):
+        children = spawn_rngs(3, 4)
+        draws = [c.integers(10**9) for c in children]
+        assert len(set(draws)) == 4
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(0)
+        children = spawn_rngs(g, 3)
+        assert len(children) == 3
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell(1234) == "1,234"
+        assert format_cell(float("nan")) == "-"
+        assert format_cell(0.123456) == "0.123"
+        assert format_cell(1234.5) == "1,234"
+
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_title(self):
+        text = ascii_table(["x"], [[1]], title="T")
+        assert text.startswith("T\n")
+
+    def test_format_row_with_widths(self):
+        assert format_row([1, 2], widths=[3, 3]) == "  1    2"
+
+
+class TestSeries:
+    def test_append_and_pairs(self):
+        s = Series("a")
+        s.append(1, 10)
+        s.append(2, 20)
+        assert s.as_pairs() == [(1, 10), (2, 20)]
+        assert len(s) == 2
+
+    def test_bundle_get(self):
+        b = SeriesBundle("t", "x", "y")
+        b.new("one")
+        assert b.get("one").name == "one"
+        with pytest.raises(KeyError):
+            b.get("two")
+        assert b.names == ["one"]
+
+    def test_render(self):
+        b = SeriesBundle("title", "load", "latency")
+        s = b.new("MIN")
+        s.append(0.1, 8.0)
+        text = b.render()
+        assert "title" in text and "MIN" in text and "(0.1, 8)" in text
+
+    def test_render_subsamples(self):
+        b = SeriesBundle("t", "x", "y")
+        s = b.new("s")
+        for i in range(100):
+            s.append(i, i)
+        text = b.render(max_points=10)
+        assert text.count("(") <= 15
+
+    def test_crossover(self):
+        a = Series("a", [1, 2, 3], [1, 5, 9])
+        b = Series("b", [1, 2, 3], [2, 4, 6])
+        assert crossover(a, b) == 2
+        c = Series("c", [1, 2, 3], [0, 0, 0])
+        assert crossover(c, b) is None
+
+
+class TestValidation:
+    def test_positive_int(self):
+        assert check_positive_int(5, "x") == 5
+        assert check_positive_int(np.int64(5), "x") == 5
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        with pytest.raises(ValueError):
+            check_positive_int(-1, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+        with pytest.raises(TypeError):
+            check_positive_int("five", "x")
+
+    def test_in_range(self):
+        check_in_range(5, "x", 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range(11, "x", 0, 10)
+
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
