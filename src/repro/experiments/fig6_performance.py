@@ -23,7 +23,7 @@ from repro.routing import (
     UGALRouting,
     ValiantRouting,
 )
-from repro.sim.sweep import latency_vs_load
+from repro.sim.parallel import parallel_latency_vs_load
 from repro.traffic import (
     BitComplementPattern,
     BitReversalPattern,
@@ -61,7 +61,20 @@ def _loads(scale: Scale, pattern: str) -> list[float]:
     return [round(step * (i + 1), 4) for i in range(n)]
 
 
-def run(scale=Scale.DEFAULT, seed=0, pattern: str = "uniform") -> ExperimentResult:
+def run(
+    scale=Scale.DEFAULT,
+    seed=0,
+    pattern: str = "uniform",
+    workers: int = 1,
+    replicas: int = 1,
+) -> ExperimentResult:
+    """Regenerate one Fig 6 panel.
+
+    ``workers`` fans the load sweep across processes via
+    :func:`repro.sim.parallel.parallel_latency_vs_load` (0 = one per
+    core, 1 = in-process); rows are identical for any value.
+    ``replicas`` averages each point over derived seeds.
+    """
     scale = Scale.coerce(scale)
     cfg = sim_config_for(scale)
     sf, df, ft = performance_trio(scale)
@@ -95,8 +108,9 @@ def run(scale=Scale.DEFAULT, seed=0, pattern: str = "uniform") -> ExperimentResu
     for name, topo, factory in protocols:
         traffic = _pattern_for(pattern, topo,
                                tables=sf_tables if topo is sf else None, seed=seed)
-        points = latency_vs_load(
-            topo, factory, traffic, loads=_loads(scale, pattern), config=cfg
+        points = parallel_latency_vs_load(
+            topo, factory, traffic, loads=_loads(scale, pattern), config=cfg,
+            workers=workers, replicas=replicas,
         )
         series = bundle.new(name)
         sat_load = None

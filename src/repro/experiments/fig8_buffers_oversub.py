@@ -17,7 +17,8 @@ from dataclasses import replace
 from repro.core.balance import balanced_concentration, saturation_load_estimate
 from repro.experiments.common import ExperimentResult, Scale, sim_config_for
 from repro.routing import MinimalRouting, RoutingTables, UGALRouting, ValiantRouting
-from repro.sim.sweep import latency_vs_load, max_accepted
+from repro.sim.parallel import parallel_latency_vs_load
+from repro.sim.sweep import max_accepted
 from repro.topologies import SlimFly
 from repro.traffic import SlimFlyWorstCase, UniformRandom
 from repro.util.series import SeriesBundle
@@ -29,7 +30,9 @@ def _sf_q(scale: Scale) -> int:
     return {Scale.QUICK: 5, Scale.DEFAULT: 7, Scale.PAPER: 19}[scale]
 
 
-def run_buffers(scale=Scale.DEFAULT, seed=0, buffers=None) -> ExperimentResult:
+def run_buffers(
+    scale=Scale.DEFAULT, seed=0, buffers=None, workers: int = 1
+) -> ExperimentResult:
     scale = Scale.coerce(scale)
     buffers = list(buffers) if buffers is not None else (
         [16, 64, 256] if scale != Scale.PAPER else list(BUFFER_SIZES)
@@ -49,9 +52,9 @@ def run_buffers(scale=Scale.DEFAULT, seed=0, buffers=None) -> ExperimentResult:
     near_sat: dict[int, float] = {}
     for buf in buffers:
         cfg = replace(base_cfg, buffer_per_port=buf)
-        points = latency_vs_load(
+        points = parallel_latency_vs_load(
             sf, lambda: UGALRouting(tables, "local", seed=seed), traffic,
-            loads=loads, config=cfg,
+            loads=loads, config=cfg, workers=workers,
         )
         series = bundle.new(f"{buf} flits")
         for pt in points:
@@ -74,7 +77,9 @@ def run_buffers(scale=Scale.DEFAULT, seed=0, buffers=None) -> ExperimentResult:
     return result
 
 
-def run_oversub(scale=Scale.DEFAULT, seed=0, extra_ps=None) -> ExperimentResult:
+def run_oversub(
+    scale=Scale.DEFAULT, seed=0, extra_ps=None, workers: int = 1
+) -> ExperimentResult:
     scale = Scale.coerce(scale)
     q = _sf_q(scale)
     base = SlimFly.from_q(q)
@@ -94,8 +99,9 @@ def run_oversub(scale=Scale.DEFAULT, seed=0, extra_ps=None) -> ExperimentResult:
     for p in [p_bal] + list(extra_ps):
         sf = SlimFly.from_q(q, concentration=p)
         traffic = UniformRandom(sf.num_endpoints)
-        points = latency_vs_load(
-            sf, lambda: MinimalRouting(tables), traffic, loads=loads, config=cfg
+        points = parallel_latency_vs_load(
+            sf, lambda: MinimalRouting(tables), traffic, loads=loads, config=cfg,
+            workers=workers,
         )
         acc = max_accepted(points)
         accepted_by_p[p] = acc

@@ -91,6 +91,11 @@ EXPERIMENTS = {
     ),
 }
 
+#: Experiments whose simulation sweeps fan out over --workers.
+PARALLEL_SWEEPS = {"fig6", "fig6a", "fig6b", "fig6c", "fig6d", "fig8a", "fig8-oversub"}
+#: Of those, the ones that also accept --replicas (per-point seed averaging).
+REPLICATED_SWEEPS = {"fig6", "fig6a", "fig6b", "fig6c", "fig6d"}
+
 #: Experiments included in `all` (fig6 via its four variants).
 ALL_ORDER = [
     "fig1", "fig5a", "fig5b", "fig5c", "table2", "table3",
@@ -98,6 +103,20 @@ ALL_ORDER = [
     "fig8a", "fig8-oversub", "table4", "costmodel", "fig11-cost",
     "fig11-power", "vc-counts", "ablate-ugal", "ablate-val", "ablate-xi",
 ]
+
+
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
+def _nonnegative_int(value: str) -> int:
+    n = int(value)
+    if n < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {n}")
+    return n
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,6 +134,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--pattern", default="uniform", help="fig6 traffic pattern")
+    parser.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=1,
+        help="simulation sweep processes for fig6/fig8 (0 = one per core, "
+        "1 = in-process; results are identical either way)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=1,
+        help="seed replicas averaged per fig6 load point",
+    )
     parser.add_argument(
         "--cable-model", default="mellanox-fdr10", help="cost-model cable product"
     )
@@ -144,6 +176,10 @@ def main(argv=None) -> int:
             kw["pattern"] = args.pattern
         if name in ("table4", "fig11-cost"):
             kw["cable_model"] = args.cable_model
+        if name in PARALLEL_SWEEPS:
+            kw["workers"] = args.workers
+        if name in REPLICATED_SWEEPS and args.replicas != 1:
+            kw["replicas"] = args.replicas
         start = time.time()
         result = run_experiment(name, args.scale, args.seed, **kw)
         print(result.render())

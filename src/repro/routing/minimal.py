@@ -16,6 +16,12 @@ from repro.routing.tables import RoutingTables
 class MinimalRouting(SourceRoutedAlgorithm):
     """Deterministic shortest-path routing over precomputed tables."""
 
+    #: The route is a pure function of (router, destination), so the
+    #: simulator may follow :meth:`next_hop_table` per hop instead of
+    #: calling :meth:`plan` per packet (identical paths, no per-packet
+    #: planning cost).
+    table_driven = True
+
     def __init__(self, tables: RoutingTables, name: str = "MIN"):
         self.tables = tables
         self.name = name
@@ -24,3 +30,7 @@ class MinimalRouting(SourceRoutedAlgorithm):
 
     def plan(self, src_router: int, dst_router: int, network=None) -> list[int]:
         return self.tables.min_path(src_router, dst_router)
+
+    def next_hop_table(self):
+        """``nh[u, dst]`` matrix driving the simulator's fast path."""
+        return self.tables.next_hop_matrix()

@@ -23,6 +23,9 @@ class RoutingTables:
         self.adjacency = adjacency
         self.num_routers = len(adjacency)
         self.dist = self._all_pairs_distances(adjacency)
+        self._dist_list: list[list[int]] | None = None
+        self._next_hop: np.ndarray | None = None
+        self._next_hop_list: list[list[int]] | None = None
 
     @staticmethod
     def _all_pairs_distances(adjacency: list[list[int]]) -> np.ndarray:
@@ -35,6 +38,46 @@ class RoutingTables:
             raise ValueError("routing tables require a connected topology")
         return d.astype(np.int16)
 
+    # -- derived tables ---------------------------------------------------
+
+    def _distances_as_lists(self) -> list[list[int]]:
+        """Distance matrix as nested Python lists (hot-loop container).
+
+        Scalar indexing into a numpy matrix costs ~3x a plain list
+        lookup; per-hop candidate scans (Valiant sampling, UGAL
+        candidate generation) do millions of them.
+        """
+        if self._dist_list is None:
+            self._dist_list = self.dist.tolist()
+        return self._dist_list
+
+    def next_hop_matrix(self) -> np.ndarray:
+        """``nh[u, dst]``: the deterministic minimal next hop (int32).
+
+        Entry ``(u, u)`` is ``u`` itself.  The tie-break matches
+        :meth:`min_path`: the first neighbour in adjacency order lying
+        on a shortest path.  Table-driven protocols (MIN) let the
+        simulator follow this matrix directly instead of planning a
+        path per packet.
+        """
+        if self._next_hop is None:
+            n = self.num_routers
+            nh = np.empty((n, n), dtype=np.int32)
+            dist = self.dist
+            for u, nbrs in enumerate(self.adjacency):
+                nbrs_arr = np.asarray(nbrs)
+                on_min = dist[nbrs_arr] == dist[u] - 1  # (deg, n)
+                first = on_min.argmax(axis=0)
+                nh[u] = nbrs_arr[first]
+                nh[u, u] = u
+            self._next_hop = nh
+        return self._next_hop
+
+    def _next_hop_as_lists(self) -> list[list[int]]:
+        if self._next_hop_list is None:
+            self._next_hop_list = self.next_hop_matrix().tolist()
+        return self._next_hop_list
+
     # -- queries ---------------------------------------------------------
 
     def distance(self, src: int, dst: int) -> int:
@@ -44,19 +87,21 @@ class RoutingTables:
         """Neighbours of ``at`` lying on some shortest path to ``dst``."""
         if at == dst:
             return []
-        target = self.dist[at, dst] - 1
-        return [v for v in self.adjacency[at] if self.dist[v, dst] == target]
+        dist = self._distances_as_lists()
+        target = dist[at][dst] - 1
+        return [v for v in self.adjacency[at] if dist[v][dst] == target]
 
     def min_path(self, src: int, dst: int) -> list[int]:
         """Deterministic shortest router path [src, ..., dst].
 
-        Tie-break: lowest neighbour id — the "static" in §IV-A's
-        minimal static routing.
+        Tie-break: the first on-path neighbour in adjacency order —
+        the "static" in §IV-A's minimal static routing.
         """
+        nh = self._next_hop_as_lists()
         path = [src]
         at = src
         while at != dst:
-            at = self.next_hop_candidates(at, dst)[0]
+            at = nh[at][dst]
             path.append(at)
         return path
 

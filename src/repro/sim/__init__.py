@@ -11,10 +11,16 @@ Modules
 -------
 - :mod:`repro.sim.config` — :class:`SimConfig` with the paper defaults.
 - :mod:`repro.sim.packet` — the packet/flit record.
-- :mod:`repro.sim.network` — buffers, credits, channels for a topology.
+- :mod:`repro.sim.network` — flat struct-of-arrays state for a topology.
 - :mod:`repro.sim.engine` — the cycle loop and measurement logic.
 - :mod:`repro.sim.stats` — results (latency, accepted throughput).
 - :mod:`repro.sim.sweep` — latency-vs-offered-load curve helper.
+- :mod:`repro.sim.parallel` — multiprocessing sweep orchestrator.
+- :mod:`repro.sim.reference` — the frozen seed engine (differential
+  oracle and benchmark baseline; not for production use).
+
+See DESIGN.md at the repository root for the architecture and the
+determinism contract between the flat engine and the reference.
 """
 
 from repro.sim.config import SimConfig
@@ -23,6 +29,7 @@ from repro.sim.network import SimNetwork
 from repro.sim.engine import SimEngine, simulate
 from repro.sim.stats import SimResult, LoadPoint
 from repro.sim.sweep import latency_vs_load, find_saturation_load
+from repro.sim.parallel import parallel_latency_vs_load, replica_seed
 
 __all__ = [
     "SimConfig",
@@ -33,5 +40,7 @@ __all__ = [
     "SimResult",
     "LoadPoint",
     "latency_vs_load",
+    "parallel_latency_vs_load",
+    "replica_seed",
     "find_saturation_load",
 ]

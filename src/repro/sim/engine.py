@@ -1,12 +1,17 @@
-"""The cycle loop (paper §V methodology).
+"""The cycle loop (paper §V methodology), flat-array edition.
 
 Per cycle, in order:
 
 1. **Arrivals** — flits scheduled for this cycle enter downstream
    input buffers; credits scheduled for this cycle are returned.
 2. **Injection** — every active endpoint flips a Bernoulli coin at the
-   offered load; new packets get their route planned (source-routed
-   protocols) and join the endpoint's injection FIFO.
+   offered load (one vectorised draw per cycle); destinations for the
+   injecting sources are drawn in one batch via
+   :meth:`repro.traffic.patterns.TrafficPattern.destinations`; new
+   packets get their route planned (source-routed protocols) and join
+   the endpoint's injection FIFO.  Table-driven protocols (MIN) skip
+   per-packet planning entirely: the engine follows the precomputed
+   next-hop matrix from :class:`repro.routing.tables.RoutingTables`.
 3. **Switch allocation** — per router, head flits of occupied input
    VCs and injection FIFOs request output ports; each output grants up
    to ``speedup`` flits (oldest-first), consuming a downstream credit;
@@ -17,12 +22,26 @@ Per cycle, in order:
 4. **Transmission** — every non-empty output stage sends one flit onto
    its channel; it arrives ``hop_latency`` cycles later.
 
+Events live in fixed-size ring-buffer wheels (modulo-horizon buckets)
+instead of the seed engine's ``dict[int, list]`` maps: no event is
+ever scheduled further ahead than ``hop_latency + packet_length``
+cycles, so a wheel of that many buckets indexed by ``cycle % horizon``
+replaces unbounded dict churn with two list operations.
+
+The engine is bitwise identical to the frozen seed implementation in
+:mod:`repro.sim.reference` for any seed and routing algorithm — the
+RNG draw order, request tie-breaks and event orderings are all
+preserved (see DESIGN.md, "Determinism contract") — while running
+several times faster.
+
 Warmup packets are simulated but not measured; measurement covers
 packets injected during the window, and the run continues (up to
 ``drain_cycles``) until those packets are delivered.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.routing.base import RoutingAlgorithm
 from repro.sim.config import SimConfig
@@ -61,188 +80,305 @@ class SimEngine:
         self.rng = make_rng(self.config.seed)
 
         self.now = 0
-        # Event buckets keyed by cycle.
-        self._arrivals: dict[int, list] = {}
-        self._credit_returns: dict[int, list] = {}
+        # Ring-buffer event wheels (fixed modulo-horizon buckets).  The
+        # farthest arrival is hop_latency + packet_length - 1 cycles
+        # out, the farthest credit credit_delay cycles out.
+        self._arr_horizon = self.config.hop_latency + self.config.packet_length
+        self._arr_wheel: list[list] = [[] for _ in range(self._arr_horizon)]
+        self._credit_horizon = self.config.credit_delay + 1
+        self._credit_wheel: list[list] = [[] for _ in range(self._credit_horizon)]
+        #: In-flight flit arrivals (the drain check needs "none pending").
+        self._pending_arrivals = 0
+
+        #: Precomputed next-hop matrix for table-driven routing (MIN):
+        #: plain nested lists, the fastest container for the hot loop.
+        #: ``_next_port`` resolves straight to the output port index,
+        #: sparing the allocation loop a neighbour-id dict lookup.
+        self._next_hop: list[list[int]] | None = None
+        self._next_port: list[list[int]] | None = None
+        if getattr(routing, "table_driven", False):
+            self._next_hop = routing.next_hop_table().tolist()
+            self._next_port = [
+                [pi[v] if v != u else -1 for v in row]
+                for u, (row, pi) in enumerate(zip(self._next_hop, self.net.port_index))
+            ]
 
         self.active_endpoints = list(traffic.active_endpoints(topology))
-        self._active_eps_arr = None
+        self._active_eps_arr = (
+            np.asarray(self.active_endpoints) if self.active_endpoints else None
+        )
+        self._endpoint_router_arr = np.asarray(topology.endpoint_map)
         self.measured_injected = 0
         self.measured_delivered = 0
         self.window_ejections = 0
         self.latencies = LatencyAccumulator()
         self.queue_latencies = LatencyAccumulator()
-        # Ejection-port occupancy: endpoint -> busy-until cycle (an
-        # L-flit packet holds its endpoint link for L cycles).
-        self._eject_busy_until: dict[int, int] = {}
-        # Channel serialisation for multi-flit packets: (router, port)
-        # -> busy-until cycle.  Untouched on the L == 1 fast path.
-        self._channel_busy_until: dict[tuple[int, int], int] = {}
-
-    # -- event scheduling ------------------------------------------------------
-
-    def _schedule_arrival(self, when: int, router: int, port: int, vc: int, pkt) -> None:
-        self._arrivals.setdefault(when, []).append((router, port, vc, pkt))
-
-    def _schedule_credit(self, when: int, router: int, port: int, vc: int) -> None:
-        self._credit_returns.setdefault(when, []).append((router, port, vc))
+        self._in_window = False
 
     # -- cycle phases ------------------------------------------------------
 
     def _phase_arrivals(self) -> None:
-        for router, port, vc, pkt in self._arrivals.pop(self.now, ()):
-            self.net.deliver(router, port, vc, pkt)
-        for router, port, vc in self._credit_returns.pop(self.now, ()):
-            self.net.credits[router][port][vc] += 1
-            self.net.active_routers.add(router)
+        net = self.net
+        active = net.active_routers
+        slot = self.now % self._arr_horizon
+        bucket = self._arr_wheel[slot]
+        if bucket:
+            self._arr_wheel[slot] = []
+            self._pending_arrivals -= len(bucket)
+            in_fifo = net.in_fifo
+            in_order = net.in_order
+            seen = net._in_seen
+            for b, dst, pkt in bucket:
+                fifo = in_fifo[b]
+                if not seen[b]:
+                    seen[b] = 1
+                    order = in_order[dst]
+                    order.append((len(order), b, fifo))
+                fifo.append(pkt)
+                active.add(dst)
+        slot = self.now % self._credit_horizon
+        bucket = self._credit_wheel[slot]
+        if bucket:
+            self._credit_wheel[slot] = []
+            credits = net.credits_flat
+            buf_src = net.buf_src_list
+            for b in bucket:
+                credits[b] += 1
+                active.add(buf_src[b])
 
     def _phase_injection(self, measuring: bool) -> None:
         # Offered load is in flits/cycle/endpoint; with L-flit packets
         # the packet-generation probability scales down by L.
         load = self.offered_load / self.config.packet_length
-        if load <= 0.0 or not self.active_endpoints:
+        if load <= 0.0 or self._active_eps_arr is None:
             return
-        n = len(self.active_endpoints)
-        if self._active_eps_arr is None:
-            import numpy as np
-
-            self._active_eps_arr = np.asarray(self.active_endpoints)
-        coins = self.rng.random(n) < load
+        coins = self.rng.random(len(self.active_endpoints)) < load
         if not coins.any():
             return
-        topo = self.topology
-        for src in self._active_eps_arr[coins]:
-            src = int(src)
-            dst = self.traffic.destination(src, self.rng)
-            if dst is None or dst == src:
-                continue
-            src_router = topo.endpoint_map[src]
-            dst_router = topo.endpoint_map[dst]
-            path = None
-            if self.routing.source_routed:
-                path = self.routing.plan(src_router, dst_router, self.net)
-            pkt = Packet(
-                src_endpoint=src,
-                dst_endpoint=dst,
-                dst_router=dst_router,
-                path=path,
-                inject_time=self.now,
-                measured=measuring,
-            )
-            if measuring:
-                self.measured_injected += 1
-            self.net.enqueue_injection(src, pkt)
-
-    def _desired_next(self, pkt: Packet, router: int) -> int:
-        """Next router for a flit at ``router`` (path or per-hop query)."""
-        if pkt.path is not None:
-            return pkt.path[pkt.hop + 1]
-        return self.routing.next_hop(router, pkt.dst_router, pkt, self.net)
+        srcs = self._active_eps_arr[coins]
+        dsts = self.traffic.destinations(srcs, self.rng)
+        routing = self.routing
+        plan = (
+            routing.plan
+            if routing.source_routed and self._next_hop is None
+            else None
+        )
+        net = self.net
+        inject = net.inject_queue
+        active_add = net.active_routers.add
+        now = self.now
+        injected = 0
+        if isinstance(dsts, np.ndarray):
+            # Vectorised patterns return an array with no idle slots;
+            # endpoint -> router lookups batch through numpy too, and
+            # packets are built by direct slot stores (a Python-level
+            # __init__ frame per flit is measurable at this rate).
+            emap_arr = self._endpoint_router_arr
+            src_routers = emap_arr[srcs].tolist()
+            dst_routers = emap_arr[dsts].tolist()
+            skip_self = not getattr(self.traffic, "excludes_self", False)
+            new = Packet.__new__
+            rank = now << 1
+            for src, dst, src_router, dst_router in zip(
+                srcs.tolist(), dsts.tolist(), src_routers, dst_routers
+            ):
+                if skip_self and dst == src:
+                    continue
+                pkt = new(Packet)
+                pkt.src_endpoint = src
+                pkt.dst_endpoint = dst
+                pkt.dst_router = dst_router
+                pkt.path = (
+                    plan(src_router, dst_router, net) if plan is not None else None
+                )
+                pkt.hop = 0
+                pkt.inject_time = now
+                pkt.start_time = now
+                pkt.measured = measuring
+                pkt.rank = rank
+                injected += 1
+                inject[src].append(pkt)
+                active_add(src_router)
+        else:
+            emap = self.topology.endpoint_map
+            for src, dst in zip(srcs.tolist(), dsts):
+                if dst is None or dst == src:
+                    continue
+                src_router = emap[src]
+                dst_router = emap[dst]
+                path = plan(src_router, dst_router, net) if plan is not None else None
+                pkt = Packet(src, dst, dst_router, path, now, measuring)
+                injected += 1
+                inject[src].append(pkt)
+                active_add(src_router)
+        if measuring:
+            self.measured_injected += injected
 
     def _phase_switch_allocation(self) -> None:
         net = self.net
         cfg = self.config
-        topo = self.topology
+        now = self.now
         length = cfg.packet_length
+        single = length == 1
+        speedup = cfg.speedup
+        V = net.num_vcs
+        vc_cap = V - 1
+        credits = net.credits_flat
+        in_order = net.in_order
+        inject_pairs = net.inject_pairs
+        out_stage = net.out_stage
+        pb = net.port_base_list
+        port_index = net.port_index
+        eject_busy = net.eject_busy_until
+        next_port = self._next_port
+        routing_next = self.routing.next_hop
+        credit_push = self._credit_wheel[
+            (now + cfg.credit_delay) % self._credit_horizon
+        ].append
+        in_window = self._in_window
+        lat_push = self.latencies.values.append
+        qlat_push = self.queue_latencies.values.append
+        stage_mask = net.stage_mask
+        delivered = 0
+        ejected_flits = 0
         # Routers may become inactive; collect removals after the sweep.
         inactive: list[int] = []
         for router in list(net.active_routers):
-            # Gather candidate head flits: (inject_time, kind, key, pkt, next)
-            requests = []
-            bufs = net.in_buf[router]
-            for (port, vc), q in bufs.items():
-                if q:
-                    pkt = q[0]
-                    requests.append((pkt.inject_time, 0, (port, vc), pkt))
-            for ep in topo.endpoints_of_router[router]:
-                q = net.inject_queue[ep]
-                if q:
-                    pkt = q[0]
-                    requests.append((pkt.inject_time, 1, ep, pkt))
+            # Gather candidate head flits as (rank, seq, key, fifo, pkt):
+            # rank packs (inject_time, kind) into one int — oldest
+            # first, buffered (kind 0) before injecting (kind 1) — and
+            # seq (strictly increasing in scan order, precomputed in
+            # the in_order/inject_pairs triples) makes tuples compare
+            # without ever reaching the packet, while preserving scan
+            # order on rank ties.  The scan order itself (in_order,
+            # then endpoints) replicates the seed engine's
+            # dict-iteration tie-break.
+            requests = [
+                (h.rank, s, b, q, h)
+                for s, b, q in in_order[router]
+                if q and (h := q[0])
+            ]
+            requests += [
+                (h.rank | 1, s, ep, q, h)
+                for s, ep, q in inject_pairs[router]
+                if q and (h := q[0])
+            ]
             if not requests:
-                if all(not s for s in net.out_stage[router]):
+                if not stage_mask[router]:
                     inactive.append(router)
                 continue
-            requests.sort(key=lambda r: (r[0], r[1]))  # oldest first
-            granted_per_port: dict[int, int] = {}
-            for _, kind, key, pkt in requests:
+            if len(requests) > 1:
+                requests.sort()  # oldest first
+            base = pb[router]
+            granted = [0] * (pb[router + 1] - base)
+            pi = port_index[router]
+            for rank, _, key, q, pkt in requests:
                 if pkt.dst_router == router:
                     # Ejection: the endpoint link carries 1 flit/cycle,
                     # so an L-flit packet occupies it for L cycles.
                     ep = pkt.dst_endpoint
-                    if self._eject_busy_until.get(ep, 0) > self.now:
+                    if eject_busy[ep] > now:
                         continue
-                    self._eject_busy_until[ep] = self.now + length
-                    self._pop_granted(router, kind, key)
-                    self._complete(pkt)
+                    eject_busy[ep] = now + length
+                    q.popleft()
+                    if rank & 1:  # injection FIFO: no upstream credits
+                        pkt.start_time = now
+                    elif single:
+                        # Freed slots return upstream, all L at once
+                        # (packet-granularity VCT credit return).
+                        credit_push(key)
+                    else:
+                        for _ in range(length):
+                            credit_push(key)
+                    # Packet complete; tail flit leaves `length` cycles
+                    # after the grant.
+                    if pkt.measured:
+                        delivered += 1
+                        lat_push(now + length - pkt.inject_time)
+                        qlat_push(pkt.start_time - pkt.inject_time)
+                    if in_window:
+                        ejected_flits += length
                     continue
-                nxt = self._desired_next(pkt, router)
-                port = net.port_index[router][nxt]
-                if granted_per_port.get(port, 0) >= cfg.speedup:
+                if next_port is not None:
+                    port = next_port[router][pkt.dst_router]
+                elif pkt.path is not None:
+                    port = pi[pkt.path[pkt.hop + 1]]
+                else:
+                    port = pi[routing_next(router, pkt.dst_router, pkt, net)]
+                g = granted[port]
+                if g >= speedup:
                     continue
-                vc = min(pkt.hop, cfg.num_vcs - 1)
-                if net.credits[router][port][vc] < length:
+                hop = pkt.hop
+                vc = hop if hop < vc_cap else vc_cap
+                c_out = base + port
+                b_out = c_out * V + vc
+                if credits[b_out] < length:
                     continue  # VCT: the whole packet must fit downstream
-                net.credits[router][port][vc] -= length
-                granted_per_port[port] = granted_per_port.get(port, 0) + 1
-                self._pop_granted(router, kind, key)
-                net.out_stage[router][port].append((pkt, vc))
+                credits[b_out] -= length
+                granted[port] = g + 1
+                q.popleft()
+                if rank & 1:
+                    pkt.start_time = now
+                elif single:
+                    credit_push(key)
+                else:
+                    for _ in range(length):
+                        credit_push(key)
+                # Stage the downstream flat-buffer id with the packet:
+                # transmission forwards it into the arrival event as-is.
+                out_stage[c_out].append((pkt, b_out))
+                stage_mask[router] |= 1 << port
             # Router stays active if anything is still buffered/staged.
+        self.measured_delivered += delivered
+        self.window_ejections += ejected_flits
+        active = net.active_routers
         for router in inactive:
-            net.active_routers.discard(router)
-
-    def _pop_granted(self, router: int, kind: int, key) -> None:
-        """Remove a granted head flit and send a credit upstream if needed."""
-        net = self.net
-        if kind == 1:  # injection FIFO: no upstream credits
-            pkt = net.inject_queue[key].popleft()
-            pkt.start_time = self.now
-            return
-        port, vc = key
-        net.in_buf[router][(port, vc)].popleft()
-        # The freed slots belong to the upstream router's credit pool
-        # (all L at once — packet-granularity VCT credit return).
-        upstream = self.topology.adjacency[router][port]
-        up_port = net.port_index[upstream][router]
-        for _ in range(self.config.packet_length):
-            self._schedule_credit(
-                self.now + self.config.credit_delay, upstream, up_port, vc
-            )
+            active.discard(router)
 
     def _phase_transmit(self) -> None:
         net = self.net
-        length = self.config.packet_length
+        cfg = self.config
+        now = self.now
+        length = cfg.packet_length
         # Tail flit arrives after serialising the remaining L−1 flits.
-        latency = self.config.hop_latency + (length - 1)
-        adjacency = self.topology.adjacency
+        latency = cfg.hop_latency + (length - 1)
+        bucket = self._arr_wheel[(now + latency) % self._arr_horizon]
+        push = bucket.append
+        out_stage = net.out_stage
+        pb = net.port_base_list
+        chan_dst = net.chan_dst_list
+        stage_mask = net.stage_mask
+        busy = net.channel_busy_until
+        single = length == 1
+        trace = self.trace_channels
+        sent = 0
         for router in list(net.active_routers):
-            stages = net.out_stage[router]
-            for port, stage in enumerate(stages):
-                if not stage:
-                    continue
-                if length > 1:
-                    busy_key = (router, port)
-                    if self._channel_busy_until.get(busy_key, 0) > self.now:
+            mask = stage_mask[router]
+            if not mask:
+                continue
+            base = pb[router]
+            remaining = mask
+            while mask:  # staged ports only, ascending
+                low = mask & -mask
+                mask ^= low
+                c = base + low.bit_length() - 1
+                if not single:
+                    if busy[c] > now:
                         continue
-                    self._channel_busy_until[busy_key] = self.now + length
-                pkt, vc = stage.popleft()
-                nxt = adjacency[router][port]
+                    busy[c] = now + length
+                stage = out_stage[c]
+                pkt, b_dst = stage.popleft()
+                if not stage:
+                    remaining ^= low
+                nxt = chan_dst[c]
                 pkt.hop += 1
-                if self.trace_channels:
+                if trace:
                     key = (router, nxt)
                     self.channel_flits[key] = self.channel_flits.get(key, 0) + 1
-                in_port = net.port_index[nxt][router]
-                self._schedule_arrival(self.now + latency, nxt, in_port, vc, pkt)
-
-    def _complete(self, pkt: Packet) -> None:
-        # Tail flit leaves `packet_length` cycles after the grant.
-        tail = self.now + self.config.packet_length
-        if pkt.measured:
-            self.measured_delivered += 1
-            self.latencies.add(tail - pkt.inject_time)
-            self.queue_latencies.add(pkt.start_time - pkt.inject_time)
-        if self._in_window:
-            self.window_ejections += self.config.packet_length
+                push((b_dst, nxt, pkt))
+                sent += 1
+            stage_mask[router] = remaining
+        self._pending_arrivals += sent
 
     # -- main loop ---------------------------------------------------------------
 
@@ -265,7 +401,7 @@ class SimEngine:
             self.now += 1
             if self.now >= end_measure:
                 drained = self.measured_delivered >= self.measured_injected
-                if drained and not self._arrivals and self._all_idle():
+                if drained and not self._pending_arrivals and self._all_idle():
                     break
                 if drained and self.now >= end_measure + 8:
                     break
@@ -304,10 +440,11 @@ class SimEngine:
     def _all_idle(self) -> bool:
         net = self.net
         for router in net.active_routers:
-            if any(q for q in net.in_buf[router].values()):
+            if net.stage_mask[router]:
                 return False
-            if any(net.out_stage[router]):
-                return False
+            for _, _, q in net.in_order[router]:
+                if q:
+                    return False
         return not any(net.inject_queue)
 
 

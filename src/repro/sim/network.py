@@ -1,19 +1,35 @@
-"""Simulator state for one topology: buffers, credits, channels.
+"""Flat struct-of-arrays simulator state (see DESIGN.md).
 
-Structure per router r (ports numbered as in
-:class:`~repro.topologies.base.Topology`: network ports follow the
-adjacency order, injection queues follow):
+Every directed router-to-router channel gets a *flat channel id*:
+channel ``c = port_base[r] + p`` is network port ``p`` of router ``r``
+(ports numbered as in :class:`~repro.topologies.base.Topology`), and
+carries flits from ``r`` to ``chan_dst[c]``.  All flow-control state is
+preallocated over these ids instead of the seed implementation's
+per-router dicts (kept in :mod:`repro.sim.reference`):
 
-- ``in_buf[r][(port, vc)]`` — input FIFO (deque of packets), created
-  lazily so idle ports cost nothing (active-set scheduling, see the
-  hpc-parallel guide notes in DESIGN.md).
-- ``credits[r][port][vc]`` — free slots in the *downstream* router's
-  input buffer for that channel/VC.
-- ``out_stage[r][port]`` — the output staging queue (fed at up to
-  ``speedup`` flits/cycle, drained at channel rate 1 flit/cycle).
+- ``credits`` — ``(num_channels, num_vcs)`` array of free slots in the
+  downstream input buffer of each channel/VC (``credits_flat`` is the
+  ravelled view the engine's hot loops index with
+  ``c * num_vcs + vc``).
+- ``in_fifo[c * num_vcs + vc]`` — the input FIFO *fed by* channel
+  ``c``, resident at router ``chan_dst[c]``.
+- ``out_stage[c]`` — the output staging queue of channel ``c`` (fed at
+  up to ``speedup`` flits/cycle, drained at channel rate 1
+  flit/cycle).
+- ``channel_busy_until`` / ``eject_busy_until`` — fixed-size arrays
+  replacing the unbounded busy-until dicts of the seed engine (their
+  growth on long multi-flit runs was a leak; arrays cap it by
+  construction).
 - injection queues are unbounded (open-loop source queues; their
   occupancy is what diverges past saturation) and ejection is one
   flit per endpoint per cycle.
+
+``in_order[r]`` records the first-use order of router ``r``'s input
+FIFOs.  The seed engine iterated lazily-created dict entries, so its
+switch-allocation tie-break among equally-old flits follows buffer
+*creation* order; tracking that order explicitly keeps the flat engine
+bitwise identical to the reference (see DESIGN.md, "Determinism
+contract").
 
 ``queue_length(u, v)`` exposes the congestion signal UGAL variants
 read: the output staging occupancy plus flits already buffered
@@ -24,73 +40,127 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.sim.config import SimConfig
 from repro.topologies.base import Topology
 
 
 class SimNetwork:
-    """Mutable flow-control state of a simulated network."""
+    """Mutable flow-control state of a simulated network, flat layout."""
 
     def __init__(self, topology: Topology, config: SimConfig):
         self.topology = topology
         self.config = config
         nr = topology.num_routers
+        adjacency = topology.adjacency
+        V = config.num_vcs
+        self.num_vcs = V
 
         #: neighbor id -> port index per router (dict lookup beats .index()).
         self.port_index: list[dict[int, int]] = [
-            {v: i for i, v in enumerate(nbrs)} for nbrs in topology.adjacency
+            {v: i for i, v in enumerate(nbrs)} for nbrs in adjacency
         ]
-        #: Lazily-populated input FIFOs keyed by (network_port, vc).
-        self.in_buf: list[dict[tuple[int, int], deque]] = [dict() for _ in range(nr)]
-        #: Credits toward each neighbour, per VC.
+        degrees = np.fromiter((len(n) for n in adjacency), dtype=np.int64, count=nr)
+        #: (router, port) -> flat channel id: ``port_base[r] + port``.
+        self.port_base = np.zeros(nr + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self.port_base[1:])
+        C = int(self.port_base[-1])
+        self.num_channels = C
+        #: Endpoints of each directed channel (numpy + plain-list mirrors;
+        #: the lists are what the engine's per-flit loops index).
+        self.chan_src = np.repeat(np.arange(nr, dtype=np.int64), degrees)
+        self.chan_dst = np.fromiter(
+            (v for nbrs in adjacency for v in nbrs), dtype=np.int64, count=C
+        )
+        self.port_base_list: list[int] = self.port_base.tolist()
+        self.chan_src_list: list[int] = self.chan_src.tolist()
+        self.chan_dst_list: list[int] = self.chan_dst.tolist()
+        #: buffer id -> source router of its channel (credit-return target).
+        self.buf_src_list: list[int] = np.repeat(self.chan_src, V).tolist()
+        #: Channel *into* router r on its arrival port p (reverse lookup).
+        pb = self.port_base_list
+        self.in_chan: list[list[int]] = [
+            [pb[v] + self.port_index[v][u] for v in nbrs]
+            for u, nbrs in enumerate(adjacency)
+        ]
+
         cap = config.buffer_per_vc
-        self.credits: list[list[list[int]]] = [
-            [[cap] * config.num_vcs for _ in nbrs] for nbrs in topology.adjacency
-        ]
-        #: Output staging queues per network port.
-        self.out_stage: list[list[deque]] = [
-            [deque() for _ in nbrs] for nbrs in topology.adjacency
-        ]
+        #: Free downstream slots per (channel, VC), flat-indexed by
+        #: ``c * num_vcs + vc``.  Stored as a preallocated Python list:
+        #: the switch-allocation loop does one read-modify-write per
+        #: grant, and CPython list indexing is ~2.5x faster than numpy
+        #: scalar indexing there (see DESIGN.md); the :attr:`credits`
+        #: property exposes the ``(num_channels, num_vcs)`` array view.
+        self.credits_flat: list[int] = [cap] * (C * V)
+        #: Input FIFOs, one per (channel, VC), preallocated.
+        self.in_fifo: list[deque] = [deque() for _ in range(C * V)]
+        #: First-use order of input FIFOs per router, as
+        #: (scan sequence, flat id, FIFO) triples: the allocation scan
+        #: neither re-indexes nor enumerates, and the sequence number
+        #: is the switch-allocation tie-break (see module doc).
+        self.in_order: list[list[tuple[int, int, deque]]] = [[] for _ in range(nr)]
+        self._in_seen = bytearray(C * V)
+        #: Scan sequence offset placing injection FIFOs after every
+        #: possible input FIFO of a router.
+        self.inject_seq_base = C * V + 1
+        #: Output staging queues, one per directed channel.
+        self.out_stage: list[deque] = [deque() for _ in range(C)]
+        #: Bitmask of locally-staged output ports per router (bit p set
+        #: iff ``out_stage[port_base[r] + p]`` is non-empty); lets
+        #: transmission and idle checks skip empty ports.
+        self.stage_mask: list[int] = [0] * nr
         #: Injection FIFOs, one per endpoint (unbounded).
         self.inject_queue: list[deque] = [deque() for _ in range(topology.num_endpoints)]
+        #: (scan sequence, endpoint, FIFO) triples per router.
+        self.inject_pairs: list[list[tuple[int, int, deque]]] = [
+            [
+                (self.inject_seq_base + i, ep, self.inject_queue[ep])
+                for i, ep in enumerate(eps)
+            ]
+            for eps in topology.endpoints_of_router
+        ]
         #: Routers that may have switch-allocation work this cycle.
         self.active_routers: set[int] = set()
+        #: Channel serialisation for multi-flit packets (busy-until
+        #: cycle), one fixed slot per channel — the seed engine's
+        #: unbounded ``dict[(router, port) -> cycle]`` grew without
+        #: limit on long runs.
+        self.channel_busy_until: list[int] = [0] * C
+        #: Ejection-port occupancy per endpoint (busy-until cycle).
+        self.eject_busy_until: list[int] = [0] * topology.num_endpoints
 
-    # -- buffer helpers ------------------------------------------------------
+    # -- array views ---------------------------------------------------------
 
-    def buffer_of(self, router: int, port: int, vc: int) -> deque:
-        key = (port, vc)
-        buf = self.in_buf[router].get(key)
-        if buf is None:
-            buf = deque()
-            self.in_buf[router][key] = buf
-        return buf
+    @property
+    def credits(self) -> np.ndarray:
+        """``(num_channels, num_vcs)`` credit snapshot (copy)."""
+        return np.asarray(self.credits_flat, dtype=np.int64).reshape(
+            self.num_channels, self.num_vcs
+        )
 
-    def deliver(self, router: int, port: int, vc: int, packet) -> None:
-        """Channel arrival into an input buffer slot (credit was reserved)."""
-        self.buffer_of(router, port, vc).append(packet)
-        self.active_routers.add(router)
+    @property
+    def channel_busy_array(self) -> np.ndarray:
+        return np.asarray(self.channel_busy_until, dtype=np.int64)
 
-    def enqueue_injection(self, endpoint: int, packet) -> None:
-        self.inject_queue[endpoint].append(packet)
-        self.active_routers.add(self.topology.endpoint_map[endpoint])
+    @property
+    def eject_busy_array(self) -> np.ndarray:
+        return np.asarray(self.eject_busy_until, dtype=np.int64)
 
     # -- congestion signal (UGAL) ------------------------------------------------
 
     def queue_length(self, router: int, neighbor: int) -> int:
         """Output-queue occupancy toward ``neighbor`` as UGAL sees it."""
-        port = self.port_index[router][neighbor]
-        staged = len(self.out_stage[router][port])
+        c = self.port_base_list[router] + self.port_index[router][neighbor]
+        staged = len(self.out_stage[c])
+        V = self.num_vcs
         cap = self.config.buffer_per_vc
-        downstream = sum(cap - c for c in self.credits[router][port])
+        downstream = cap * V - sum(self.credits_flat[c * V : (c + 1) * V])
         return staged + downstream
 
     def total_buffered(self) -> int:
         """Flits resident in input buffers + staging (conservation checks)."""
-        total = 0
-        for bufs in self.in_buf:
-            total += sum(len(b) for b in bufs.values())
-        for stages in self.out_stage:
-            total += sum(len(s) for s in stages)
+        total = sum(len(b) for b in self.in_fifo)
+        total += sum(len(s) for s in self.out_stage)
         total += sum(len(q) for q in self.inject_queue)
         return total

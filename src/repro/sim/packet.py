@@ -22,6 +22,7 @@ class Packet:
         "inject_time",
         "start_time",
         "measured",
+        "rank",
     )
 
     def __init__(
@@ -47,6 +48,10 @@ class Packet:
         self.start_time = inject_time
         #: True when injected inside the measurement window.
         self.measured = measured
+        #: Switch-allocation age rank, ``inject_time << 1``: the low
+        #: bit distinguishes buffered (0) from injecting (1) requests,
+        #: so (age, kind) priority compares as a single int.
+        self.rank = inject_time << 1
 
     def next_router_on_path(self) -> int:
         """For source-routed packets: the router after ``hop`` hops + 1."""

@@ -1,0 +1,231 @@
+"""Parallel sweep orchestrator (DESIGN.md, Layer 3).
+
+Fans the (offered load × seed replica) grid of a latency-vs-load
+experiment across ``multiprocessing`` workers and returns the same
+:class:`~repro.sim.stats.LoadPoint` rows the serial
+:func:`~repro.sim.sweep.latency_vs_load` produces:
+
+- **Determinism** — each (point, replica) derives its RNG seed from
+  the config seed and the replica index alone, so results are
+  identical for any worker count (including the in-process serial
+  fallback).  Replica 0 keeps the config seed itself, which makes a
+  1-replica parallel sweep bit-for-bit equal to the serial sweep.
+- **Saturation short-circuit** — the serial sweep stops simulating
+  after ``stop_after_saturation`` consecutive saturated points and
+  marks the tail.  The parallel runner schedules loads in
+  worker-sized waves (ascending), re-evaluates the cutoff after each
+  wave, and replaces any row past the cutoff with the same marked
+  ``LoadPoint`` — output equality is preserved while wasted work is
+  bounded by one wave.
+- **Worker transport** — tasks carry only ``(point, replica, load)``
+  tuples; the topology, routing factory (often an unpicklable
+  closure), traffic pattern and config are published in a module
+  global *before* the pool forks, so children inherit them by
+  copy-on-write.  This requires the ``fork`` start method; platforms
+  without it (Windows, macOS spawn default) transparently fall back
+  to the serial path.
+
+With ``replicas > 1`` each load point is simulated under several
+derived seeds and the row reports the replica mean (latency averaged
+over non-saturated replicas, accepted load over all, saturation by
+majority vote) — the cheap way to put confidence behind a curve.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+from dataclasses import replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import simulate
+from repro.sim.stats import LoadPoint, SimResult
+from repro.sim.sweep import default_loads
+
+#: Simulation inputs published to forked workers (set per sweep).
+_WORK: dict = {}
+
+
+def replica_seed(base_seed: int, replica: int) -> int:
+    """Deterministic seed for one replica, independent of scheduling.
+
+    Replica 0 is the config seed itself (serial equivalence); higher
+    replicas hash (seed, replica) through ``numpy.random.SeedSequence``
+    for statistically independent streams.
+    """
+    if replica == 0:
+        return int(base_seed)
+    ss = np.random.SeedSequence([int(base_seed), int(replica)])
+    return int(ss.generate_state(1, dtype=np.uint64)[0])
+
+
+def _simulate_task(task: tuple[int, int, float]) -> tuple[int, int, SimResult]:
+    """Run one (point, replica) simulation inside a worker."""
+    index, replica, load = task
+    topology = _WORK["topology"]
+    routing_factory = _WORK["routing_factory"]
+    traffic = _WORK["traffic"]
+    config: SimConfig = _WORK["config"]
+    seed = replica_seed(config.seed, replica)
+    if seed != config.seed:
+        config = replace(config, seed=seed)
+    result = simulate(topology, routing_factory(), traffic, load, config)
+    return index, replica, result
+
+
+def _aggregate(load: float, results: Sequence[SimResult]) -> LoadPoint:
+    """Collapse one point's replica results into a LoadPoint row."""
+    if len(results) == 1:
+        r = results[0]
+        latency = None if r.saturated and r.delivered == 0 else r.avg_latency
+        return LoadPoint(
+            load=load, latency=latency, accepted=r.accepted_load,
+            saturated=r.saturated,
+        )
+    # Strict majority: a tie (e.g. 1 of 2 replicas) does not mark the
+    # point saturated, so the sweep keeps simulating the tail.
+    saturated = 2 * sum(r.saturated for r in results) > len(results)
+    lats = [
+        r.avg_latency
+        for r in results
+        if not (r.saturated and r.delivered == 0)
+        and r.avg_latency == r.avg_latency  # drop NaN
+    ]
+    latency = sum(lats) / len(lats) if lats else None
+    accepted = sum(r.accepted_load for r in results) / len(results)
+    return LoadPoint(load=load, latency=latency, accepted=accepted, saturated=saturated)
+
+
+def _apply_short_circuit(
+    points: list[LoadPoint | None], loads: Sequence[float], stop_after_saturation: int
+) -> list[LoadPoint]:
+    """Replace rows past the saturation cutoff with marked points.
+
+    Replicates the serial sweep's walk: a point is *marked* (not
+    simulated) once ``stop_after_saturation`` consecutive earlier
+    points saturated.
+    """
+    out: list[LoadPoint] = []
+    run = 0
+    for load, pt in zip(loads, points):
+        if run >= stop_after_saturation or pt is None:
+            out.append(LoadPoint(load=load, latency=None, accepted=None, saturated=True))
+            continue
+        out.append(pt)
+        run = run + 1 if pt.saturated else 0
+    return out
+
+
+def _fork_context():
+    # fork is listed as available on macOS but is unsafe there once
+    # Accelerate/CoreFoundation state exists (the reason CPython moved
+    # macOS to spawn-by-default); honour the documented serial fallback.
+    if sys.platform == "darwin":
+        return None
+    try:
+        if "fork" in mp.get_all_start_methods():
+            return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - exotic platforms
+        pass
+    return None
+
+
+def resolve_workers(workers: int | None, num_tasks: int) -> int:
+    """0/None means one worker per core, bounded by the task count."""
+    if not workers or workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, num_tasks))
+
+
+def parallel_latency_vs_load(
+    topology,
+    routing_factory: Callable[[], object],
+    traffic,
+    loads: Sequence[float] | None = None,
+    config: SimConfig | None = None,
+    workers: int | None = None,
+    replicas: int = 1,
+    stop_after_saturation: int = 1,
+) -> list[LoadPoint]:
+    """Latency-vs-load curve, fanned across processes.
+
+    Drop-in replacement for :func:`repro.sim.sweep.latency_vs_load`
+    (identical rows for ``replicas=1``, any ``workers``), plus seed
+    replication.  ``workers=None`` or ``0`` auto-sizes to the CPU
+    count; ``workers=1`` runs in-process.
+    """
+    loads = list(loads) if loads is not None else default_loads()
+    config = config or SimConfig()
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    workers = resolve_workers(workers, len(loads) * replicas)
+    ctx = _fork_context()
+    if workers <= 1 or ctx is None or not loads:
+        return _serial_sweep(
+            topology, routing_factory, traffic, loads, config, replicas,
+            stop_after_saturation,
+        )
+
+    global _WORK
+    points: list[LoadPoint | None] = [None] * len(loads)
+    loads_per_wave = max(1, workers // replicas)
+    _WORK = dict(
+        topology=topology,
+        routing_factory=routing_factory,
+        traffic=traffic,
+        config=config,
+    )
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            done = 0
+            run = 0
+            while done < len(loads) and run < stop_after_saturation:
+                wave = range(done, min(done + loads_per_wave, len(loads)))
+                tasks = [
+                    (i, rep, loads[i]) for i in wave for rep in range(replicas)
+                ]
+                by_point: dict[int, list[SimResult]] = {i: [] for i in wave}
+                for i, _rep, result in pool.map(_simulate_task, tasks, chunksize=1):
+                    by_point[i].append(result)
+                for i in wave:
+                    points[i] = _aggregate(loads[i], by_point[i])
+                done = wave[-1] + 1
+                # Re-evaluate the saturation cutoff over everything
+                # computed so far (waves may overshoot it; the marker
+                # pass below discards the overshoot).
+                run = 0
+                for pt in points[:done]:
+                    run = run + 1 if pt.saturated else 0
+                    if run >= stop_after_saturation:
+                        break
+    finally:
+        _WORK = {}
+    return _apply_short_circuit(points, loads, stop_after_saturation)
+
+
+def _serial_sweep(
+    topology, routing_factory, traffic, loads, config, replicas,
+    stop_after_saturation,
+) -> list[LoadPoint]:
+    """In-process path: identical semantics, no pool."""
+    points: list[LoadPoint] = []
+    run = 0
+    for index, load in enumerate(loads):
+        if run >= stop_after_saturation:
+            points.append(
+                LoadPoint(load=load, latency=None, accepted=None, saturated=True)
+            )
+            continue
+        results = []
+        for rep in range(replicas):
+            seed = replica_seed(config.seed, rep)
+            cfg = config if seed == config.seed else replace(config, seed=seed)
+            results.append(simulate(topology, routing_factory(), traffic, load, cfg))
+        pt = _aggregate(load, results)
+        points.append(pt)
+        run = run + 1 if pt.saturated else 0
+    return points

@@ -52,19 +52,24 @@ class LoadPoint:
 
 
 class LatencyAccumulator:
-    """Streaming collector for measured packet latencies."""
+    """Streaming collector for measured packet latencies.
+
+    ``values`` is public so the engine's hot loop can bind
+    ``values.append`` directly instead of paying a method call per
+    delivered packet.
+    """
 
     def __init__(self):
-        self._values: list[int] = []
+        self.values: list[int] = []
 
     def add(self, latency: int) -> None:
-        self._values.append(latency)
+        self.values.append(latency)
 
     def __len__(self) -> int:
-        return len(self._values)
+        return len(self.values)
 
     def mean(self) -> float:
-        return float(np.mean(self._values)) if self._values else float("nan")
+        return float(np.mean(self.values)) if self.values else float("nan")
 
     def percentile(self, q: float) -> float:
-        return float(np.percentile(self._values, q)) if self._values else float("nan")
+        return float(np.percentile(self.values, q)) if self.values else float("nan")

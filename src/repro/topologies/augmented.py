@@ -17,7 +17,6 @@ random matchings on the MMS graph, optionally restricted to intra-rack
 from __future__ import annotations
 
 from repro.core.mms import MMSGraph
-from repro.layout.racks import slimfly_racks
 from repro.topologies.base import Topology
 from repro.topologies.slimfly import SlimFly
 from repro.util.rng import make_rng
@@ -58,7 +57,15 @@ class AugmentedSlimFly(Topology):
         rng = make_rng(seed)
 
         neighbor_sets = [set(nbrs) for nbrs in base.adjacency]
-        rack_of = slimfly_racks(base).rack_of if intra_rack_only else None
+        if intra_rack_only:
+            # Imported here, not at module top: repro.layout imports the
+            # topologies package, so a top-level import is circular when
+            # repro.layout loads first (e.g. via repro.costmodel).
+            from repro.layout.racks import slimfly_racks
+
+            rack_of = slimfly_racks(base).rack_of
+        else:
+            rack_of = None
         added = 0
         for _ in range(extra_ports):
             added += self._add_matching(neighbor_sets, rack_of, rng)

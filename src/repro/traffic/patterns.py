@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.topologies.base import Topology
 
 
@@ -26,6 +28,19 @@ class TrafficPattern(ABC):
         ``None`` means the source stays idle for this packet slot.
         """
 
+    def destinations(self, src_endpoints, rng):
+        """Batch form of :meth:`destination` for one injection cycle.
+
+        ``src_endpoints`` is an array/sequence of sources injecting
+        this cycle (ascending); returns a matching sequence of
+        destinations (``None`` entries mean idle).  The default
+        delegates to :meth:`destination` per source; stochastic
+        patterns should override with a vectorised draw that consumes
+        the RNG stream *identically* to the sequential calls, so batch
+        and per-packet injection produce the same simulation.
+        """
+        return [self.destination(int(s), rng) for s in src_endpoints]
+
     def active_endpoints(self, topology: Topology) -> list[int]:
         """Endpoints that inject (defaults to all)."""
         return list(range(topology.num_endpoints))
@@ -39,6 +54,9 @@ class UniformRandom(TrafficPattern):
     """
 
     name = "uniform"
+    #: Destinations never equal the source (draw over n-1 then shift),
+    #: so the injector can skip its self-traffic filter.
+    excludes_self = True
 
     def __init__(self, num_endpoints: int):
         if num_endpoints < 2:
@@ -48,6 +66,17 @@ class UniformRandom(TrafficPattern):
     def destination(self, src_endpoint: int, rng) -> int:
         dst = int(rng.integers(self.num_endpoints - 1))
         return dst if dst < src_endpoint else dst + 1
+
+    def destinations(self, src_endpoints, rng):
+        """One vectorised draw for the whole cycle.
+
+        numpy's bounded-integer generation consumes the bit stream
+        element-by-element exactly as scalar calls do, so this returns
+        the same values as the sequential :meth:`destination` loop.
+        """
+        srcs = np.asarray(src_endpoints)
+        dsts = rng.integers(self.num_endpoints - 1, size=len(srcs))
+        return dsts + (dsts >= srcs)
 
 
 class FixedPermutation(TrafficPattern):
@@ -65,6 +94,10 @@ class FixedPermutation(TrafficPattern):
 
     def destination(self, src_endpoint: int, rng) -> int | None:
         return self.mapping.get(src_endpoint)
+
+    def destinations(self, src_endpoints, rng):
+        get = self.mapping.get
+        return [get(int(s)) for s in src_endpoints]
 
     def active_endpoints(self, topology: Topology) -> list[int]:
         return sorted(self.mapping)

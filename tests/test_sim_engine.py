@@ -32,15 +32,37 @@ class TestNetworkState:
     def test_initial_credits(self, sf5):
         cfg = SimConfig(num_vcs=2, buffer_per_port=16)
         net = SimNetwork(sf5, cfg)
-        assert net.credits[0][0][0] == 8
+        # Flat layout: credits is the (num_channels, num_vcs) view.
+        assert net.credits.shape == (net.num_channels, 2)
+        assert (net.credits == 8).all()
         assert net.queue_length(0, sf5.adjacency[0][0]) == 0
         assert net.total_buffered() == 0
 
-    def test_deliver_and_queue_length(self, sf5):
+    def test_flat_channel_ids(self, sf5):
         net = SimNetwork(sf5, SimConfig())
-        net.deliver(3, 0, 0, object())
+        # Channel c runs (chan_src[c] -> chan_dst[c]); port_base slices
+        # each router's outgoing channels in adjacency order.
+        for r, nbrs in enumerate(sf5.adjacency):
+            lo, hi = net.port_base_list[r], net.port_base_list[r + 1]
+            assert net.chan_dst_list[lo:hi] == nbrs
+            assert all(net.chan_src_list[c] == r for c in range(lo, hi))
+
+    def test_arrival_buffers_flit_and_activates_router(self, sf5, sf5_tables):
+        """An arrival event lands in the flat FIFO via the engine's
+        wheel (the production delivery path) and activates the router."""
+        eng = SimEngine(
+            sf5, MinimalRouting(sf5_tables), UniformRandom(200), 0.0, QUICK
+        )
+        net = eng.net
+        upstream = sf5.adjacency[3][0]
+        chan = net.port_base_list[upstream] + net.port_index[upstream][3]
+        b = chan * net.num_vcs
+        eng._arr_wheel[eng.now % eng._arr_horizon].append((b, 3, object()))
+        eng._pending_arrivals += 1
+        eng._phase_arrivals()
         assert net.total_buffered() == 1
         assert 3 in net.active_routers
+        assert eng._pending_arrivals == 0
 
 
 class TestPacketDelivery:

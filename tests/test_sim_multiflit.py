@@ -42,9 +42,7 @@ class TestMultiFlit:
             engine._phase_arrivals()
             engine.now += 1
         cap = engine.config.buffer_per_vc
-        for router_credits in engine.net.credits:
-            for port_credits in router_credits:
-                assert all(c == cap for c in port_credits)
+        assert (engine.net.credits == cap).all()
 
     def test_serialization_raises_latency(self, sf5, sf5_tables):
         """Tail-flit latency grows with packet length at fixed flit load."""

@@ -1,0 +1,137 @@
+"""Tests for the parallel sweep orchestrator (repro.sim.parallel).
+
+Covers the sweep-behavior checklist: serial-vs-parallel row equality,
+seed determinism across worker counts, the saturation short-circuit,
+and replica aggregation.
+"""
+
+import pytest
+
+from repro.routing import MinimalRouting, ValiantRouting
+from repro.sim import (
+    SimConfig,
+    latency_vs_load,
+    parallel_latency_vs_load,
+    replica_seed,
+)
+from repro.sim.parallel import resolve_workers
+from repro.traffic import UniformRandom
+
+CFG = SimConfig(warmup_cycles=100, measure_cycles=250, drain_cycles=1200, seed=5)
+LOADS = [0.1, 0.35, 0.6, 0.85]
+
+
+@pytest.fixture
+def uniform(sf5):
+    return UniformRandom(sf5.num_endpoints)
+
+
+class TestSerialParallelEquivalence:
+    def test_rows_identical_to_serial_sweep(self, sf5, sf5_tables, uniform):
+        serial = latency_vs_load(
+            sf5, lambda: MinimalRouting(sf5_tables), uniform, loads=LOADS, config=CFG
+        )
+        parallel = parallel_latency_vs_load(
+            sf5, lambda: MinimalRouting(sf5_tables), uniform, loads=LOADS,
+            config=CFG, workers=3,
+        )
+        assert serial == parallel
+
+    def test_deterministic_across_worker_counts(self, sf5, sf5_tables, uniform):
+        curves = [
+            parallel_latency_vs_load(
+                sf5, lambda: MinimalRouting(sf5_tables), uniform, loads=LOADS,
+                config=CFG, workers=w,
+            )
+            for w in (1, 2, 4)
+        ]
+        assert curves[0] == curves[1] == curves[2]
+
+    def test_unpicklable_routing_factory_is_fine(self, sf5, sf5_tables, uniform):
+        """Closures fan out via fork inheritance, not pickling."""
+        tables = sf5_tables
+        factory = lambda: MinimalRouting(tables)  # noqa: E731 - the point
+        points = parallel_latency_vs_load(
+            sf5, factory, uniform, loads=[0.2, 0.5], config=CFG, workers=2
+        )
+        assert len(points) == 2
+        assert not points[0].saturated
+
+
+class TestSaturationShortCircuit:
+    def test_tail_marked_not_simulated(self, sf5, sf5_tables, uniform):
+        """VAL saturates near 0.5; later loads must come back marked
+        (latency None) exactly as the serial sweep reports them."""
+        loads = [0.3, 0.55, 0.7, 0.85, 0.95]
+        serial = latency_vs_load(
+            sf5, lambda: ValiantRouting(sf5_tables, seed=1), uniform,
+            loads=loads, config=CFG, stop_after_saturation=1,
+        )
+        parallel = parallel_latency_vs_load(
+            sf5, lambda: ValiantRouting(sf5_tables, seed=1), uniform,
+            loads=loads, config=CFG, workers=2, stop_after_saturation=1,
+        )
+        assert serial == parallel
+        marked = [pt for pt in parallel if pt.latency is None and pt.accepted is None]
+        assert marked, "expected short-circuited tail points"
+        assert all(pt.saturated for pt in marked)
+
+    def test_stop_after_two(self, sf5, sf5_tables, uniform):
+        loads = [0.55, 0.7, 0.85, 0.95]
+        serial = latency_vs_load(
+            sf5, lambda: ValiantRouting(sf5_tables, seed=1), uniform,
+            loads=loads, config=CFG, stop_after_saturation=2,
+        )
+        parallel = parallel_latency_vs_load(
+            sf5, lambda: ValiantRouting(sf5_tables, seed=1), uniform,
+            loads=loads, config=CFG, workers=4, stop_after_saturation=2,
+        )
+        assert serial == parallel
+
+
+class TestReplicas:
+    def test_replica_seeds_are_stable_and_distinct(self):
+        seeds = [replica_seed(5, r) for r in range(4)]
+        assert seeds[0] == 5  # replica 0 keeps the config seed
+        assert len(set(seeds)) == 4
+        assert seeds == [replica_seed(5, r) for r in range(4)]
+
+    def test_replicated_rows_deterministic_across_workers(
+        self, sf5, sf5_tables, uniform
+    ):
+        curves = [
+            parallel_latency_vs_load(
+                sf5, lambda: MinimalRouting(sf5_tables), uniform,
+                loads=[0.2, 0.5], config=CFG, workers=w, replicas=3,
+            )
+            for w in (1, 3)
+        ]
+        assert curves[0] == curves[1]
+
+    def test_replica_mean_close_to_single_seed(self, sf5, sf5_tables, uniform):
+        single = parallel_latency_vs_load(
+            sf5, lambda: MinimalRouting(sf5_tables), uniform,
+            loads=[0.3], config=CFG, workers=1,
+        )[0]
+        averaged = parallel_latency_vs_load(
+            sf5, lambda: MinimalRouting(sf5_tables), uniform,
+            loads=[0.3], config=CFG, workers=1, replicas=3,
+        )[0]
+        assert averaged.latency == pytest.approx(single.latency, rel=0.2)
+        assert averaged.accepted == pytest.approx(single.accepted, rel=0.1)
+        assert not averaged.saturated
+
+    def test_replicas_must_be_positive(self, sf5, sf5_tables, uniform):
+        with pytest.raises(ValueError):
+            parallel_latency_vs_load(
+                sf5, lambda: MinimalRouting(sf5_tables), uniform,
+                loads=[0.2], config=CFG, replicas=0,
+            )
+
+
+class TestWorkerResolution:
+    def test_auto_sizing(self):
+        assert resolve_workers(None, 100) >= 1
+        assert resolve_workers(0, 100) >= 1
+        assert resolve_workers(8, 3) == 3  # bounded by task count
+        assert resolve_workers(2, 100) == 2

@@ -37,7 +37,8 @@ def test_packet_conservation(net, load, buffer_per_port, seed):
     result = engine.run()
     assert result.delivered == result.injected
     assert engine.net.total_buffered() == 0
-    assert not engine._arrivals
+    assert engine._pending_arrivals == 0
+    assert not any(engine._arr_wheel)
 
 
 @settings(max_examples=6, deadline=None)
@@ -57,10 +58,7 @@ def test_credits_restored_after_drain(net, seed):
         engine._phase_arrivals()
         engine.now += 1
     cap = engine.config.buffer_per_vc
-    for router_credits in engine.net.credits:
-        for port_credits in router_credits:
-            for c in port_credits:
-                assert c == cap
+    assert (engine.net.credits == cap).all()
 
 
 @settings(max_examples=6, deadline=None)
