@@ -76,6 +76,10 @@ EXPERIMENTS = {
         lambda **kw: _lazy("fig11_cost_power")(what="power", **kw),
         "Figs 11d/12d/13d: total network power",
     ),
+    "workload_completion": (
+        _lazy("workload_completion"),
+        "Closed-loop collective/stencil completion time (use --workload)",
+    ),
     "vc-counts": (_lazy("vc_counts"), "§IV-D: deadlock-freedom VC counts"),
     "ablate-ugal": (
         _lazy("ablations", "run_ugal_candidates"),
@@ -92,7 +96,10 @@ EXPERIMENTS = {
 }
 
 #: Experiments whose simulation sweeps fan out over --workers.
-PARALLEL_SWEEPS = {"fig6", "fig6a", "fig6b", "fig6c", "fig6d", "fig8a", "fig8-oversub"}
+PARALLEL_SWEEPS = {
+    "fig6", "fig6a", "fig6b", "fig6c", "fig6d", "fig8a", "fig8-oversub",
+    "workload_completion",
+}
 #: Of those, the ones that also accept --replicas (per-point seed averaging).
 REPLICATED_SWEEPS = {"fig6", "fig6a", "fig6b", "fig6c", "fig6d"}
 
@@ -100,8 +107,9 @@ REPLICATED_SWEEPS = {"fig6", "fig6a", "fig6b", "fig6c", "fig6d"}
 ALL_ORDER = [
     "fig1", "fig5a", "fig5b", "fig5c", "table2", "table3",
     "res-diameter", "res-pathlen", "fig6a", "fig6b", "fig6c", "fig6d",
-    "fig8a", "fig8-oversub", "table4", "costmodel", "fig11-cost",
-    "fig11-power", "vc-counts", "ablate-ugal", "ablate-val", "ablate-xi",
+    "fig8a", "fig8-oversub", "workload_completion", "table4", "costmodel",
+    "fig11-cost", "fig11-power", "vc-counts", "ablate-ugal", "ablate-val",
+    "ablate-xi",
 ]
 
 
@@ -134,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--pattern", default="uniform", help="fig6 traffic pattern")
+    parser.add_argument(
+        "--workload",
+        default="alltoall",
+        help="workload_completion kind (alltoall | ring-allreduce | "
+        "rd-allreduce | broadcast | gather | halo2d | halo3d | all)",
+    )
     parser.add_argument(
         "--workers",
         type=_nonnegative_int,
@@ -174,6 +188,8 @@ def main(argv=None) -> int:
         kw = {}
         if name == "fig6":
             kw["pattern"] = args.pattern
+        if name == "workload_completion":
+            kw["workload"] = args.workload
         if name in ("table4", "fig11-cost"):
             kw["cable_model"] = args.cable_model
         if name in PARALLEL_SWEEPS:

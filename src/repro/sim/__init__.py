@@ -12,10 +12,13 @@ Modules
 - :mod:`repro.sim.config` — :class:`SimConfig` with the paper defaults.
 - :mod:`repro.sim.packet` — the packet/flit record.
 - :mod:`repro.sim.network` — flat struct-of-arrays state for a topology.
-- :mod:`repro.sim.engine` — the cycle loop and measurement logic.
-- :mod:`repro.sim.stats` — results (latency, accepted throughput).
+- :mod:`repro.sim.engine` — the cycle loop and measurement logic, plus
+  the closed-loop (workload) variant :class:`ClosedLoopEngine`.
+- :mod:`repro.sim.stats` — results (latency, accepted throughput,
+  workload completion).
 - :mod:`repro.sim.sweep` — latency-vs-offered-load curve helper.
-- :mod:`repro.sim.parallel` — multiprocessing sweep orchestrator.
+- :mod:`repro.sim.parallel` — multiprocessing orchestrators (load
+  sweeps and closed-loop workload points).
 - :mod:`repro.sim.reference` — the frozen seed engine (differential
   oracle and benchmark baseline; not for production use).
 
@@ -26,21 +29,36 @@ determinism contract between the flat engine and the reference.
 from repro.sim.config import SimConfig
 from repro.sim.packet import Packet
 from repro.sim.network import SimNetwork
-from repro.sim.engine import SimEngine, simulate
-from repro.sim.stats import SimResult, LoadPoint
+from repro.sim.engine import (
+    ClosedLoopEngine,
+    SimEngine,
+    simulate,
+    simulate_workload,
+)
+from repro.sim.stats import SimResult, LoadPoint, WorkloadResult
 from repro.sim.sweep import latency_vs_load, find_saturation_load
-from repro.sim.parallel import parallel_latency_vs_load, replica_seed
+from repro.sim.parallel import (
+    CompletionTask,
+    parallel_latency_vs_load,
+    parallel_workload_completion,
+    replica_seed,
+)
 
 __all__ = [
     "SimConfig",
     "Packet",
     "SimNetwork",
     "SimEngine",
+    "ClosedLoopEngine",
     "simulate",
+    "simulate_workload",
     "SimResult",
     "LoadPoint",
+    "WorkloadResult",
     "latency_vs_load",
     "parallel_latency_vs_load",
+    "parallel_workload_completion",
+    "CompletionTask",
     "replica_seed",
     "find_saturation_load",
 ]

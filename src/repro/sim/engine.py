@@ -114,6 +114,10 @@ class SimEngine:
         self.latencies = LatencyAccumulator()
         self.queue_latencies = LatencyAccumulator()
         self._in_window = False
+        #: Per-delivery callback (packet) -> None; stays None open-loop.
+        #: The closed-loop subclass uses it to track message completion
+        #: without duplicating the allocation phase.
+        self._deliver_hook = None
 
     # -- cycle phases ------------------------------------------------------
 
@@ -238,6 +242,7 @@ class SimEngine:
         in_window = self._in_window
         lat_push = self.latencies.values.append
         qlat_push = self.queue_latencies.values.append
+        deliver_hook = self._deliver_hook
         stage_mask = net.stage_mask
         delivered = 0
         ejected_flits = 0
@@ -298,6 +303,8 @@ class SimEngine:
                         qlat_push(pkt.start_time - pkt.inject_time)
                     if in_window:
                         ejected_flits += length
+                    if deliver_hook is not None:
+                        deliver_hook(pkt)
                     continue
                 if next_port is not None:
                     port = next_port[router][pkt.dst_router]
@@ -457,3 +464,247 @@ def simulate(
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`SimEngine`."""
     return SimEngine(topology, routing, traffic, offered_load, config).run()
+
+
+# -- closed-loop (workload) mode ---------------------------------------------
+
+
+class _NullTraffic:
+    """Traffic shim for closed-loop runs: injection is dependency-driven
+    (the Bernoulli process never fires at offered load 0), so the
+    pattern only answers ``active_endpoints``."""
+
+    name = "closed-loop"
+    excludes_self = True
+
+    def active_endpoints(self, topology: Topology) -> list[int]:
+        return list(range(topology.num_endpoints))
+
+    def destination(self, src_endpoint: int, rng):  # pragma: no cover
+        return None
+
+    def destinations(self, src_endpoints, rng):  # pragma: no cover
+        return [None] * len(src_endpoints)
+
+
+#: Closed-loop cycle cap when the caller does not supply one: far above
+#: any healthy completion time at the scales this repo simulates, so it
+#: only fires on genuinely stuck runs (which report ``finished=False``).
+DEFAULT_MAX_CYCLES = 500_000
+
+
+class ClosedLoopEngine(SimEngine):
+    """Dependency-driven ("closed-loop") variant of the cycle engine.
+
+    Instead of the open-loop Bernoulli process, injection is gated on
+    the workload's message DAG: a message becomes *ready* once every
+    dependency has completed (tail flit ejected at its destination),
+    its flits segment into ``ceil(size / packet_length)`` packets that
+    join the source's injection FIFO the following injection phase,
+    and per-message ready/completion timestamps are recorded.  The
+    network model — switch allocation, VC/credit flow control,
+    transmission — is byte-for-byte the open-loop one (the phases are
+    inherited, not copied); only injection and the run loop differ,
+    which is what keeps the open-loop path bitwise identical to
+    :mod:`repro.sim.reference`.
+
+    Closed-loop runs are deterministic by construction for MIN/tables
+    (no RNG touched) and per-seed deterministic for stochastic
+    protocols (VAL/UGAL draw from the routing RNG in injection order,
+    which is fixed by message ids).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingAlgorithm,
+        workload,
+        config: SimConfig | None = None,
+        trace_channels: bool = False,
+    ):
+        super().__init__(
+            topology, routing, _NullTraffic(), 0.0, config, trace_channels
+        )
+        if hasattr(workload, "messages"):
+            msgs = workload.messages()
+            self.workload_name = getattr(workload, "name", "workload")
+        else:
+            msgs = list(workload)
+            self.workload_name = "workload"
+        self._msgs = {}
+        for m in msgs:
+            if m.mid in self._msgs:
+                raise ValueError(f"duplicate message id {m.mid}")
+            if not (0 <= m.src < topology.num_endpoints):
+                raise ValueError(f"message {m.mid}: bad source endpoint {m.src}")
+            if not (0 <= m.dst < topology.num_endpoints):
+                raise ValueError(f"message {m.mid}: bad destination endpoint {m.dst}")
+            self._msgs[m.mid] = m
+        self.total_messages = len(self._msgs)
+        self.completed = 0
+        #: Message id -> cycle it became ready / completed.
+        self.ready_time: dict[int, int] = {}
+        self.completion_time: dict[int, int] = {}
+        self._delivered_flits = 0
+        self._pending_deps: dict[int, int] = {}
+        self._dependents: dict[int, list[int]] = {}
+        self._remaining: dict[int, int] = {}
+        self._ready: list[int] = []
+        #: Dependents whose last dependency completes at a future cycle
+        #: (multi-flit tails eject ``packet_length`` cycles after the
+        #: grant): release cycle -> message ids.
+        self._release: dict[int, list[int]] = {}
+        for m in msgs:
+            self._pending_deps[m.mid] = len(m.deps)
+            for d in m.deps:
+                if d not in self._msgs:
+                    raise ValueError(f"message {m.mid} depends on unknown id {d}")
+                self._dependents.setdefault(d, []).append(m.mid)
+            if not m.deps:
+                self._ready.append(m.mid)
+        self._deliver_hook = self._on_delivered
+
+    # -- dependency bookkeeping -------------------------------------------
+
+    def _complete(self, mid: int, t: int) -> None:
+        self.completion_time[mid] = t
+        self.completed += 1
+        self._delivered_flits += self._msgs[mid].size_flits
+        for dep in self._dependents.get(mid, ()):
+            left = self._pending_deps[dep] - 1
+            self._pending_deps[dep] = left
+            if left == 0:
+                # A dependent may not inject before the completing
+                # tail flit has fully ejected (cycle t).
+                if t <= self.now:
+                    self._ready.append(dep)
+                else:
+                    self._release.setdefault(t, []).append(dep)
+
+    def _on_delivered(self, pkt) -> None:
+        mid = pkt.msg
+        left = self._remaining[mid] - 1
+        if left:
+            self._remaining[mid] = left
+        else:
+            del self._remaining[mid]
+            # The tail flit leaves the ejection port packet_length
+            # cycles after the grant, matching latency accounting.
+            self._complete(mid, self.now + self.config.packet_length)
+
+    # -- overridden phases -------------------------------------------------
+
+    def _phase_injection(self, measuring: bool) -> None:
+        # Ready messages (dependencies satisfied last cycle or earlier)
+        # inject in ascending message-id order — the deterministic
+        # stand-in for the open-loop source scan.  Zero-hop messages
+        # (src == dst endpoint ranks on the same NIC) complete
+        # immediately and may cascade within the phase.
+        released = self._release.pop(self.now, None)
+        if released:
+            self._ready.extend(released)
+        if not self._ready:
+            return
+        net = self.net
+        inject = net.inject_queue
+        active_add = net.active_routers.add
+        emap = self.topology.endpoint_map
+        now = self.now
+        length = self.config.packet_length
+        routing = self.routing
+        plan = (
+            routing.plan
+            if routing.source_routed and self._next_hop is None
+            else None
+        )
+        while self._ready:
+            batch = sorted(self._ready)
+            self._ready = []
+            for mid in batch:
+                m = self._msgs[mid]
+                self.ready_time[mid] = now
+                if m.src == m.dst:
+                    self._complete(mid, now)
+                    continue
+                npkts = -(-m.size_flits // length)
+                self._remaining[mid] = npkts
+                src_router = emap[m.src]
+                dst_router = emap[m.dst]
+                queue = inject[m.src]
+                for _ in range(npkts):
+                    path = (
+                        plan(src_router, dst_router, net)
+                        if plan is not None
+                        else None
+                    )
+                    pkt = Packet(m.src, m.dst, dst_router, path, now, True)
+                    pkt.msg = mid
+                    queue.append(pkt)
+                active_add(src_router)
+                self.measured_injected += npkts
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None):
+        from repro.sim.stats import WorkloadResult
+
+        limit = DEFAULT_MAX_CYCLES if max_cycles is None else max_cycles
+        self._in_window = True
+        total = self.total_messages
+        while self.completed < total and self.now < limit:
+            self._phase_arrivals()
+            self._phase_injection(True)
+            self._phase_switch_allocation()
+            self._phase_transmit()
+            self.now += 1
+            if (
+                not self._ready
+                and not self._release
+                and not self._pending_arrivals
+                and self.completed < total
+                and self._all_idle()
+            ):
+                # Unsatisfiable dependencies (e.g. a cyclic trace):
+                # nothing in flight and nothing ready — report the
+                # partial run instead of spinning to the cap.
+                break
+        lats = [
+            self.completion_time[mid] - self.ready_time[mid]
+            for mid in self.completion_time
+        ]
+        mean = float(np.mean(lats)) if lats else float("nan")
+        p99 = float(np.percentile(lats, 99)) if lats else float("nan")
+        makespan = max(self.completion_time.values(), default=0)
+        return WorkloadResult(
+            workload=self.workload_name,
+            num_messages=total,
+            completed_messages=self.completed,
+            finished=self.completed == total,
+            makespan=makespan,
+            # The loop exits at the final grant; the last tail flit is
+            # still serialising until `makespan` (> now for multi-flit
+            # packets), and bandwidth must count those cycles.
+            cycles=max(self.now, makespan),
+            delivered_flits=self._delivered_flits,
+            avg_message_latency=mean,
+            p99_message_latency=p99,
+            avg_packet_latency=self.latencies.mean(),
+            message_completions=dict(self.completion_time),
+            message_ready=dict(self.ready_time),
+        )
+
+
+def simulate_workload(
+    topology: Topology,
+    routing: RoutingAlgorithm,
+    workload,
+    config: SimConfig | None = None,
+    max_cycles: int | None = None,
+):
+    """One-shot closed-loop run of a workload's message DAG.
+
+    ``workload`` is a :class:`repro.workloads.base.Workload` or any
+    iterable of message records; returns a
+    :class:`~repro.sim.stats.WorkloadResult`.
+    """
+    return ClosedLoopEngine(topology, routing, workload, config).run(max_cycles)

@@ -23,6 +23,9 @@ class Packet:
         "start_time",
         "measured",
         "rank",
+        # Message id for closed-loop (workload) runs; never set on the
+        # open-loop path, where packets have no application context.
+        "msg",
     )
 
     def __init__(

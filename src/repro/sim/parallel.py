@@ -36,14 +36,14 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import sys
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.sim.config import SimConfig
-from repro.sim.engine import simulate
-from repro.sim.stats import LoadPoint, SimResult
+from repro.sim.engine import simulate, simulate_workload
+from repro.sim.stats import LoadPoint, SimResult, WorkloadResult
 from repro.sim.sweep import default_loads
 
 #: Simulation inputs published to forked workers (set per sweep).
@@ -107,16 +107,23 @@ def _apply_short_circuit(
 
     Replicates the serial sweep's walk: a point is *marked* (not
     simulated) once ``stop_after_saturation`` consecutive earlier
-    points saturated.
+    points saturated, and marked rows carry the last measured
+    accepted throughput (identical to the serial fill).
     """
     out: list[LoadPoint] = []
     run = 0
+    last_accepted: float | None = None
     for load, pt in zip(loads, points):
         if run >= stop_after_saturation or pt is None:
-            out.append(LoadPoint(load=load, latency=None, accepted=None, saturated=True))
+            out.append(
+                LoadPoint(
+                    load=load, latency=None, accepted=last_accepted, saturated=True
+                )
+            )
             continue
         out.append(pt)
         run = run + 1 if pt.saturated else 0
+        last_accepted = pt.accepted
     return out
 
 
@@ -207,6 +214,77 @@ def parallel_latency_vs_load(
     return _apply_short_circuit(points, loads, stop_after_saturation)
 
 
+@dataclass
+class CompletionTask:
+    """One closed-loop simulation point for the workload fan-out.
+
+    ``routing_factory`` builds a fresh routing instance inside the
+    worker (stateful RNG streams never cross task boundaries), exactly
+    like the load-sweep contract.
+    """
+
+    topology: object
+    routing_factory: Callable[[], object]
+    workload: object
+    config: SimConfig = field(default_factory=SimConfig)
+    max_cycles: int | None = None
+    label: str = ""
+
+
+def _workload_task(index: int) -> tuple[int, WorkloadResult]:
+    """Run one closed-loop task inside a worker."""
+    task: CompletionTask = _WORK["tasks"][index]
+    result = simulate_workload(
+        task.topology,
+        task.routing_factory(),
+        task.workload,
+        task.config,
+        task.max_cycles,
+    )
+    return index, result
+
+
+def parallel_workload_completion(
+    tasks: Sequence[CompletionTask],
+    workers: int | None = None,
+) -> list[WorkloadResult]:
+    """Fan closed-loop workload points across processes.
+
+    Returns one :class:`~repro.sim.stats.WorkloadResult` per task, in
+    task order.  Tasks are independent closed-loop runs, each
+    deterministic given its config seed, so the rows — including every
+    per-message completion timestamp — are identical for any worker
+    count (the acceptance bar of the workload experiment family).
+    Transport follows the sweep runner: tasks are published to the
+    fork-inherited module global and workers receive only indices, so
+    topologies/closures never pickle.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    workers = resolve_workers(workers, len(tasks))
+    ctx = _fork_context()
+    if workers <= 1 or ctx is None:
+        return [
+            simulate_workload(
+                t.topology, t.routing_factory(), t.workload, t.config, t.max_cycles
+            )
+            for t in tasks
+        ]
+    global _WORK
+    _WORK = dict(tasks=tasks)
+    results: list[WorkloadResult | None] = [None] * len(tasks)
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            for index, result in pool.map(
+                _workload_task, range(len(tasks)), chunksize=1
+            ):
+                results[index] = result
+    finally:
+        _WORK = {}
+    return results  # type: ignore[return-value]
+
+
 def _serial_sweep(
     topology, routing_factory, traffic, loads, config, replicas,
     stop_after_saturation,
@@ -214,10 +292,13 @@ def _serial_sweep(
     """In-process path: identical semantics, no pool."""
     points: list[LoadPoint] = []
     run = 0
+    last_accepted: float | None = None
     for index, load in enumerate(loads):
         if run >= stop_after_saturation:
             points.append(
-                LoadPoint(load=load, latency=None, accepted=None, saturated=True)
+                LoadPoint(
+                    load=load, latency=None, accepted=last_accepted, saturated=True
+                )
             )
             continue
         results = []
@@ -228,4 +309,5 @@ def _serial_sweep(
         pt = _aggregate(load, results)
         points.append(pt)
         run = run + 1 if pt.saturated else 0
+        last_accepted = pt.accepted
     return points

@@ -47,8 +47,67 @@ class LoadPoint:
 
     load: float
     latency: float | None  # None past saturation
+    #: Accepted throughput.  Points short-circuited past saturation
+    #: carry the last *measured* accepted value (the curve's plateau)
+    #: so downstream tables/plots never see a hole mid-curve.
     accepted: float
     saturated: bool
+
+
+@dataclass(eq=False)
+class WorkloadResult:
+    """Outcome of one closed-loop (workload) simulation.
+
+    Unlike :class:`SimResult` there is no offered/accepted load: the
+    workload injects exactly its message DAG and the figure of merit
+    is *completion time*.
+
+    Equality treats NaN latency fields (a run where nothing completed)
+    as equal, so the worker-count determinism contract — identical
+    results for any ``--workers`` — holds for stalled runs too.
+    """
+
+    workload: str
+    num_messages: int
+    completed_messages: int
+    #: True when every message completed before the cycle cap.
+    finished: bool
+    #: Cycle the last message completed (the collective's completion
+    #: time); equals ``cycles`` capped runs never reached.
+    makespan: int
+    #: Total cycles simulated.
+    cycles: int
+    #: Sum of message sizes actually delivered, in flits.
+    delivered_flits: int
+    #: Mean / p99 of per-message latency (completion − ready, i.e.
+    #: excluding time spent waiting on dependencies).
+    avg_message_latency: float
+    p99_message_latency: float
+    #: Mean per-packet end-to-end latency (tail ejection − injection).
+    avg_packet_latency: float
+    #: Per-message completion cycle (tail flit ejected), by message id.
+    message_completions: dict[int, int] = field(default_factory=dict)
+    #: Per-message ready cycle (all dependencies satisfied), by id.
+    message_ready: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def flits_per_cycle(self) -> float:
+        """Aggregate delivered bandwidth over the whole run."""
+        return self.delivered_flits / self.cycles if self.cycles else 0.0
+
+    def __eq__(self, other):
+        if not isinstance(other, WorkloadResult):
+            return NotImplemented
+        from dataclasses import fields
+
+        for f in fields(self):
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            if a != b and not (
+                isinstance(a, float) and isinstance(b, float)
+                and a != a and b != b  # both NaN
+            ):
+                return False
+        return True
 
 
 class LatencyAccumulator:

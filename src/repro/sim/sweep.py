@@ -40,9 +40,17 @@ def latency_vs_load(
     loads = list(loads) if loads is not None else default_loads()
     points: list[LoadPoint] = []
     saturated_run = 0
+    last_accepted: float | None = None
     for load in loads:
         if saturated_run >= stop_after_saturation:
-            points.append(LoadPoint(load=load, latency=None, accepted=None, saturated=True))
+            # Short-circuited rows carry the last measured accepted
+            # throughput (the curve's plateau) so downstream tables
+            # keep a full accepted column past the cutoff.
+            points.append(
+                LoadPoint(
+                    load=load, latency=None, accepted=last_accepted, saturated=True
+                )
+            )
             continue
         result: SimResult = simulate(
             topology, routing_factory(), traffic, load, config
@@ -57,6 +65,7 @@ def latency_vs_load(
             )
         )
         saturated_run = saturated_run + 1 if result.saturated else 0
+        last_accepted = result.accepted_load
     return points
 
 

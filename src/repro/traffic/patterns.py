@@ -83,6 +83,9 @@ class FixedPermutation(TrafficPattern):
     """An arbitrary fixed endpoint permutation (building block)."""
 
     name = "permutation"
+    #: Mapped sources never target themselves (validated below), so
+    #: the batched injector can take the no-self-filter fast path.
+    excludes_self = True
 
     def __init__(self, mapping: dict[int, int], name: str | None = None):
         self.mapping = dict(mapping)
@@ -91,13 +94,27 @@ class FixedPermutation(TrafficPattern):
         for s, d in self.mapping.items():
             if s == d:
                 raise ValueError(f"self-directed traffic at endpoint {s}")
+        #: Dense lookup for the vectorised batch draw.  Unmapped slots
+        #: point at themselves; the engine never queries them (only
+        #: ``active_endpoints`` — the mapping's keys — inject), and the
+        #: scalar :meth:`destination` keeps returning ``None`` for them.
+        table = np.arange(max(self.mapping) + 1 if self.mapping else 0,
+                          dtype=np.int64)
+        for s, d in self.mapping.items():
+            table[s] = d
+        self._table = table
 
     def destination(self, src_endpoint: int, rng) -> int | None:
         return self.mapping.get(src_endpoint)
 
     def destinations(self, src_endpoints, rng):
-        get = self.mapping.get
-        return [get(int(s)) for s in src_endpoints]
+        """Vectorised fixed lookup (no RNG; trivially stream-identical).
+
+        ``src_endpoints`` must be active (mapped) sources, as the
+        engine guarantees; returning an ndarray keeps batched
+        injection on the fast path for permutation patterns.
+        """
+        return self._table[np.asarray(src_endpoints)]
 
     def active_endpoints(self, topology: Topology) -> list[int]:
         return sorted(self.mapping)

@@ -16,6 +16,8 @@ destination bit:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.topologies.base import Topology
 from repro.traffic.patterns import TrafficPattern
 
@@ -33,6 +35,7 @@ class _BitPattern(TrafficPattern):
     def __init__(self, num_endpoints: int):
         self.size = active_power_of_two(num_endpoints)
         self.bits = self.size.bit_length() - 1
+        self._table: np.ndarray | None = None
 
     def active_endpoints(self, topology: Topology) -> list[int]:
         return list(range(self.size))
@@ -45,6 +48,22 @@ class _BitPattern(TrafficPattern):
             return None
         dst = self._map(src_endpoint)
         return None if dst == src_endpoint else dst
+
+    def destinations(self, src_endpoints, rng):
+        """Vectorised fixed lookup over the precomputed bit map.
+
+        Fixed points of the map come back as ``dst == src`` (instead
+        of the scalar path's ``None``); the batched injector's
+        self-traffic filter drops them, so both paths inject the same
+        packets.  No RNG is consumed either way.
+        """
+        if self._table is None:
+            self._table = np.fromiter(
+                (self._map(s) for s in range(self.size)),
+                dtype=np.int64,
+                count=self.size,
+            )
+        return self._table[np.asarray(src_endpoints)]
 
 
 class ShufflePattern(_BitPattern):
@@ -91,3 +110,18 @@ class ShiftPattern(_BitPattern):
         base = src_endpoint % half
         dst = base + half if rng.random() < 0.5 else base
         return None if dst == src_endpoint else dst
+
+    def destinations(self, src_endpoints, rng):
+        """One vectorised coin-flip batch for the cycle.
+
+        ``rng.random(k)`` consumes the bit stream exactly like k
+        scalar ``rng.random()`` calls, so the draw sequence — and
+        therefore the simulation — is identical to the per-source
+        loop; self-directed results surface as ``dst == src`` for the
+        injector's filter (scalar path: ``None``).
+        """
+        srcs = np.asarray(src_endpoints)
+        half = self.size // 2
+        base = srcs % half
+        up = rng.random(len(srcs)) < 0.5
+        return base + np.where(up, half, 0)

@@ -1,0 +1,58 @@
+"""Closed-loop application workloads (DESIGN.md, "Workload layer").
+
+The open-loop evaluation of the paper (§V, Bernoulli injection)
+answers "what load can the fabric sustain"; this package answers the
+question applications ask — "how long does my communication take" —
+by expressing workloads as dependency-ordered message DAGs that the
+closed-loop engine (:class:`repro.sim.engine.ClosedLoopEngine`)
+replays with injection gated on dependency completion.
+
+Modules
+-------
+- :mod:`repro.workloads.base` — :class:`Message`, :class:`Workload`,
+  DAG validation.
+- :mod:`repro.workloads.collectives` — ring/recursive-doubling
+  all-reduce, all-to-all, broadcast/gather trees.
+- :mod:`repro.workloads.stencil` — 2D/3D halo exchange on process
+  grids.
+- :mod:`repro.workloads.trace` — JSONL record/replay
+  (:func:`write_trace` / :func:`read_trace`).
+- :mod:`repro.workloads.registry` — CLI name -> generator factory.
+"""
+
+from repro.workloads.base import (
+    Message,
+    Workload,
+    spread_placement,
+    validate_messages,
+)
+from repro.workloads.collectives import (
+    AllToAll,
+    BroadcastTree,
+    GatherTree,
+    RecursiveDoublingAllReduce,
+    RingAllReduce,
+)
+from repro.workloads.stencil import HaloExchange, HaloExchange2D, HaloExchange3D
+from repro.workloads.trace import TraceWorkload, read_trace, write_trace
+from repro.workloads.registry import WORKLOAD_KINDS, make_workload
+
+__all__ = [
+    "Message",
+    "Workload",
+    "spread_placement",
+    "validate_messages",
+    "AllToAll",
+    "BroadcastTree",
+    "GatherTree",
+    "RecursiveDoublingAllReduce",
+    "RingAllReduce",
+    "HaloExchange",
+    "HaloExchange2D",
+    "HaloExchange3D",
+    "TraceWorkload",
+    "read_trace",
+    "write_trace",
+    "WORKLOAD_KINDS",
+    "make_workload",
+]

@@ -1,0 +1,185 @@
+"""The workload abstraction: dependency-ordered application messages.
+
+The paper evaluates Slim Fly open-loop (§V: Bernoulli injection at a
+fixed offered load).  Real applications are *closed-loop*: a rank
+sends a message only after the messages it depends on have arrived
+(collective steps, halo exchanges after a compute phase, trace
+replay).  A :class:`Workload` captures exactly that structure — a DAG
+of :class:`Message` records — and nothing else; the closed-loop
+engine (:class:`repro.sim.engine.ClosedLoopEngine`) consumes the DAG
+directly and reports per-message completion times.
+
+Ranks vs endpoints
+------------------
+Generators reason in *ranks* ``0..num_ranks-1`` (the application's
+process ids) and map them onto simulator endpoints through an
+explicit placement (``endpoints``), defaulting to the linear map
+``rank r -> endpoint r``.  Placement is part of the workload: the
+same collective on the same topology behaves differently under a
+different mapping, which is precisely the kind of scenario this
+subsystem exists to express.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Message:
+    """One application-level message (may span many packets).
+
+    ``deps`` are message ids that must *complete* (tail flit ejected
+    at the destination) before this message may be injected.
+    """
+
+    mid: int
+    src: int  #: source endpoint
+    dst: int  #: destination endpoint
+    size_flits: int
+    deps: tuple[int, ...] = ()
+    tag: str = ""  #: free-form label (collective step, trace annotation)
+
+    def __post_init__(self):
+        if self.size_flits < 1:
+            raise ValueError(f"message {self.mid}: size_flits must be >= 1")
+        if self.mid in self.deps:
+            raise ValueError(f"message {self.mid} depends on itself")
+
+
+def validate_messages(messages: Sequence[Message]) -> None:
+    """Check a message list is a well-formed dependency DAG.
+
+    Raises ``ValueError`` on duplicate ids, unknown dependency ids, or
+    dependency cycles (Kahn's algorithm).  Every generator's output
+    passes this; traces are validated on load.
+    """
+    by_id: dict[int, Message] = {}
+    for m in messages:
+        if m.mid in by_id:
+            raise ValueError(f"duplicate message id {m.mid}")
+        by_id[m.mid] = m
+    indegree = {m.mid: 0 for m in messages}
+    dependents: dict[int, list[int]] = {m.mid: [] for m in messages}
+    for m in messages:
+        for d in m.deps:
+            if d not in by_id:
+                raise ValueError(f"message {m.mid} depends on unknown id {d}")
+            indegree[m.mid] += 1
+            dependents[d].append(m.mid)
+    frontier = [mid for mid, deg in indegree.items() if deg == 0]
+    seen = 0
+    while frontier:
+        mid = frontier.pop()
+        seen += 1
+        for nxt in dependents[mid]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                frontier.append(nxt)
+    if seen != len(messages):
+        raise ValueError("dependency cycle in workload messages")
+
+
+class Workload(ABC):
+    """A named generator of dependency-ordered messages.
+
+    Parameters
+    ----------
+    num_ranks:
+        Application process count.
+    endpoints:
+        Placement: ``endpoints[r]`` is the simulator endpoint hosting
+        rank ``r``.  Defaults to the identity map.  Must have at least
+        ``num_ranks`` entries, all distinct.
+    """
+
+    name: str = "workload"
+
+    def __init__(self, num_ranks: int, endpoints: Sequence[int] | None = None):
+        if num_ranks < 2:
+            raise ValueError("workloads need at least 2 ranks")
+        if endpoints is None:
+            endpoints = range(num_ranks)
+        endpoints = list(endpoints)[:num_ranks]
+        if len(endpoints) < num_ranks:
+            raise ValueError(
+                f"placement has {len(endpoints)} endpoints for {num_ranks} ranks"
+            )
+        if len(set(endpoints)) != len(endpoints):
+            raise ValueError("placement maps two ranks to the same endpoint")
+        self.num_ranks = num_ranks
+        self.endpoints = endpoints
+
+    def ep(self, rank: int) -> int:
+        """Endpoint hosting ``rank`` under the placement."""
+        return self.endpoints[rank]
+
+    @abstractmethod
+    def messages(self) -> list[Message]:
+        """The full message DAG (endpoint ids, validated)."""
+
+    # -- derived quantities ------------------------------------------------
+
+    def total_flits(self) -> int:
+        return sum(m.size_flits for m in self.messages())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, ranks={self.num_ranks})"
+
+
+class _Builder:
+    """Incremental message-list builder shared by the generators."""
+
+    def __init__(self):
+        self.messages: list[Message] = []
+
+    def add(
+        self,
+        src: int,
+        dst: int,
+        size_flits: int,
+        deps: Iterable[int] = (),
+        tag: str = "",
+    ) -> int:
+        mid = len(self.messages)
+        self.messages.append(
+            Message(mid, src, dst, size_flits, tuple(deps), tag)
+        )
+        return mid
+
+    def build(self) -> list[Message]:
+        validate_messages(self.messages)
+        return self.messages
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def spread_placement(topology, num_ranks: int) -> list[int]:
+    """Round-robin ranks over routers (one endpoint per router first).
+
+    The identity default placement parks consecutive ranks on the same
+    switch and measures concentration; spreading makes the
+    inter-router fabric carry the workload — the placement the
+    completion-time experiments, benchmarks and examples share.
+    ``topology`` is anything exposing ``endpoints_of_router``.
+    """
+    out: list[int] = []
+    slot = 0
+    while len(out) < num_ranks:
+        progressed = False
+        for eps in topology.endpoints_of_router:
+            if slot < len(eps):
+                out.append(eps[slot])
+                progressed = True
+                if len(out) == num_ranks:
+                    return out
+        if not progressed:
+            raise ValueError(
+                f"topology has only {len(out)} endpoints for {num_ranks} ranks"
+            )
+        slot += 1
+    return out

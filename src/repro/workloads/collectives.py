@@ -1,0 +1,241 @@
+"""Collective-communication workload generators.
+
+Dependency structures follow the standard MPI algorithm shapes (see
+e.g. Thakur et al., "Optimization of Collective Communication
+Operations in MPICH"): ring and recursive-doubling all-reduce,
+personalised all-to-all, and binomial broadcast/gather trees.  Each
+generator emits the *communication* DAG only — compute phases between
+steps are modelled as pure dependencies (a send becomes ready the
+cycle its inputs complete), which makes the resulting completion time
+a network-limited lower bound, the quantity the topology comparison
+cares about.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workloads.base import Message, Workload, _Builder, ceil_div
+
+
+class RingAllReduce(Workload):
+    """Ring all-reduce: reduce-scatter then all-gather, 2(n-1) steps.
+
+    The vector of ``size_flits`` splits into n chunks; in every step
+    rank i sends one chunk to rank i+1 and its send depends on the
+    chunk it received from rank i-1 in the previous step.  Bandwidth
+    optimal, latency ~ 2(n-1) network traversals.
+    """
+
+    name = "ring-allreduce"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        size_flits: int = 64,
+        endpoints: Sequence[int] | None = None,
+    ):
+        super().__init__(num_ranks, endpoints)
+        self.size_flits = size_flits
+        self.chunk_flits = max(1, ceil_div(size_flits, num_ranks))
+
+    def messages(self) -> list[Message]:
+        n = self.num_ranks
+        b = _Builder()
+        prev_recv: list[int | None] = [None] * n  # mid received by rank in step-1
+        for step in range(2 * (n - 1)):
+            phase = "rs" if step < n - 1 else "ag"
+            sent = []
+            for i in range(n):
+                dep_mid = prev_recv[i]
+                mid = b.add(
+                    self.ep(i),
+                    self.ep((i + 1) % n),
+                    self.chunk_flits,
+                    deps=() if dep_mid is None else (dep_mid,),
+                    tag=f"{phase}{step}",
+                )
+                sent.append(mid)
+            for i in range(n):  # rank i receives from i-1
+                prev_recv[i] = sent[(i - 1) % n]
+        return b.build()
+
+
+class RecursiveDoublingAllReduce(Workload):
+    """Recursive doubling: log2(n) rounds of pairwise full exchanges.
+
+    Requires a power-of-two rank count.  In round r, rank i exchanges
+    the full vector with partner ``i XOR 2^r``; its send depends on the
+    message it received from its round r-1 partner.  Latency optimal
+    (log rounds), bandwidth ~ size per round.
+    """
+
+    name = "rd-allreduce"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        size_flits: int = 64,
+        endpoints: Sequence[int] | None = None,
+    ):
+        super().__init__(num_ranks, endpoints)
+        if num_ranks & (num_ranks - 1):
+            raise ValueError(
+                f"recursive doubling needs a power-of-two rank count, got {num_ranks}"
+            )
+        self.size_flits = size_flits
+
+    def messages(self) -> list[Message]:
+        n = self.num_ranks
+        b = _Builder()
+        prev_recv: list[int | None] = [None] * n
+        span = 1
+        rnd = 0
+        while span < n:
+            sent = [0] * n
+            for i in range(n):
+                dep_mid = prev_recv[i]
+                sent[i] = b.add(
+                    self.ep(i),
+                    self.ep(i ^ span),
+                    self.size_flits,
+                    deps=() if dep_mid is None else (dep_mid,),
+                    tag=f"round{rnd}",
+                )
+            for i in range(n):
+                prev_recv[i] = sent[i ^ span]
+            span <<= 1
+            rnd += 1
+        return b.build()
+
+
+class AllToAll(Workload):
+    """Personalised all-to-all (shuffle): every rank sends a distinct
+    chunk to every other rank, all sends posted up front (no deps) —
+    completion time is the network's ability to drain the full
+    exchange.  Sends are rotation-ordered (rank i's k-th send goes to
+    i+k) so the instantaneous pattern is a shifting permutation, the
+    classic implementation that avoids endpoint hot-spotting.
+    """
+
+    name = "alltoall"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        size_flits: int = 16,
+        endpoints: Sequence[int] | None = None,
+    ):
+        super().__init__(num_ranks, endpoints)
+        self.size_flits = size_flits
+
+    def messages(self) -> list[Message]:
+        n = self.num_ranks
+        b = _Builder()
+        for k in range(1, n):
+            for i in range(n):
+                b.add(self.ep(i), self.ep((i + k) % n), self.size_flits,
+                      tag=f"rot{k}")
+        return b.build()
+
+
+class BroadcastTree(Workload):
+    """Binomial-tree broadcast from ``root``: in round t the first 2^t
+    ranks (relative to the root) forward the payload to the next 2^t;
+    each forward depends on the sender's own receive.  Works for any
+    rank count, ceil(log2 n) rounds deep.
+    """
+
+    name = "broadcast"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        size_flits: int = 64,
+        root: int = 0,
+        endpoints: Sequence[int] | None = None,
+    ):
+        super().__init__(num_ranks, endpoints)
+        if not (0 <= root < num_ranks):
+            raise ValueError(f"root {root} out of range")
+        self.size_flits = size_flits
+        self.root = root
+
+    def _abs(self, rel: int) -> int:
+        return (rel + self.root) % self.num_ranks
+
+    def messages(self) -> list[Message]:
+        n = self.num_ranks
+        b = _Builder()
+        recv_mid: dict[int, int] = {}  # relative rank -> mid it received
+        span = 1
+        while span < n:
+            for v in range(span):
+                u = v + span
+                if u >= n:
+                    break
+                deps = (recv_mid[v],) if v in recv_mid else ()
+                recv_mid[u] = b.add(
+                    self.ep(self._abs(v)),
+                    self.ep(self._abs(u)),
+                    self.size_flits,
+                    deps=deps,
+                    tag=f"span{span}",
+                )
+            span <<= 1
+        return b.build()
+
+
+class GatherTree(Workload):
+    """Binomial-tree gather to ``root`` (the broadcast tree reversed):
+    leaves send first; an inner node's upward send carries its whole
+    subtree's data and depends on every message received from its
+    children.
+    """
+
+    name = "gather"
+
+    def __init__(
+        self,
+        num_ranks: int,
+        size_flits: int = 16,
+        root: int = 0,
+        endpoints: Sequence[int] | None = None,
+    ):
+        super().__init__(num_ranks, endpoints)
+        if not (0 <= root < num_ranks):
+            raise ValueError(f"root {root} out of range")
+        self.size_flits = size_flits  #: per-rank contribution
+        self.root = root
+
+    def _abs(self, rel: int) -> int:
+        return (rel + self.root) % self.num_ranks
+
+    def messages(self) -> list[Message]:
+        n = self.num_ranks
+        b = _Builder()
+        # Tree edges (span, child u = v + span, parent v), exactly the
+        # broadcast construction; gather emits them deepest-first
+        # (descending span) so children's sends exist before parents'.
+        spans = []
+        span = 1
+        while span < n:
+            spans.append(span)
+            span <<= 1
+        child_mids: dict[int, list[int]] = {}  # relative rank -> recvs so far
+        agg = [1] * n  # subtree rank counts, grown as children report in
+        for span in reversed(spans):
+            for v in range(span):
+                u = v + span
+                if u >= n:
+                    break
+                mid = b.add(
+                    self.ep(self._abs(u)),
+                    self.ep(self._abs(v)),
+                    self.size_flits * agg[u],
+                    deps=tuple(child_mids.get(u, ())),
+                    tag=f"span{span}",
+                )
+                child_mids.setdefault(v, []).append(mid)
+                agg[v] += agg[u]
+        return b.build()

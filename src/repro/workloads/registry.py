@@ -1,0 +1,106 @@
+"""Name -> workload factory registry (experiment CLI / benchmarks).
+
+``make_workload("alltoall", num_ranks=32, size_flits=16)`` builds a
+generator by its CLI name; kinds that constrain the rank count
+(recursive doubling, process grids) round the requested count down to
+the nearest feasible shape so any ``--ranks`` value works.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workloads.base import Workload
+from repro.workloads.collectives import (
+    AllToAll,
+    BroadcastTree,
+    GatherTree,
+    RecursiveDoublingAllReduce,
+    RingAllReduce,
+)
+from repro.workloads.stencil import HaloExchange2D, HaloExchange3D
+
+
+def _pow2_floor(n: int) -> int:
+    return 1 << (n.bit_length() - 1)
+
+
+def _grid2(n: int) -> tuple[int, int]:
+    """Largest near-square 2D grid with at most n ranks."""
+    best = (1, 2)
+    for px in range(1, int(n**0.5) + 1):
+        py = n // px
+        if px * py > best[0] * best[1] or (
+            px * py == best[0] * best[1] and abs(px - py) < abs(best[0] - best[1])
+        ):
+            best = (px, py)
+    return best
+
+
+def _grid3(n: int) -> tuple[int, int, int]:
+    """Largest near-cubic 3D grid with at most n ranks.
+
+    Ties on rank count break toward the most balanced shape, so the
+    degenerate (1, 1, n) ring never wins when a genuine 3D
+    factorisation of the same size exists.
+    """
+    best = (1, 1, 2)
+    best_score = (2, -1)
+    for px in range(1, int(round(n ** (1 / 3))) + 2):
+        for py in range(px, int((n // max(1, px)) ** 0.5) + 2):
+            pz = n // (px * py)
+            if pz < py:
+                continue
+            score = (px * py * pz, px - pz)  # size first, then balance
+            if score > best_score:
+                best, best_score = (px, py, pz), score
+    return best
+
+
+WORKLOAD_KINDS = (
+    "alltoall",
+    "ring-allreduce",
+    "rd-allreduce",
+    "broadcast",
+    "gather",
+    "halo2d",
+    "halo3d",
+)
+
+
+def make_workload(
+    kind: str,
+    num_ranks: int,
+    size_flits: int = 16,
+    endpoints: Sequence[int] | None = None,
+    iterations: int = 2,
+) -> Workload:
+    """Build a workload generator by CLI name.
+
+    ``num_ranks`` is an upper bound: kinds with shape constraints use
+    the largest feasible rank count not exceeding it (and placements
+    are truncated to match).
+    """
+    if kind == "alltoall":
+        return AllToAll(num_ranks, size_flits, endpoints=endpoints)
+    if kind == "ring-allreduce":
+        return RingAllReduce(num_ranks, size_flits, endpoints=endpoints)
+    if kind == "rd-allreduce":
+        return RecursiveDoublingAllReduce(
+            _pow2_floor(num_ranks), size_flits, endpoints=endpoints
+        )
+    if kind == "broadcast":
+        return BroadcastTree(num_ranks, size_flits, endpoints=endpoints)
+    if kind == "gather":
+        return GatherTree(num_ranks, size_flits, endpoints=endpoints)
+    if kind == "halo2d":
+        return HaloExchange2D(
+            _grid2(num_ranks), halo_flits=size_flits, iterations=iterations,
+            endpoints=endpoints,
+        )
+    if kind == "halo3d":
+        return HaloExchange3D(
+            _grid3(num_ranks), halo_flits=size_flits, iterations=iterations,
+            endpoints=endpoints,
+        )
+    raise ValueError(f"unknown workload {kind!r}; choose from {WORKLOAD_KINDS}")

@@ -1,0 +1,128 @@
+"""JSONL trace record/replay.
+
+One JSON object per line.  The first line is a header::
+
+    {"format": "repro-trace/1", "workload": "alltoall", "num_ranks": 32}
+
+followed by one record per message::
+
+    {"id": 7, "src": 3, "dst": 11, "size": 16, "deps": [2, 5], "tag": "rot1"}
+
+``src``/``dst`` are *endpoint* ids (placement already applied), so a
+trace captured on one topology replays on any other with at least as
+many endpoints — the comparison the completion-time experiments run.
+Optional per-record fields are preserved on a round trip only insofar
+as they map onto :class:`~repro.workloads.base.Message`; simulated
+runs re-export with a ``t_complete`` field (cycle the tail flit
+ejected) so external tools can consume measured schedules, and replay
+ignores it (a closed-loop replay re-derives timing from the
+dependency structure on the network under test).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Sequence
+
+from repro.workloads.base import Message, Workload, validate_messages
+
+FORMAT = "repro-trace/1"
+
+
+class TraceWorkload(Workload):
+    """A workload backed by an explicit message list (e.g. a trace)."""
+
+    def __init__(self, messages: Sequence[Message], name: str = "trace",
+                 num_ranks: int | None = None):
+        validate_messages(messages)
+        eps = sorted({m.src for m in messages} | {m.dst for m in messages})
+        # Placement is identity: the trace already speaks endpoint ids,
+        # so rank space must span every endpoint the trace touches.
+        n = max(2, num_ranks or 0, (eps[-1] + 1) if eps else 0)
+        super().__init__(n, endpoints=range(n))
+        self.name = name
+        self._messages = list(messages)
+        self.used_endpoints = eps
+
+    def messages(self) -> list[Message]:
+        return list(self._messages)
+
+
+def _record(m: Message, completions: dict[int, int] | None) -> dict:
+    rec: dict = {"id": m.mid, "src": m.src, "dst": m.dst, "size": m.size_flits}
+    if m.deps:
+        rec["deps"] = list(m.deps)
+    if m.tag:
+        rec["tag"] = m.tag
+    if completions is not None and m.mid in completions:
+        rec["t_complete"] = completions[m.mid]
+    return rec
+
+
+def write_trace(
+    workload: Workload | Iterable[Message],
+    path_or_file,
+    completions: dict[int, int] | None = None,
+) -> None:
+    """Serialise a workload (or plain message list) to JSONL.
+
+    ``completions`` (message id -> completion cycle, e.g.
+    ``WorkloadResult.message_completions``) re-exports a simulated run
+    with measured timestamps.
+    """
+    if isinstance(workload, Workload):
+        messages = workload.messages()
+        name = workload.name
+        num_ranks = workload.num_ranks
+    else:
+        messages = list(workload)
+        name = "trace"
+        num_ranks = len({m.src for m in messages} | {m.dst for m in messages})
+    header = {"format": FORMAT, "workload": name, "num_ranks": num_ranks,
+              "num_messages": len(messages)}
+    if hasattr(path_or_file, "write"):
+        _write(path_or_file, header, messages, completions)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            _write(fh, header, messages, completions)
+
+
+def _write(fh: IO[str], header, messages, completions) -> None:
+    fh.write(json.dumps(header) + "\n")
+    for m in messages:
+        fh.write(json.dumps(_record(m, completions)) + "\n")
+
+
+def read_trace(path_or_file) -> TraceWorkload:
+    """Parse a JSONL trace back into a replayable workload."""
+    if hasattr(path_or_file, "read"):
+        lines = list(path_or_file)
+    else:
+        with open(path_or_file, encoding="utf-8") as fh:
+            lines = list(fh)
+    lines = [ln for ln in (ln.strip() for ln in lines) if ln]
+    if not lines:
+        raise ValueError("empty trace")
+    header = json.loads(lines[0])
+    records = lines[1:]
+    name = "trace"
+    num_ranks = None
+    if isinstance(header, dict) and header.get("format", "").startswith("repro-trace"):
+        name = header.get("workload", "trace")
+        num_ranks = header.get("num_ranks")
+    else:  # headerless: the first line is already a message
+        records = lines
+    messages = []
+    for ln in records:
+        rec = json.loads(ln)
+        messages.append(
+            Message(
+                mid=int(rec["id"]),
+                src=int(rec["src"]),
+                dst=int(rec["dst"]),
+                size_flits=int(rec["size"]),
+                deps=tuple(int(d) for d in rec.get("deps", ())),
+                tag=str(rec.get("tag", "")),
+            )
+        )
+    return TraceWorkload(messages, name=name, num_ranks=num_ranks)

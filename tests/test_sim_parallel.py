@@ -72,9 +72,8 @@ class TestSaturationShortCircuit:
             loads=loads, config=CFG, workers=2, stop_after_saturation=1,
         )
         assert serial == parallel
-        marked = [pt for pt in parallel if pt.latency is None and pt.accepted is None]
+        marked = [pt for pt in parallel if pt.latency is None and pt.saturated]
         assert marked, "expected short-circuited tail points"
-        assert all(pt.saturated for pt in marked)
 
     def test_stop_after_two(self, sf5, sf5_tables, uniform):
         loads = [0.55, 0.7, 0.85, 0.95]
@@ -87,6 +86,31 @@ class TestSaturationShortCircuit:
             loads=loads, config=CFG, workers=4, stop_after_saturation=2,
         )
         assert serial == parallel
+
+    def test_fill_rows_carry_last_accepted(self, sf5, sf5_tables, uniform):
+        """Short-circuited rows report the last measured accepted
+        throughput (the plateau) instead of a hole: fig6/fig8 tables
+        render a complete accepted column past the cutoff."""
+        loads = [0.3, 0.55, 0.7, 0.85, 0.95]
+        for sweep in (
+            latency_vs_load(
+                sf5, lambda: ValiantRouting(sf5_tables, seed=1), uniform,
+                loads=loads, config=CFG, stop_after_saturation=1,
+            ),
+            parallel_latency_vs_load(
+                sf5, lambda: ValiantRouting(sf5_tables, seed=1), uniform,
+                loads=loads, config=CFG, workers=2, stop_after_saturation=1,
+            ),
+        ):
+            # stop_after_saturation=1: the first saturated point is the
+            # last one simulated; every later row is a fill.
+            first_sat = next(i for i, pt in enumerate(sweep) if pt.saturated)
+            fills = sweep[first_sat + 1 :]
+            assert fills, "expected short-circuited tail points"
+            assert sweep[first_sat].accepted is not None
+            for pt in fills:
+                assert pt.saturated and pt.latency is None
+                assert pt.accepted == sweep[first_sat].accepted
 
 
 class TestReplicas:

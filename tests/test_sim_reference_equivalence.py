@@ -19,7 +19,7 @@ import pytest
 from repro.routing import MinimalRouting, UGALRouting, ValiantRouting
 from repro.sim import SimConfig, SimEngine, latency_vs_load, simulate
 from repro.sim.reference import ReferenceEngine, reference_simulate
-from repro.traffic import SlimFlyWorstCase, UniformRandom
+from repro.traffic import ShiftPattern, ShufflePattern, SlimFlyWorstCase, UniformRandom
 
 CFG = SimConfig(warmup_cycles=120, measure_cycles=300, drain_cycles=1500, seed=11)
 
@@ -68,6 +68,20 @@ class TestBitwiseEquivalence:
         wc = SlimFlyWorstCase(sf5, sf5_tables, seed=2)
         ref = reference_simulate(sf5, MinimalRouting(sf5_tables), wc, 0.3, CFG)
         flat = simulate(sf5, MinimalRouting(sf5_tables), wc, 0.3, CFG)
+        assert ref == flat
+
+    @pytest.mark.parametrize("make_pattern", [
+        lambda n: ShufflePattern(n),
+        lambda n: ShiftPattern(n),
+    ], ids=["shuffle", "shift"])
+    def test_vectorised_fixed_patterns(self, sf5, sf5_tables, make_pattern):
+        """The batched (ndarray) destinations of bit/shift patterns
+        feed the flat engine's fast path; results must still match the
+        reference engine's scalar per-source draws — including RNG
+        stream alignment for the coin-flipping shift pattern."""
+        pat = make_pattern(sf5.num_endpoints)
+        ref = reference_simulate(sf5, MinimalRouting(sf5_tables), pat, 0.4, CFG)
+        flat = simulate(sf5, MinimalRouting(sf5_tables), pat, 0.4, CFG)
         assert ref == flat
 
     @pytest.mark.parametrize("length", [2, 4])

@@ -150,3 +150,45 @@ class TestDispatch:
         assert isinstance(worst_case_for(sf5, sf5_tables, seed=0), SlimFlyWorstCase)
         assert isinstance(worst_case_for(df3), DragonflyWorstCase)
         assert isinstance(worst_case_for(ft4), FatTreeWorstCase)
+
+
+class TestBatchedDestinations:
+    """Fixed patterns vectorise ``destinations`` so batched injection
+    stays on the fast path; the batch must agree with the scalar
+    per-source draws (idle slots surface as ``dst == src`` instead of
+    ``None`` — the injector's self-filter equates the two)."""
+
+    def _check(self, pattern, srcs, consumes_rng=False):
+        rng_a = np.random.default_rng(42)
+        rng_b = np.random.default_rng(42)
+        batch = pattern.destinations(np.asarray(srcs), rng_a)
+        assert isinstance(batch, np.ndarray), "fixed patterns must vectorise"
+        scalar = [pattern.destination(int(s), rng_b) for s in srcs]
+        for s, b, sc in zip(srcs, batch, scalar):
+            if sc is None:
+                assert b == s  # idle slot encoding
+            else:
+                assert b == sc
+        if consumes_rng:  # both paths must leave the stream aligned
+            assert rng_a.random() == rng_b.random()
+
+    def test_fixed_permutation(self, sf5):
+        fp = FixedPermutation({0: 1, 1: 0, 10: 11, 11: 10})
+        self._check(fp, [0, 1, 10, 11])
+        assert fp.excludes_self
+
+    def test_bit_patterns(self):
+        for cls in (ShufflePattern, BitReversalPattern, BitComplementPattern):
+            pat = cls(64)
+            self._check(pat, list(range(64)))
+
+    def test_shift_consumes_stream_identically(self):
+        self._check(ShiftPattern(64), list(range(64)), consumes_rng=True)
+
+    def test_worst_case_patterns_vectorise(self, sf5, sf5_tables, df3, ft4):
+        for pat in (
+            SlimFlyWorstCase(sf5, sf5_tables, seed=0),
+            DragonflyWorstCase(df3),
+            FatTreeWorstCase(ft4),
+        ):
+            self._check(pat, sorted(pat.mapping))

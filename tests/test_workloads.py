@@ -1,0 +1,284 @@
+"""Tests for the workload generators and the JSONL trace format.
+
+Dependency-order correctness of every collective, process-grid halo
+structure, DAG validation, and trace round-trips.
+"""
+
+import io
+
+import pytest
+
+from repro.workloads import (
+    AllToAll,
+    BroadcastTree,
+    GatherTree,
+    HaloExchange2D,
+    HaloExchange3D,
+    Message,
+    RecursiveDoublingAllReduce,
+    RingAllReduce,
+    TraceWorkload,
+    WORKLOAD_KINDS,
+    make_workload,
+    read_trace,
+    validate_messages,
+    write_trace,
+)
+
+
+def by_id(messages):
+    return {m.mid: m for m in messages}
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        msgs = [Message(0, 0, 1, 4), Message(0, 1, 0, 4)]
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_messages(msgs)
+
+    def test_unknown_dep_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            validate_messages([Message(0, 0, 1, 4, deps=(7,))])
+
+    def test_cycle_rejected(self):
+        msgs = [Message(0, 0, 1, 4, deps=(1,)), Message(1, 1, 0, 4, deps=(0,))]
+        with pytest.raises(ValueError, match="cycle"):
+            validate_messages(msgs)
+
+    def test_self_dep_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Message(3, 0, 1, 4, deps=(3,))
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 0, 1, 0)
+
+    def test_placement_must_be_injective(self):
+        with pytest.raises(ValueError, match="same endpoint"):
+            AllToAll(4, 8, endpoints=[0, 1, 1, 2])
+
+
+class TestRingAllReduce:
+    def test_message_count_and_chunks(self):
+        n, size = 8, 64
+        wl = RingAllReduce(n, size)
+        msgs = wl.messages()
+        assert len(msgs) == 2 * (n - 1) * n
+        assert all(m.size_flits == -(-size // n) for m in msgs)
+
+    def test_ring_dependency_chain(self):
+        n = 6
+        msgs = RingAllReduce(n, n).messages()
+        m = by_id(msgs)
+        # Step s, rank i occupies mid s*n + i and sends i -> i+1.
+        for s in range(2 * (n - 1)):
+            for i in range(n):
+                msg = m[s * n + i]
+                assert msg.src == i and msg.dst == (i + 1) % n
+                if s == 0:
+                    assert msg.deps == ()
+                else:
+                    # Depends on what rank i received in step s-1:
+                    # the message sent by rank i-1.
+                    assert msg.deps == ((s - 1) * n + (i - 1) % n,)
+
+
+class TestRecursiveDoubling:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            RecursiveDoublingAllReduce(6)
+
+    def test_round_structure(self):
+        n = 8
+        msgs = RecursiveDoublingAllReduce(n, 32).messages()
+        m = by_id(msgs)
+        assert len(msgs) == n * 3  # log2(8) rounds
+        for r, span in enumerate([1, 2, 4]):
+            for i in range(n):
+                msg = m[r * n + i]
+                assert msg.dst == msg.src ^ span
+                if r:
+                    # Depends on the message received from the
+                    # previous-round partner.
+                    prev_partner = i ^ (span >> 1)
+                    assert msg.deps == ((r - 1) * n + prev_partner,)
+
+
+class TestAllToAll:
+    def test_every_pair_once_no_deps(self):
+        n = 7
+        msgs = AllToAll(n, 4).messages()
+        assert len(msgs) == n * (n - 1)
+        pairs = {(m.src, m.dst) for m in msgs}
+        assert pairs == {(i, j) for i in range(n) for j in range(n) if i != j}
+        assert all(m.deps == () for m in msgs)
+
+
+class TestTrees:
+    @pytest.mark.parametrize("n", [2, 5, 8, 13])
+    def test_broadcast_reaches_everyone_once(self, n):
+        msgs = BroadcastTree(n, 16, root=1).messages()
+        assert len(msgs) == n - 1
+        recipients = [m.dst for m in msgs]
+        assert sorted(recipients) == sorted(set(range(n)) - {1})
+        m = by_id(msgs)
+        # Every non-root sender forwards only after its own receive.
+        received = {msg.dst: msg.mid for msg in msgs}
+        for msg in msgs:
+            if msg.src != 1:
+                assert msg.deps == (received[msg.src],)
+            else:
+                assert msg.deps == ()
+
+    @pytest.mark.parametrize("n", [2, 5, 8, 13])
+    def test_gather_collects_everything(self, n):
+        size = 3
+        msgs = GatherTree(n, size, root=0).messages()
+        assert len(msgs) == n - 1
+        # The root's incoming messages carry every rank's contribution.
+        root_in = sum(m.size_flits for m in msgs if m.dst == 0)
+        assert root_in == size * (n - 1)
+        # A node's upward send depends on all sends it received.
+        by_dst = {}
+        for m in msgs:
+            by_dst.setdefault(m.dst, []).append(m.mid)
+        for m in msgs:
+            assert set(m.deps) == set(by_dst.get(m.src, []))
+        validate_messages(msgs)
+
+
+class TestHalo:
+    def test_2d_periodic_counts(self):
+        wl = HaloExchange2D((4, 3), halo_flits=5, iterations=2)
+        msgs = wl.messages()
+        # 12 ranks x 4 face neighbours x 2 iterations.
+        assert len(msgs) == 12 * 4 * 2
+        assert all(m.size_flits == 5 for m in msgs)
+
+    def test_3d_neighbour_set(self):
+        wl = HaloExchange3D((3, 3, 3), iterations=1)
+        msgs = wl.messages()
+        assert len(msgs) == 27 * 6
+        # Rank (1,1,1) = 13 talks to its six face neighbours.
+        nbrs = {m.dst for m in msgs if m.src == 13}
+        assert nbrs == {4, 22, 10, 16, 12, 14}
+
+    def test_iteration_dependencies(self):
+        wl = HaloExchange2D((3, 3), iterations=2)
+        msgs = wl.messages()
+        m = by_id(msgs)
+        first = [x for x in msgs if x.tag == "iter0"]
+        second = [x for x in msgs if x.tag == "iter1"]
+        assert all(x.deps == () for x in first)
+        for x in second:
+            # Depends on exactly the iter-0 halos its sender received.
+            assert x.deps
+            for d in x.deps:
+                assert m[d].tag == "iter0"
+                assert m[d].dst == x.src
+
+    def test_non_periodic_boundaries(self):
+        wl = HaloExchange2D((3, 3), periodic=False, iterations=1)
+        msgs = wl.messages()
+        # Corner ranks have 2 neighbours, edges 3, centre 4: total 24.
+        assert len(msgs) == 24
+
+    def test_degenerate_dims_skip_self(self):
+        wl = HaloExchange2D((1, 4), iterations=1)
+        for m in wl.messages():
+            assert m.src != m.dst
+
+
+class TestPlacement:
+    def test_endpoints_map_is_applied(self):
+        eps = [10, 20, 30, 40]
+        msgs = AllToAll(4, 2, endpoints=eps).messages()
+        used = {m.src for m in msgs} | {m.dst for m in msgs}
+        assert used == set(eps)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_all_kinds_build_and_validate(self, kind):
+        wl = make_workload(kind, 24, 8)
+        msgs = wl.messages()
+        assert msgs
+        validate_messages(msgs)
+        assert wl.num_ranks <= 24
+
+    def test_constrained_kinds_round_down(self):
+        assert make_workload("rd-allreduce", 24, 8).num_ranks == 16
+        assert make_workload("halo2d", 24, 8).grid == (4, 6)
+        assert make_workload("halo3d", 24, 8).grid == (2, 3, 4)
+
+    @pytest.mark.parametrize("n,grid", [(24, (2, 3, 4)), (27, (3, 3, 3)),
+                                        (64, (4, 4, 4)), (256, (4, 8, 8))])
+    def test_halo3d_grids_are_genuinely_3d(self, n, grid):
+        """The factoriser must prefer balanced shapes over the
+        degenerate (1, 1, n) ring of the same size."""
+        wl = make_workload("halo3d", n, 4, iterations=1)
+        assert wl.grid == grid
+        # Interior ranks exchange with 6 face neighbours.
+        sends_per_rank = {}
+        for m in wl.messages():
+            sends_per_rank[m.src] = sends_per_rank.get(m.src, 0) + 1
+        assert max(sends_per_rank.values()) == 6
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("fft", 8)
+
+
+class TestTraceRoundTrip:
+    @pytest.mark.parametrize("kind", ["alltoall", "ring-allreduce", "gather", "halo2d"])
+    def test_record_then_replay_is_identical(self, kind, tmp_path):
+        wl = make_workload(kind, 12, 4)
+        path = tmp_path / "trace.jsonl"
+        write_trace(wl, path)
+        back = read_trace(path)
+        assert back.name == wl.name
+        assert back.messages() == wl.messages()
+
+    def test_in_memory_round_trip(self):
+        wl = BroadcastTree(9, 7, root=2)
+        buf = io.StringIO()
+        write_trace(wl, buf)
+        buf.seek(0)
+        assert read_trace(buf).messages() == wl.messages()
+
+    def test_completions_export(self, tmp_path):
+        wl = AllToAll(4, 2)
+        path = tmp_path / "run.jsonl"
+        completions = {m.mid: 100 + m.mid for m in wl.messages()}
+        write_trace(wl, path, completions=completions)
+        lines = path.read_text().strip().splitlines()
+        import json
+
+        header = json.loads(lines[0])
+        assert header["format"].startswith("repro-trace")
+        assert header["num_messages"] == len(wl.messages())
+        recs = [json.loads(ln) for ln in lines[1:]]
+        assert all(r["t_complete"] == 100 + r["id"] for r in recs)
+        # Replay ignores timestamps but keeps the DAG.
+        assert read_trace(path).messages() == wl.messages()
+
+    def test_headerless_trace_accepted(self):
+        buf = io.StringIO(
+            '{"id": 0, "src": 0, "dst": 1, "size": 4}\n'
+            '{"id": 1, "src": 1, "dst": 2, "size": 4, "deps": [0]}\n'
+        )
+        wl = read_trace(buf)
+        msgs = wl.messages()
+        assert len(msgs) == 2
+        assert msgs[1].deps == (0,)
+
+    def test_bad_trace_rejected(self):
+        with pytest.raises(ValueError):
+            read_trace(io.StringIO(""))
+        cyclic = io.StringIO(
+            '{"format": "repro-trace/1", "workload": "x", "num_ranks": 2}\n'
+            '{"id": 0, "src": 0, "dst": 1, "size": 1, "deps": [1]}\n'
+            '{"id": 1, "src": 1, "dst": 0, "size": 1, "deps": [0]}\n'
+        )
+        with pytest.raises(ValueError, match="cycle"):
+            read_trace(cyclic)
