@@ -58,6 +58,30 @@ class ExperimentResult:
             parts.append(f"note: {note}")
         return "\n\n".join(parts)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the runner's ``--json`` output)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "tables": [
+                {"headers": list(headers), "rows": [list(r) for r in rows]}
+                for headers, rows in self.tables
+            ],
+            "bundles": [
+                {
+                    "title": b.title,
+                    "xlabel": b.xlabel,
+                    "ylabel": b.ylabel,
+                    "series": [
+                        {"name": s.name, "x": list(s.x), "y": list(s.y)}
+                        for s in b.series
+                    ],
+                }
+                for b in self.bundles
+            ],
+            "notes": list(self.notes),
+        }
+
 
 def sim_config_for(scale: Scale):
     """Simulator run lengths per scale preset."""
@@ -80,8 +104,53 @@ def performance_trio(scale: Scale):
     """
     from repro.topologies import Dragonfly, FatTree3, SlimFly
 
-    if scale == Scale.PAPER:
-        return SlimFly.from_q(19), Dragonfly.balanced(7), FatTree3(22)
-    if scale == Scale.DEFAULT:
-        return SlimFly.from_q(7), Dragonfly.balanced(4), FatTree3(8)
-    return SlimFly.from_q(5), Dragonfly.balanced(3), FatTree3(6)
+    q, h, p = TRIO_SHAPES[scale]
+    return SlimFly.from_q(q), Dragonfly.balanced(h), FatTree3(p)
+
+
+#: Exact §V comparison shapes per scale: (SF q, DF h, FT-3 p).
+TRIO_SHAPES = {
+    Scale.QUICK: (5, 3, 6),
+    Scale.DEFAULT: (7, 4, 8),
+    Scale.PAPER: (19, 7, 22),
+}
+
+
+def performance_trio_specs(scale: Scale):
+    """The §V trio as serializable TopologySpecs (scenario campaigns).
+
+    Shape params pin the exact instances :func:`performance_trio`
+    builds, so a campaign resolved through the topology registry runs
+    the very networks the legacy experiment paths did.
+    """
+    from repro.scenarios import TopologySpec
+
+    q, h, p = TRIO_SHAPES[Scale.coerce(scale)]
+    return (
+        TopologySpec("SF", params={"q": q}),
+        TopologySpec("DF", params={"h": h}),
+        TopologySpec("FT-3", params={"p": p}),
+    )
+
+
+def performance_protocol_specs(scale: Scale, seed: int, include_ugal_g: bool = True):
+    """The §V protocol grid as (label, TopologySpec, RoutingSpec) rows.
+
+    Shared by the fig6 and workload-completion campaign definitions
+    (the latter drops SF-UGAL-G, matching the deployment follow-up's
+    protocol set), in paper legend order.
+    """
+    from repro.scenarios import RoutingSpec
+
+    sf, df, ft = performance_trio_specs(scale)
+    rows = [
+        ("SF-MIN", sf, RoutingSpec("min")),
+        ("SF-VAL", sf, RoutingSpec("val", {"seed": seed})),
+        ("SF-UGAL-L", sf, RoutingSpec("ugal-l", {"seed": seed})),
+        ("SF-UGAL-G", sf, RoutingSpec("ugal-g", {"seed": seed})),
+        ("DF-UGAL-L", df, RoutingSpec("df-ugal-l", {"seed": seed})),
+        ("FT-ANCA", ft, RoutingSpec("ft-anca", {"seed": seed})),
+    ]
+    if not include_ugal_g:
+        rows = [r for r in rows if r[0] != "SF-UGAL-G"]
+    return rows

@@ -5,6 +5,13 @@ DF-UGAL-L, FT-ANCA.  Patterns: uniform random (6a), bit reversal (6b),
 shift (6c), worst-case adversarial (6d; per-topology patterns — Fig 9
 for SF, group+1 for DF, cross-pod for FT).
 
+The experiment is *defined* as a campaign — :func:`campaign` returns
+the declarative {protocol × load × replica} grid as serializable
+:class:`~repro.scenarios.Scenario` objects — and :func:`run` is a thin
+wrapper that executes it through
+:func:`~repro.scenarios.run_campaign` and renders the same rows the
+pre-campaign implementation produced.
+
 Reproduction targets: SF lowest latency at low load (diameter 2);
 SF-MIN near-full uniform throughput; VAL saturating below 50%;
 UGAL-L ≈ 80% of injection on uniform with a latency penalty over
@@ -14,44 +21,26 @@ UGAL-G; worst-case MIN collapsing to ≈1/(2p) while VAL/UGAL sustain
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Scale, performance_trio, sim_config_for
-from repro.routing import (
-    ANCARouting,
-    DragonflyUGAL,
-    MinimalRouting,
-    RoutingTables,
-    UGALRouting,
-    ValiantRouting,
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    performance_protocol_specs,
+    performance_trio_specs,
+    sim_config_for,
 )
-from repro.sim.parallel import parallel_latency_vs_load
-from repro.traffic import (
-    BitComplementPattern,
-    BitReversalPattern,
-    ShiftPattern,
-    ShufflePattern,
-    UniformRandom,
-    worst_case_for,
+from repro.scenarios import (
+    Campaign,
+    Scenario,
+    TrafficSpec,
+    resolve_topology,
+    rows_by_label,
+    run_campaign,
 )
+# Re-exported under its historical name: this module owned the pattern
+# list before the traffic registry existed, and callers still reach it
+# as fig6_performance.PATTERNS.
+from repro.traffic.registry import PATTERN_KINDS as PATTERNS  # noqa: F401
 from repro.util.series import SeriesBundle
-
-PATTERNS = ("uniform", "bitrev", "shift", "shuffle", "bitcomp", "worstcase")
-
-
-def _pattern_for(kind: str, topo, tables=None, seed=0):
-    n = topo.num_endpoints
-    if kind == "uniform":
-        return UniformRandom(n)
-    if kind == "bitrev":
-        return BitReversalPattern(n)
-    if kind == "shift":
-        return ShiftPattern(n)
-    if kind == "shuffle":
-        return ShufflePattern(n)
-    if kind == "bitcomp":
-        return BitComplementPattern(n)
-    if kind == "worstcase":
-        return worst_case_for(topo, tables=tables, seed=seed)
-    raise ValueError(f"unknown pattern {kind!r}; choose from {PATTERNS}")
 
 
 def _loads(scale: Scale, pattern: str) -> list[float]:
@@ -61,6 +50,28 @@ def _loads(scale: Scale, pattern: str) -> list[float]:
     return [round(step * (i + 1), 4) for i in range(n)]
 
 
+def campaign(
+    scale=Scale.DEFAULT, seed: int = 0, pattern: str = "uniform", replicas: int = 1
+) -> Campaign:
+    """One Fig 6 panel as a declarative campaign (six load sweeps)."""
+    scale = Scale.coerce(scale)
+    cfg = sim_config_for(scale)
+    loads = _loads(scale, pattern)
+    scenarios = [
+        Scenario(
+            topology=tspec,
+            routing=rspec,
+            sim=cfg,
+            traffic=TrafficSpec(pattern, seed=seed),
+            loads=loads,
+            replicas=replicas,
+            label=name,
+        )
+        for name, tspec, rspec in performance_protocol_specs(scale, seed)
+    ]
+    return Campaign(f"fig6-{pattern}-{scale.value}", scenarios)
+
+
 def run(
     scale=Scale.DEFAULT,
     seed=0,
@@ -68,19 +79,17 @@ def run(
     workers: int = 1,
     replicas: int = 1,
 ) -> ExperimentResult:
-    """Regenerate one Fig 6 panel.
+    """Regenerate one Fig 6 panel (identical rows to the legacy path).
 
-    ``workers`` fans the load sweep across processes via
-    :func:`repro.sim.parallel.parallel_latency_vs_load` (0 = one per
-    core, 1 = in-process); rows are identical for any value.
+    ``workers`` fans each scenario's load sweep across processes (0 =
+    one per core, 1 = in-process); rows are identical for any value.
     ``replicas`` averages each point over derived seeds.
     """
     scale = Scale.coerce(scale)
-    cfg = sim_config_for(scale)
-    sf, df, ft = performance_trio(scale)
-    sf_tables = RoutingTables(sf.adjacency)
-    df_tables = RoutingTables(df.adjacency)
+    camp = campaign(scale, seed=seed, pattern=pattern, replicas=replicas)
+    report = run_campaign(camp, workers=workers)
 
+    sf, df, ft = (resolve_topology(t) for t in performance_trio_specs(scale))
     result = ExperimentResult(
         f"fig6-{pattern}", f"Latency vs offered load — {pattern} traffic"
     )
@@ -94,40 +103,25 @@ def run(
         ylabel="latency [cycles]",
     )
 
-    protocols = [
-        ("SF-MIN", sf, lambda: MinimalRouting(sf_tables)),
-        ("SF-VAL", sf, lambda: ValiantRouting(sf_tables, seed=seed)),
-        ("SF-UGAL-L", sf, lambda: UGALRouting(sf_tables, "local", seed=seed)),
-        ("SF-UGAL-G", sf, lambda: UGALRouting(sf_tables, "global", seed=seed)),
-        ("DF-UGAL-L", df, lambda: DragonflyUGAL(df, df_tables, seed=seed)),
-        ("FT-ANCA", ft, lambda: ANCARouting(ft, seed=seed)),
-    ]
-
     rows = []
     saturation: dict[str, float] = {}
-    for name, topo, factory in protocols:
-        traffic = _pattern_for(pattern, topo,
-                               tables=sf_tables if topo is sf else None, seed=seed)
-        points = parallel_latency_vs_load(
-            topo, factory, traffic, loads=_loads(scale, pattern), config=cfg,
-            workers=workers, replicas=replicas,
-        )
+    for name, points in rows_by_label(report).items():
         series = bundle.new(name)
         sat_load = None
         for pt in points:
-            if pt.latency is not None:
-                series.append(pt.load, round(pt.latency, 2))
+            if pt["latency"] is not None:
+                series.append(pt["load"], round(pt["latency"], 2))
             rows.append(
                 [
                     name,
-                    pt.load,
-                    round(pt.latency, 1) if pt.latency is not None else None,
-                    round(pt.accepted, 3) if pt.accepted is not None else None,
-                    pt.saturated,
+                    pt["load"],
+                    round(pt["latency"], 1) if pt["latency"] is not None else None,
+                    round(pt["accepted"], 3) if pt["accepted"] is not None else None,
+                    pt["saturated"],
                 ]
             )
-            if pt.saturated and sat_load is None:
-                sat_load = pt.load
+            if pt["saturated"] and sat_load is None:
+                sat_load = pt["load"]
         saturation[name] = sat_load if sat_load is not None else 1.0
 
     result.add_bundle(bundle)

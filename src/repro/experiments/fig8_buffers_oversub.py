@@ -1,5 +1,12 @@
 """E13 / Fig 8a (buffer sizes) and E14 / Fig 8b–e (oversubscription).
 
+Both studies are defined as campaigns (:func:`campaign_buffers`,
+:func:`campaign_oversub`) — the buffer study is literally a
+:meth:`~repro.scenarios.Campaign.from_grid` over
+``sim.buffer_per_port``, the oversubscription study a grid over the
+Slim Fly concentration — with :func:`run_buffers`/:func:`run_oversub`
+as thin wrappers rendering the legacy rows.
+
 - **Fig 8a**: worst-case traffic under UGAL-L with input buffers of
   8..256 flits/port.  Target shape: smaller buffers give lower latency
   near saturation (stiffer backpressure), larger buffers higher
@@ -12,37 +19,77 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.core.balance import balanced_concentration, saturation_load_estimate
-from repro.experiments.common import ExperimentResult, Scale, sim_config_for
-from repro.routing import MinimalRouting, RoutingTables, UGALRouting, ValiantRouting
-from repro.sim.parallel import parallel_latency_vs_load
+from repro.experiments.common import (
+    TRIO_SHAPES,
+    ExperimentResult,
+    Scale,
+    sim_config_for,
+)
+from repro.scenarios import (
+    Campaign,
+    RoutingSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    resolve_topology,
+    rows_by_label,
+    run_campaign,
+)
+from repro.sim.stats import LoadPoint
 from repro.sim.sweep import max_accepted
 from repro.topologies import SlimFly
-from repro.traffic import SlimFlyWorstCase, UniformRandom
 from repro.util.series import SeriesBundle
 
 BUFFER_SIZES = (8, 16, 32, 64, 128, 256)
 
 
 def _sf_q(scale: Scale) -> int:
-    return {Scale.QUICK: 5, Scale.DEFAULT: 7, Scale.PAPER: 19}[scale]
+    # The §V comparison Slim Fly — same instance fig6 sweeps.
+    return TRIO_SHAPES[scale][0]
+
+
+def _points(rows: list[dict]) -> list[LoadPoint]:
+    """Campaign rows back into LoadPoint tuples for rendering."""
+    return [
+        LoadPoint(
+            load=r["load"], latency=r["latency"], accepted=r["accepted"],
+            saturated=r["saturated"],
+        )
+        for r in rows
+    ]
+
+
+def campaign_buffers(scale=Scale.DEFAULT, seed: int = 0, buffers=None) -> Campaign:
+    """Fig 8a as a grid campaign over ``sim.buffer_per_port``."""
+    scale = Scale.coerce(scale)
+    buffers = list(buffers) if buffers is not None else (
+        [16, 64, 256] if scale != Scale.PAPER else list(BUFFER_SIZES)
+    )
+    n_loads = {Scale.QUICK: 4, Scale.DEFAULT: 6, Scale.PAPER: 8}[scale]
+    loads = [round(0.1 + 0.4 * i / (n_loads - 1), 3) for i in range(n_loads)]
+    base = Scenario(
+        topology=TopologySpec("SF", params={"q": _sf_q(scale)}),
+        routing=RoutingSpec("ugal-l", {"seed": seed}),
+        sim=sim_config_for(scale),
+        traffic=TrafficSpec("worstcase", seed=seed),
+        loads=loads,
+    )
+    return Campaign.from_grid(
+        f"fig8a-{scale.value}",
+        base,
+        {"sim.buffer_per_port": buffers},
+        label=lambda s: f"{s.sim.buffer_per_port} flits",
+    )
 
 
 def run_buffers(
     scale=Scale.DEFAULT, seed=0, buffers=None, workers: int = 1
 ) -> ExperimentResult:
     scale = Scale.coerce(scale)
-    buffers = list(buffers) if buffers is not None else (
-        [16, 64, 256] if scale != Scale.PAPER else list(BUFFER_SIZES)
+    report = run_campaign(
+        campaign_buffers(scale, seed=seed, buffers=buffers), workers=workers
     )
-    sf = SlimFly.from_q(_sf_q(scale))
-    tables = RoutingTables(sf.adjacency)
-    traffic = SlimFlyWorstCase(sf, tables, seed=seed)
-    base_cfg = sim_config_for(scale)
-    n_loads = {Scale.QUICK: 4, Scale.DEFAULT: 6, Scale.PAPER: 8}[scale]
-    loads = [round(0.1 + 0.4 * i / (n_loads - 1), 3) for i in range(n_loads)]
 
     result = ExperimentResult("fig8a", "Buffer-size study, worst-case traffic")
     bundle = SeriesBundle(
@@ -50,14 +97,10 @@ def run_buffers(
     )
     rows = []
     near_sat: dict[int, float] = {}
-    for buf in buffers:
-        cfg = replace(base_cfg, buffer_per_port=buf)
-        points = parallel_latency_vs_load(
-            sf, lambda: UGALRouting(tables, "local", seed=seed), traffic,
-            loads=loads, config=cfg, workers=workers,
-        )
+    for srows in rows_by_label(report).values():
+        buf = srows[0]["spec"]["sim"]["buffer_per_port"]
         series = bundle.new(f"{buf} flits")
-        for pt in points:
+        for pt in _points(srows):
             if pt.latency is not None:
                 series.append(pt.load, round(pt.latency, 2))
                 near_sat[buf] = pt.latency
@@ -77,33 +120,52 @@ def run_buffers(
     return result
 
 
+def campaign_oversub(scale=Scale.DEFAULT, seed: int = 0, extra_ps=None) -> Campaign:
+    """Fig 8b–e as a grid campaign over the SF concentration."""
+    scale = Scale.coerce(scale)
+    q = _sf_q(scale)
+    base_topo = resolve_topology(TopologySpec("SF", params={"q": q}))
+    p_bal = balanced_concentration(base_topo.num_routers, base_topo.network_radix)
+    if extra_ps is None:
+        extra_ps = [p_bal + 1, p_bal + 3] if scale == Scale.PAPER else [p_bal + 1, p_bal + 2]
+    n_loads = {Scale.QUICK: 5, Scale.DEFAULT: 7, Scale.PAPER: 10}[scale]
+    loads = [round((i + 1) / n_loads, 3) for i in range(n_loads)]
+    base = Scenario(
+        topology=TopologySpec("SF", params={"q": q, "concentration": p_bal}),
+        routing=RoutingSpec("min"),
+        sim=sim_config_for(scale),
+        traffic=TrafficSpec("uniform"),
+        loads=loads,
+    )
+    return Campaign.from_grid(
+        f"fig8-oversub-{scale.value}",
+        base,
+        {"topology.params.concentration": [p_bal] + list(extra_ps)},
+        label=lambda s: f"p={s.topology.params['concentration']}",
+    )
+
+
 def run_oversub(
     scale=Scale.DEFAULT, seed=0, extra_ps=None, workers: int = 1
 ) -> ExperimentResult:
     scale = Scale.coerce(scale)
+    camp = campaign_oversub(scale, seed=seed, extra_ps=extra_ps)
+    report = run_campaign(camp, workers=workers)
     q = _sf_q(scale)
-    base = SlimFly.from_q(q)
-    p_bal = balanced_concentration(base.num_routers, base.network_radix)
-    if extra_ps is None:
-        extra_ps = [p_bal + 1, p_bal + 3] if scale == Scale.PAPER else [p_bal + 1, p_bal + 2]
-    cfg = sim_config_for(scale)
-    tables = RoutingTables(base.adjacency)
+    base_topo = resolve_topology(TopologySpec("SF", params={"q": q}))
+    p_bal = balanced_concentration(base_topo.num_routers, base_topo.network_radix)
 
     result = ExperimentResult(
         "fig8-oversub", f"Oversubscribed Slim Fly (q={q}, balanced p={p_bal})"
     )
     rows = []
     accepted_by_p: dict[int, float] = {}
-    n_loads = {Scale.QUICK: 5, Scale.DEFAULT: 7, Scale.PAPER: 10}[scale]
-    loads = [round((i + 1) / n_loads, 3) for i in range(n_loads)]
-    for p in [p_bal] + list(extra_ps):
-        sf = SlimFly.from_q(q, concentration=p)
-        traffic = UniformRandom(sf.num_endpoints)
-        points = parallel_latency_vs_load(
-            sf, lambda: MinimalRouting(tables), traffic, loads=loads, config=cfg,
-            workers=workers,
+    for srows in rows_by_label(report).values():
+        p = srows[0]["spec"]["topology"]["params"]["concentration"]
+        sf: SlimFly = resolve_topology(
+            TopologySpec.from_dict(srows[0]["spec"]["topology"])
         )
-        acc = max_accepted(points)
+        acc = max_accepted(_points(srows))
         accepted_by_p[p] = acc
         est = saturation_load_estimate(sf.num_routers, sf.network_radix, p)
         rows.append([p, sf.num_endpoints, round(acc, 3), round(est, 3)])

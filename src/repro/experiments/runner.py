@@ -3,33 +3,34 @@
     python -m repro.experiments --list
     python -m repro.experiments fig1 --scale quick
     python -m repro.experiments fig6 --pattern worstcase
-    python -m repro.experiments all --scale quick
+    python -m repro.experiments all --scale quick --json results.json
+    python -m repro.experiments campaign grid.json --workers 4 --resume
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments.common import Scale
 
 
-def _fig6_variant(pattern):
-    def run(scale=Scale.DEFAULT, seed=0, pattern=pattern, **kw):
-        from repro.experiments import fig6_performance
+def _lazy(modname: str, attr: str = "run", **fixed):
+    """Deferred-import experiment entry with pre-bound keyword args.
 
-        return fig6_performance.run(scale=scale, seed=seed, pattern=pattern, **kw)
+    ``fixed`` is how figure variants are registered as plain campaign
+    parameters (``pattern="uniform"``, ``what="cost"``) instead of
+    bespoke wrapper closures; caller kwargs win on conflict.
+    """
 
-    return run
-
-
-def _lazy(modname: str, attr: str = "run"):
     def run(**kw):
         import importlib
 
         mod = importlib.import_module(f"repro.experiments.{modname}")
-        return getattr(mod, attr)(**kw)
+        return getattr(mod, attr)(**{**fixed, **kw})
 
     return run
 
@@ -51,10 +52,13 @@ EXPERIMENTS = {
         "§III-D3: path-length-increase resiliency",
     ),
     "fig6": (_lazy("fig6_performance"), "Fig 6: latency vs load (use --pattern)"),
-    "fig6a": (_fig6_variant("uniform"), "Fig 6a: uniform random traffic"),
-    "fig6b": (_fig6_variant("bitrev"), "Fig 6b: bit-reversal traffic"),
-    "fig6c": (_fig6_variant("shift"), "Fig 6c: shift traffic"),
-    "fig6d": (_fig6_variant("worstcase"), "Fig 6d: worst-case traffic"),
+    "fig6a": (_lazy("fig6_performance", pattern="uniform"),
+              "Fig 6a: uniform random traffic"),
+    "fig6b": (_lazy("fig6_performance", pattern="bitrev"),
+              "Fig 6b: bit-reversal traffic"),
+    "fig6c": (_lazy("fig6_performance", pattern="shift"), "Fig 6c: shift traffic"),
+    "fig6d": (_lazy("fig6_performance", pattern="worstcase"),
+              "Fig 6d: worst-case traffic"),
     "fig8a": (
         _lazy("fig8_buffers_oversub", "run_buffers"),
         "Fig 8a: buffer-size study",
@@ -65,15 +69,15 @@ EXPERIMENTS = {
     ),
     "table4": (_lazy("table4_cost_power"), "Table IV: cost & power per node"),
     "costmodel": (
-        lambda **kw: _lazy("fig11_cost_power")(what="models", **kw),
+        _lazy("fig11_cost_power", what="models"),
         "Figs 11a/b-13a/b: cable & router cost models",
     ),
     "fig11-cost": (
-        lambda **kw: _lazy("fig11_cost_power")(what="cost", **kw),
+        _lazy("fig11_cost_power", what="cost"),
         "Figs 11c/12c/13c: total network cost",
     ),
     "fig11-power": (
-        lambda **kw: _lazy("fig11_cost_power")(what="power", **kw),
+        _lazy("fig11_cost_power", what="power"),
         "Figs 11d/12d/13d: total network power",
     ),
     "workload_completion": (
@@ -130,9 +134,17 @@ def _nonnegative_int(value: str) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the Slim Fly paper's tables and figures.",
+        description="Regenerate the Slim Fly paper's tables and figures, "
+        "or run a declarative scenario campaign.",
     )
-    parser.add_argument("experiment", nargs="?", help="experiment id or 'all'")
+    parser.add_argument(
+        "experiment", nargs="?", help="experiment id, 'all', or 'campaign'"
+    )
+    parser.add_argument(
+        "campaign_file",
+        nargs="?",
+        help="campaign JSON file (with the 'campaign' subcommand)",
+    )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
         "--scale",
@@ -152,8 +164,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=_nonnegative_int,
         default=1,
-        help="simulation sweep processes for fig6/fig8 (0 = one per core, "
-        "1 = in-process; results are identical either way)",
+        help="simulation sweep processes for fig6/fig8/campaigns (0 = one per "
+        "core, 1 = in-process; results are identical either way)",
     )
     parser.add_argument(
         "--replicas",
@@ -164,12 +176,79 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cable-model", default="mellanox-fdr10", help="cost-model cable product"
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the experiment results as a JSON list to PATH",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="campaign row output (JSONL; default: <campaign>.results.jsonl)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed scenarios already present in the campaign output",
+    )
     return parser
 
 
 def run_experiment(name: str, scale, seed: int, **kw):
     fn, _ = EXPERIMENTS[name]
     return fn(scale=scale, seed=seed, **kw)
+
+
+def _run_campaign_cli(args) -> int:
+    from repro.scenarios import Campaign, run_campaign
+
+    if not args.campaign_file:
+        print("campaign needs a JSON file argument", file=sys.stderr)
+        return 2
+    if args.json:
+        # Campaigns stream JSONL rows via --out; silently dropping the
+        # flag would look like the results were written.
+        print(
+            "--json applies to experiments; campaigns write rows to --out",
+            file=sys.stderr,
+        )
+        return 2
+    # Everything but --workers/--out/--resume is baked into the spec
+    # file; silently dropping a flag would misrepresent the rows.
+    ignored = [
+        flag
+        for flag, value, default in (
+            ("--scale", args.scale, "default"),
+            ("--seed", args.seed, 0),
+            ("--pattern", args.pattern, "uniform"),
+            ("--workload", args.workload, "alltoall"),
+            ("--replicas", args.replicas, 1),
+            ("--cable-model", args.cable_model, "mellanox-fdr10"),
+        )
+        if value != default
+    ]
+    if ignored:
+        print(
+            f"{', '.join(ignored)} cannot apply to a campaign — those axes "
+            "live in the campaign JSON; edit the spec instead",
+            file=sys.stderr,
+        )
+        return 2
+    path = Path(args.campaign_file)
+    if not path.exists():
+        print(f"no such campaign file: {path}", file=sys.stderr)
+        return 2
+    campaign = Campaign.load(path)
+    out = args.out or str(path.with_suffix("")) + ".results.jsonl"
+    start = time.time()
+    report = run_campaign(
+        campaign, workers=args.workers, out=out, resume=args.resume
+    )
+    print(report.summary())
+    print(f"[campaign finished in {time.time() - start:.1f}s]")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -180,7 +259,26 @@ def main(argv=None) -> int:
             print(f"{key.ljust(width)}  {desc}")
         return 0
 
+    if args.experiment == "campaign":
+        return _run_campaign_cli(args)
+    if args.out or args.resume:
+        print(
+            "--out/--resume apply to the 'campaign' subcommand only",
+            file=sys.stderr,
+        )
+        return 2
+    if args.campaign_file:
+        # Only 'campaign' takes a second positional; catching it here
+        # keeps e.g. `fig6 worstcase` (forgotten --pattern) loud.
+        print(
+            f"unexpected argument {args.campaign_file!r} "
+            f"(only 'campaign' takes a file argument)",
+            file=sys.stderr,
+        )
+        return 2
+
     targets = ALL_ORDER if args.experiment == "all" else [args.experiment]
+    results = []
     for name in targets:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; --list shows options", file=sys.stderr)
@@ -198,8 +296,14 @@ def main(argv=None) -> int:
             kw["replicas"] = args.replicas
         start = time.time()
         result = run_experiment(name, args.scale, args.seed, **kw)
+        results.append(result)
         print(result.render())
         print(f"[{name} finished in {time.time() - start:.1f}s]\n")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps([r.to_dict() for r in results], indent=2) + "\n"
+        )
+        print(f"[wrote {len(results)} result(s) to {args.json}]")
     return 0
 
 

@@ -4,9 +4,9 @@ The paper's §V evaluation is open-loop (latency vs offered load); the
 deployment follow-up (Blach et al., "A High-Performance Design,
 Implementation, Deployment, and Evaluation of The Slim Fly Network")
 judges the topology the way applications do: by *completion time* of
-collectives and stencil exchanges.  This experiment drives the
-closed-loop engine with the :mod:`repro.workloads` generators over
-the §V comparison networks and protocols:
+collectives and stencil exchanges.  The experiment is defined as a
+campaign of closed-loop scenarios (:func:`campaign`) over the §V
+comparison networks and protocols:
 
 - SF-MIN, SF-VAL, SF-UGAL-L on Slim Fly,
 - DF-UGAL-L on the balanced Dragonfly,
@@ -14,7 +14,8 @@ the §V comparison networks and protocols:
 
 reporting per-protocol completion cycles, message latency and
 delivered bandwidth.  ``--workload`` picks the communication pattern
-(``all`` sweeps every kind); points fan across ``--workers`` via
+(``all`` sweeps every kind); :func:`~repro.scenarios.run_campaign`
+batches the scenarios across ``--workers`` through
 :func:`repro.sim.parallel.parallel_workload_completion` with
 bit-identical results for any worker count.
 
@@ -27,17 +28,21 @@ VAL anywhere.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, Scale, performance_trio
-from repro.routing import (
-    ANCARouting,
-    DragonflyUGAL,
-    MinimalRouting,
-    RoutingTables,
-    UGALRouting,
-    ValiantRouting,
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    performance_protocol_specs,
+    performance_trio_specs,
 )
-from repro.sim import CompletionTask, SimConfig, parallel_workload_completion
-from repro.workloads import WORKLOAD_KINDS, make_workload, spread_placement
+from repro.scenarios import (
+    Campaign,
+    Scenario,
+    WorkloadSpec,
+    resolve_topology,
+    run_campaign,
+)
+from repro.sim import SimConfig
+from repro.workloads import WORKLOAD_KINDS
 
 #: Rank counts / halo-style message sizes per scale preset.  Ranks are
 #: capped by the smallest comparison network so every topology hosts
@@ -45,6 +50,41 @@ from repro.workloads import WORKLOAD_KINDS, make_workload, spread_placement
 RANKS = {Scale.QUICK: 24, Scale.DEFAULT: 48, Scale.PAPER: 256}
 FLITS = {Scale.QUICK: 8, Scale.DEFAULT: 16, Scale.PAPER: 64}
 MAX_CYCLES = 300_000
+
+
+def campaign(
+    scale=Scale.DEFAULT,
+    seed: int = 0,
+    workload: str = "alltoall",
+    ranks: int | None = None,
+    message_flits: int | None = None,
+) -> Campaign:
+    """The completion-time grid as {workload × protocol} scenarios."""
+    scale = Scale.coerce(scale)
+    kinds = list(WORKLOAD_KINDS) if workload == "all" else [workload]
+    for kind in kinds:
+        if kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload {kind!r}; choose from {WORKLOAD_KINDS} or 'all'"
+            )
+    protocols = performance_protocol_specs(scale, seed, include_ugal_g=False)
+    sizes = [resolve_topology(t).num_endpoints for _, t, _ in protocols]
+    n_ranks = ranks if ranks is not None else RANKS[scale]
+    n_ranks = min(n_ranks, *sizes)
+    flits = message_flits if message_flits is not None else FLITS[scale]
+    scenarios = [
+        Scenario(
+            topology=tspec,
+            routing=rspec,
+            sim=SimConfig(seed=seed),
+            workload=WorkloadSpec(kind, ranks=n_ranks, size_flits=flits),
+            max_cycles=MAX_CYCLES,
+            label=f"{name}/{kind}",
+        )
+        for kind in kinds
+        for name, tspec, rspec in protocols
+    ]
+    return Campaign(f"workload-completion-{workload}-{scale.value}", scenarios)
 
 
 def run(
@@ -63,47 +103,14 @@ def run(
     """
     scale = Scale.coerce(scale)
     kinds = list(WORKLOAD_KINDS) if workload == "all" else [workload]
-    for kind in kinds:
-        if kind not in WORKLOAD_KINDS:
-            raise ValueError(
-                f"unknown workload {kind!r}; choose from {WORKLOAD_KINDS} or 'all'"
-            )
-    sf, df, ft = performance_trio(scale)
-    n_ranks = ranks if ranks is not None else RANKS[scale]
-    n_ranks = min(n_ranks, sf.num_endpoints, df.num_endpoints, ft.num_endpoints)
-    flits = message_flits if message_flits is not None else FLITS[scale]
-    cfg = SimConfig(seed=seed)
-    sf_tables = RoutingTables(sf.adjacency)
-    df_tables = RoutingTables(df.adjacency)
+    camp = campaign(
+        scale, seed=seed, workload=workload, ranks=ranks, message_flits=message_flits
+    )
+    report = run_campaign(camp, workers=workers)
 
-    protocols = [
-        ("SF-MIN", sf, lambda: MinimalRouting(sf_tables)),
-        ("SF-VAL", sf, lambda: ValiantRouting(sf_tables, seed=seed)),
-        ("SF-UGAL-L", sf, lambda: UGALRouting(sf_tables, "local", seed=seed)),
-        ("DF-UGAL-L", df, lambda: DragonflyUGAL(df, df_tables, seed=seed)),
-        ("FT-ANCA", ft, lambda: ANCARouting(ft, seed=seed)),
-    ]
-
-    tasks = []
-    labels = []
-    for kind in kinds:
-        for name, topo, factory in protocols:
-            wl = make_workload(
-                kind, n_ranks, flits, endpoints=spread_placement(topo, n_ranks)
-            )
-            tasks.append(
-                CompletionTask(
-                    topology=topo,
-                    routing_factory=factory,
-                    workload=wl,
-                    config=cfg,
-                    max_cycles=MAX_CYCLES,
-                    label=f"{name}/{kind}",
-                )
-            )
-            labels.append((kind, name, wl))
-    results = parallel_workload_completion(tasks, workers=workers)
-
+    sf, df, ft = (resolve_topology(t) for t in performance_trio_specs(scale))
+    n_ranks = camp.scenarios[0].workload.ranks
+    flits = camp.scenarios[0].workload.size_flits
     out = ExperimentResult(
         "workload-completion",
         f"Closed-loop completion time — {', '.join(kinds)}",
@@ -113,23 +120,28 @@ def run(
         f"FT-3 N={ft.num_endpoints}; {n_ranks} ranks, {flits}-flit units, "
         "round-robin router placement"
     )
+    def _round(value, digits):
+        # Stalled runs carry None (serialized NaN) latency fields.
+        return round(value, digits) if value is not None else None
+
     rows = []
     completion: dict[tuple[str, str], float] = {}
-    for (kind, name, wl), res in zip(labels, results):
+    for row in report.rows:
+        name, kind = row["label"].split("/")
         rows.append(
             [
                 kind,
                 name,
-                res.num_messages,
-                res.delivered_flits,
-                res.makespan,
-                round(res.avg_message_latency, 1),
-                round(res.p99_message_latency, 1),
-                round(res.flits_per_cycle, 3),
-                res.finished,
+                row["num_messages"],
+                row["delivered_flits"],
+                row["makespan"],
+                _round(row["avg_message_latency"], 1),
+                _round(row["p99_message_latency"], 1),
+                _round(row["flits_per_cycle"], 3),
+                row["finished"],
             ]
         )
-        completion[(kind, name)] = res.makespan if res.finished else float("inf")
+        completion[(kind, name)] = row["makespan"] if row["finished"] else float("inf")
     out.add_table(
         [
             "workload", "protocol", "messages", "flits",

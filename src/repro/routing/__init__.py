@@ -10,6 +10,8 @@
 - :mod:`repro.routing.fattree_routing` — ANCA for FT-3 (§V).
 - :mod:`repro.routing.deadlock` — Gopal hop-indexed VCs, channel
   dependency graphs, DFSSSP-style VC counting (§IV-D).
+- :mod:`repro.routing.registry` — string-keyed ``make_routing``
+  factory the scenario layer resolves :class:`RoutingSpec` through.
 """
 
 from repro.routing.tables import RoutingTables
@@ -25,8 +27,16 @@ from repro.routing.deadlock import (
     gopal_vc_assignment_is_deadlock_free,
     dfsssp_vc_count,
 )
+from repro.routing.registry import (
+    ROUTING_BUILDERS,
+    make_routing,
+    routing_needs_tables,
+)
 
 __all__ = [
+    "ROUTING_BUILDERS",
+    "make_routing",
+    "routing_needs_tables",
     "RoutingTables",
     "RoutingAlgorithm",
     "SourceRoutedAlgorithm",

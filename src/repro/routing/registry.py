@@ -1,0 +1,110 @@
+"""Name -> routing-algorithm registry (scenario specs, CLI).
+
+Routing was the only layer without a string-keyed registry (topologies
+have :mod:`repro.topologies.registry`, workloads
+:mod:`repro.workloads.registry`); :class:`repro.scenarios.RoutingSpec`
+resolves through this one.  ``make_routing("ugal-l", topology)``
+builds a fresh algorithm instance — fresh matters, because adaptive
+schemes carry RNG state that must never be shared between simulations.
+
+All-pairs :class:`~repro.routing.tables.RoutingTables` are expensive;
+callers that evaluate several algorithms on one topology should build
+the tables once and pass them in (the scenario runner caches them per
+topology spec).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.routing.base import RoutingAlgorithm
+from repro.routing.dragonfly_routing import DragonflyMinimal, DragonflyUGAL
+from repro.routing.fattree_routing import ANCARouting
+from repro.routing.minimal import MinimalRouting
+from repro.routing.tables import RoutingTables
+from repro.routing.ugal import UGALRouting
+from repro.routing.valiant import ValiantRouting
+
+
+def _min(topology, tables, **params):
+    return MinimalRouting(tables, **params)
+
+
+def _val(topology, tables, **params):
+    return ValiantRouting(tables, **params)
+
+
+def _ugal(mode: str):
+    def build(topology, tables, **params):
+        return UGALRouting(tables, mode, **params)
+
+    return build
+
+
+def _df_min(topology, tables, **params):
+    return DragonflyMinimal(topology, tables, **params)
+
+
+def _df_ugal(mode: str):
+    def build(topology, tables, **params):
+        return DragonflyUGAL(topology, tables, mode=mode, **params)
+
+    return build
+
+
+def _ft_anca(topology, tables, **params):
+    return ANCARouting(topology, **params)
+
+
+#: name -> builder(topology, tables, **params).  Builders that ignore
+#: one of the two positional inputs still accept it, so ``make_routing``
+#: has a single calling convention.
+ROUTING_BUILDERS: dict[str, Callable[..., RoutingAlgorithm]] = {
+    "min": _min,
+    "val": _val,
+    "ugal-l": _ugal("local"),
+    "ugal-g": _ugal("global"),
+    "df-min": _df_min,
+    "df-ugal-l": _df_ugal("local"),
+    "df-ugal-g": _df_ugal("global"),
+    "ft-anca": _ft_anca,
+}
+
+#: Algorithms that route over all-pairs tables (the rest only need the
+#: topology object) — lets callers skip the table build entirely.
+TABLE_FREE = {"ft-anca"}
+
+#: Algorithms that consume a ``seed`` (random intermediates, adaptive
+#: tie-breaks).  Scenario specs default-fill ``seed=0`` for these so a
+#: serialized spec can never resolve to an entropy-seeded instance.
+SEEDED = frozenset({"val", "ugal-l", "ugal-g", "df-ugal-l", "df-ugal-g", "ft-anca"})
+
+
+def routing_needs_tables(name: str) -> bool:
+    """Whether ``make_routing(name, ...)`` consumes RoutingTables."""
+    if name not in ROUTING_BUILDERS:
+        raise KeyError(
+            f"unknown routing {name!r}; choose from {sorted(ROUTING_BUILDERS)}"
+        )
+    return name not in TABLE_FREE
+
+
+def make_routing(
+    name: str, topology, tables: RoutingTables | None = None, **params
+) -> RoutingAlgorithm:
+    """Build a fresh routing algorithm by registry name.
+
+    ``params`` are forwarded to the constructor (``seed``,
+    ``num_candidates``, ``max_hops``, ...).  ``tables`` defaults to a
+    fresh build from ``topology.adjacency`` when the algorithm needs
+    one — pass precomputed tables to amortise the all-pairs BFS.
+    """
+    try:
+        builder = ROUTING_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown routing {name!r}; choose from {sorted(ROUTING_BUILDERS)}"
+        ) from None
+    if tables is None and name not in TABLE_FREE:
+        tables = RoutingTables(topology.adjacency)
+    return builder(topology, tables, **params)

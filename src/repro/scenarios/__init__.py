@@ -1,0 +1,58 @@
+"""Declarative scenario/campaign API (DESIGN.md, Layer 5).
+
+Every simulation the repo can run is describable as data:
+
+- :mod:`repro.scenarios.spec` — :class:`Scenario` and the
+  string-keyed sub-specs (:class:`TopologySpec`, :class:`RoutingSpec`,
+  :class:`TrafficSpec`, :class:`WorkloadSpec`), all JSON round-trippable
+  and stably hashable.
+- :mod:`repro.scenarios.campaign` — :class:`Campaign`: ordered
+  scenario lists, parameter-grid expansion, JSON persistence.
+- :mod:`repro.scenarios.resolve` — spec -> live simulator objects,
+  with topology/table caching.
+- :mod:`repro.scenarios.runner` — :func:`run_campaign`: the single
+  entry point that dispatches open- and closed-loop scenarios, streams
+  JSONL rows, and resumes interrupted sweeps.
+"""
+
+from repro.scenarios.campaign import Campaign
+from repro.scenarios.resolve import (
+    ResolvedScenario,
+    clear_caches,
+    resolve,
+    resolve_topology,
+    tables_for,
+)
+from repro.scenarios.runner import CampaignReport, rows_by_label, run_campaign
+from repro.scenarios.spec import (
+    RoutingSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    WorkloadSpec,
+    canonical_json,
+    scenario_hash,
+    sim_config_from_dict,
+    sim_config_to_dict,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignReport",
+    "ResolvedScenario",
+    "RoutingSpec",
+    "Scenario",
+    "TopologySpec",
+    "TrafficSpec",
+    "WorkloadSpec",
+    "canonical_json",
+    "clear_caches",
+    "resolve",
+    "resolve_topology",
+    "rows_by_label",
+    "run_campaign",
+    "scenario_hash",
+    "sim_config_from_dict",
+    "sim_config_to_dict",
+    "tables_for",
+]

@@ -1,0 +1,129 @@
+"""Spec -> live-object resolution for the scenario layer.
+
+Scenarios reference everything by registry name; this module turns
+those references into the objects the simulator consumes.  Topologies
+and their all-pairs :class:`~repro.routing.tables.RoutingTables` are
+by far the most expensive inputs and recur across a campaign (the
+fig6 grid reuses three networks for six protocols × many loads), so
+both are cached per canonical spec encoding.  Routing algorithms are
+the opposite: adaptive schemes carry RNG state, so resolution hands
+out a *factory* and a fresh instance is built inside each simulation
+task — the same contract :mod:`repro.sim.parallel` already enforces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.routing.registry import make_routing, routing_needs_tables
+from repro.routing.tables import RoutingTables
+from repro.scenarios.spec import Scenario, TopologySpec, canonical_json
+from repro.sim.config import SimConfig
+from repro.topologies.base import Topology
+from repro.topologies.registry import balanced_instance
+from repro.traffic.registry import make_pattern
+from repro.workloads.registry import make_placed_workload
+
+#: spec-key -> instance caches.  Bounded FIFO: campaigns touch a
+#: handful of networks, but a long-lived process sweeping many sizes
+#: should not accumulate paper-scale tables forever.
+_TOPOLOGIES: dict[str, Topology] = {}
+_TABLES: dict[str, RoutingTables] = {}
+_CACHE_CAP = 32
+
+
+def clear_caches() -> None:
+    """Drop cached topologies/tables (tests, memory pressure)."""
+    _TOPOLOGIES.clear()
+    _TABLES.clear()
+
+
+def _bounded_put(cache: dict, key: str, value) -> None:
+    if len(cache) >= _CACHE_CAP:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def resolve_topology(spec: TopologySpec) -> Topology:
+    """Build (or fetch) the topology instance a spec describes."""
+    key = canonical_json(spec.to_dict())
+    if key not in _TOPOLOGIES:
+        topology = balanced_instance(
+            spec.name, spec.target_endpoints, seed=spec.seed, **spec.params
+        )
+        _bounded_put(_TOPOLOGIES, key, topology)
+    return _TOPOLOGIES[key]
+
+
+def tables_for(spec: TopologySpec) -> RoutingTables:
+    """All-pairs routing tables for a topology spec (cached).
+
+    Keyed by a digest of the adjacency itself, not the spec: specs
+    that differ only in concentration (oversubscription sweeps) share
+    one router graph, so they share one all-pairs BFS.
+    """
+    adjacency = resolve_topology(spec).adjacency
+    key = hashlib.sha256(canonical_json(adjacency).encode()).hexdigest()
+    if key not in _TABLES:
+        _bounded_put(_TABLES, key, RoutingTables(adjacency))
+    return _TABLES[key]
+
+
+@dataclass
+class ResolvedScenario:
+    """A scenario's live simulator inputs, ready for dispatch."""
+
+    scenario: Scenario
+    topology: Topology
+    routing_factory: Callable[[], object]
+    config: SimConfig
+    traffic: object | None = None
+    workload: object | None = None
+
+
+def resolve(scenario: Scenario) -> ResolvedScenario:
+    """Resolve every spec of a scenario into live objects.
+
+    Tables are only built when the routing algorithm (or a Slim
+    Fly-style worst-case pattern) actually routes over them.
+    """
+    topology = resolve_topology(scenario.topology)
+    tspec = scenario.topology
+    if routing_needs_tables(scenario.routing.name):
+        tables = tables_for(tspec)
+    else:
+        tables = None
+    rspec = scenario.routing
+
+    def routing_factory():
+        return make_routing(rspec.name, topology, tables=tables, **rspec.params)
+
+    traffic = None
+    workload = None
+    if scenario.traffic is not None:
+        traffic = make_pattern(
+            scenario.traffic.pattern,
+            topology,
+            tables=lambda: tables_for(tspec),
+            seed=scenario.traffic.seed,
+        )
+    else:
+        w = scenario.workload
+        workload = make_placed_workload(
+            w.kind,
+            topology,
+            w.ranks,
+            size_flits=w.size_flits,
+            iterations=w.iterations,
+            placement=w.placement,
+        )
+    return ResolvedScenario(
+        scenario=scenario,
+        topology=topology,
+        routing_factory=routing_factory,
+        config=scenario.sim,
+        traffic=traffic,
+        workload=workload,
+    )

@@ -1,0 +1,292 @@
+"""One entry point for every simulation the repo can run (Layer 5).
+
+:func:`run_campaign` walks a campaign in order, dispatches each
+scenario to the right engine through the fork-pool transport of
+:mod:`repro.sim.parallel` — open-loop scenarios fan their
+(load × replica) grid across workers via
+:func:`~repro.sim.parallel.parallel_latency_vs_load`; runs of pending
+closed-loop scenarios are batched into one
+:func:`~repro.sim.parallel.parallel_workload_completion` call — and
+streams one JSON row per result to a JSONL file as each scenario
+completes.
+
+Every row carries its scenario hash and its ``row``/``rows`` position,
+so the output is self-describing and resumable: with ``resume=True``
+any scenario whose full row set already exists in the output file is
+reused verbatim (zero simulations) and only the missing ones run.
+Because rows are written in campaign order and cached lines are
+replayed byte-for-byte, an interrupted campaign resumed to completion
+produces a final file identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Sequence
+
+from repro.scenarios.campaign import Campaign
+from repro.scenarios.resolve import resolve
+from repro.scenarios.spec import Scenario, canonical_json, scenario_hash
+from repro.sim.parallel import (
+    CompletionTask,
+    parallel_latency_vs_load,
+    parallel_workload_completion,
+)
+from repro.sim.stats import LoadPoint, WorkloadResult
+
+
+def _clean(value):
+    """NaN -> None so rows stay strict JSON (and reload unchanged)."""
+    if isinstance(value, float) and value != value:
+        return None
+    return value
+
+
+def _open_rows(
+    campaign: str, scenario: Scenario, points: Sequence[LoadPoint]
+) -> list[dict]:
+    h = scenario_hash(scenario)
+    spec = scenario.to_dict()
+    rows = []
+    for i, pt in enumerate(points):
+        rows.append(
+            {
+                "campaign": campaign,
+                "scenario": h,
+                "label": scenario.label,
+                "engine": "open",
+                "row": i,
+                "rows": len(points),
+                "load": pt.load,
+                "latency": _clean(pt.latency),
+                "accepted": _clean(pt.accepted),
+                "saturated": bool(pt.saturated),
+                "spec": spec,
+            }
+        )
+    return rows
+
+
+def _closed_rows(
+    campaign: str, scenario: Scenario, result: WorkloadResult
+) -> list[dict]:
+    return [
+        {
+            "campaign": campaign,
+            "scenario": scenario_hash(scenario),
+            "label": scenario.label,
+            "engine": "closed",
+            "row": 0,
+            "rows": 1,
+            "workload": result.workload,
+            "num_messages": result.num_messages,
+            "completed_messages": result.completed_messages,
+            "finished": result.finished,
+            "makespan": result.makespan,
+            "cycles": result.cycles,
+            "delivered_flits": result.delivered_flits,
+            "avg_message_latency": _clean(result.avg_message_latency),
+            "p99_message_latency": _clean(result.p99_message_latency),
+            "avg_packet_latency": _clean(result.avg_packet_latency),
+            "flits_per_cycle": _clean(result.flits_per_cycle),
+            "spec": scenario.to_dict(),
+        }
+    ]
+
+
+def _load_cache(
+    path: Path, campaign_name: str, scenarios: Sequence[Scenario]
+) -> dict[str, list[str]]:
+    """Raw JSONL lines of *complete* scenarios, keyed by hash.
+
+    A scenario is complete when every ``row`` index 0..rows-1 is
+    present.  Lines that fail to parse (a kill mid-write leaves a
+    truncated tail), belong to no campaign scenario, or carry another
+    campaign's name (cached lines replay verbatim, so a stale name
+    would survive into the resumed file) are ignored.
+    """
+    expected = {scenario_hash(s): s.num_rows for s in scenarios}
+    by_hash: dict[str, dict[int, str]] = {}
+    for line in path.read_text().splitlines():
+        try:
+            row = json.loads(line)
+            h, i, n = row["scenario"], row["row"], row["rows"]
+            name = row["campaign"]
+        except (ValueError, KeyError, TypeError):
+            continue
+        if name != campaign_name:
+            continue
+        if expected.get(h) != n or not isinstance(i, int) or not 0 <= i < n:
+            continue
+        by_hash.setdefault(h, {})[i] = line
+    return {
+        h: [rows[i] for i in range(expected[h])]
+        for h, rows in by_hash.items()
+        if len(rows) == expected[h]
+    }
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of :func:`run_campaign`."""
+
+    campaign: str
+    rows: list[dict] = field(default_factory=list)
+    #: Scenarios actually simulated this run.
+    simulated: int = 0
+    #: Scenarios whose rows were reused from the resume cache.
+    skipped: int = 0
+    out: str | None = None
+
+    def summary(self) -> str:
+        return (
+            f"campaign {self.campaign}: {self.simulated + self.skipped} scenarios "
+            f"(simulated={self.simulated} skipped={self.skipped}), "
+            f"{len(self.rows)} rows"
+            + (f" -> {self.out}" if self.out else "")
+        )
+
+
+def _emit(stream: IO[str] | None, rows: list[dict], raw: list[str] | None) -> None:
+    if stream is None:
+        return
+    for line in raw if raw is not None else map(canonical_json, rows):
+        stream.write(line + "\n")
+    stream.flush()
+
+
+def _run_open(resolved, workers: int) -> list[LoadPoint]:
+    s = resolved.scenario
+    return parallel_latency_vs_load(
+        resolved.topology,
+        resolved.routing_factory,
+        resolved.traffic,
+        loads=s.loads,
+        config=resolved.config,
+        workers=workers,
+        replicas=s.replicas,
+        stop_after_saturation=s.stop_after_saturation,
+    )
+
+
+def run_campaign(
+    campaign: Campaign,
+    workers: int = 1,
+    out=None,
+    resume: bool = False,
+) -> CampaignReport:
+    """Execute a campaign, streaming rows to ``out`` (JSONL).
+
+    ``workers`` fans each scenario's internal grid (and batches of
+    consecutive closed-loop scenarios) across processes; rows are
+    identical for any value.  ``resume=True`` (requires ``out``)
+    reuses the complete scenarios already present in ``out`` and
+    simulates only the rest; the finished file is byte-identical to a
+    clean run.  Duplicate scenarios are dropped before execution.
+    """
+    campaign = campaign.dedup()
+    scenarios = campaign.scenarios
+    if resume and out is None:
+        raise ValueError("resume=True needs an output file to resume from")
+    out_path = Path(out) if out is not None else None
+
+    cache: dict[str, list[str]] = {}
+    tmp_path = (
+        out_path.with_name(out_path.name + ".tmp") if out_path is not None else None
+    )
+    if resume and out_path is not None:
+        if out_path.exists():
+            cache = _load_cache(out_path, campaign.name, scenarios)
+        # A resumed run that was itself interrupted left its progress
+        # in the temp file; harvest that too so no simulation is ever
+        # repeated across any number of interruptions.
+        if tmp_path.exists():
+            for h, lines in _load_cache(tmp_path, campaign.name, scenarios).items():
+                cache.setdefault(h, lines)
+
+    # Resumed runs rewrite through a temp file so an interruption never
+    # destroys the cache the next attempt resumes from.
+    write_path = out_path
+    if out_path is not None and cache:
+        write_path = tmp_path
+
+    report = CampaignReport(campaign=campaign.name, out=str(out_path) if out_path else None)
+    hashes = [scenario_hash(s) for s in scenarios]
+    pending = [h not in cache for h in hashes]
+
+    stream = open(write_path, "w") if write_path is not None else None
+    try:
+        i = 0
+        while i < len(scenarios):
+            s = scenarios[i]
+            if not pending[i]:
+                raw = cache[hashes[i]]
+                rows = [json.loads(line) for line in raw]
+                report.rows.extend(rows)
+                report.skipped += 1
+                _emit(stream, rows, raw)
+                i += 1
+            elif s.engine == "open":
+                rows = _open_rows(campaign.name, s, _run_open(resolve(s), workers))
+                report.rows.extend(rows)
+                report.simulated += 1
+                _emit(stream, rows, None)
+                i += 1
+            else:
+                # Batch the pending closed-loop scenarios of the window
+                # [i, j): consecutive modulo cached/closed neighbours,
+                # stopping at the next pending open-loop scenario.
+                j = i
+                batch: list[int] = []
+                while j < len(scenarios) and not (
+                    pending[j] and scenarios[j].engine == "open"
+                ):
+                    if pending[j]:
+                        batch.append(j)
+                    j += 1
+                tasks = []
+                for k in batch:
+                    r = resolve(scenarios[k])
+                    tasks.append(
+                        CompletionTask(
+                            topology=r.topology,
+                            routing_factory=r.routing_factory,
+                            workload=r.workload,
+                            config=r.config,
+                            max_cycles=scenarios[k].max_cycles,
+                            label=scenarios[k].label,
+                        )
+                    )
+                results = dict(
+                    zip(batch, parallel_workload_completion(tasks, workers=workers))
+                )
+                for k in range(i, j):
+                    if k in results:
+                        rows = _closed_rows(campaign.name, scenarios[k], results[k])
+                        report.rows.extend(rows)
+                        report.simulated += 1
+                        _emit(stream, rows, None)
+                    else:
+                        raw = cache[hashes[k]]
+                        rows = [json.loads(line) for line in raw]
+                        report.rows.extend(rows)
+                        report.skipped += 1
+                        _emit(stream, rows, raw)
+                i = j
+    finally:
+        if stream is not None:
+            stream.close()
+    if write_path is not None and write_path != out_path:
+        os.replace(write_path, out_path)
+    return report
+
+
+def rows_by_label(report: CampaignReport) -> dict[str, list[dict]]:
+    """Group a report's rows by scenario label, in first-seen order."""
+    grouped: dict[str, list[dict]] = {}
+    for row in report.rows:
+        grouped.setdefault(row["label"], []).append(row)
+    return grouped

@@ -1,0 +1,319 @@
+"""Declarative, serializable simulation specs (DESIGN.md, Layer 5).
+
+A :class:`Scenario` describes one simulation point (or one load sweep)
+entirely as data: string-keyed references into the topology, routing,
+traffic and workload registries plus a :class:`~repro.sim.config.SimConfig`
+and sweep axes.  Nothing here holds a live object — specs round-trip
+losslessly through ``to_dict()``/``from_dict()`` (and therefore JSON),
+can be committed next to their results, and hash stably
+(:func:`scenario_hash`), which is what makes resumable campaigns
+possible.
+
+Resolution of a spec into live simulator inputs lives in
+:mod:`repro.scenarios.resolve`; grid expansion in
+:mod:`repro.scenarios.campaign`; execution in
+:mod:`repro.scenarios.runner`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.routing.registry import ROUTING_BUILDERS, SEEDED
+from repro.sim.config import SimConfig
+from repro.topologies.registry import TOPOLOGY_BUILDERS, validate_shape_params
+from repro.traffic.registry import PATTERN_KINDS
+from repro.workloads.registry import PLACEMENT_KINDS, WORKLOAD_KINDS
+
+
+def canonical_json(data) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class TopologySpec:
+    """A topology by registry name.
+
+    ``target_endpoints`` asks :func:`repro.topologies.registry.balanced_instance`
+    for the closest balanced instance; ``params`` pin the exact shape
+    instead (e.g. ``{"q": 19}`` for SF, ``{"h": 7}`` for DF,
+    ``{"p": 22}`` for FT-3, plus ``{"concentration": p}`` for
+    oversubscribed Slim Flies).  ``seed`` only matters for randomised
+    constructions (DLN).
+    """
+
+    name: str
+    target_endpoints: int | None = None
+    seed: int | None = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.name not in TOPOLOGY_BUILDERS:
+            raise ValueError(
+                f"unknown topology {self.name!r}; "
+                f"choose from {sorted(TOPOLOGY_BUILDERS)}"
+            )
+        self.params = dict(self.params)
+        validate_shape_params(self.name, self.target_endpoints, self.params)
+        # Randomised constructions must be pinned: an entropy-seeded
+        # topology would void the resume/byte-identity guarantee.
+        if self.name == "DLN" and self.seed is None:
+            self.seed = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "target_endpoints": self.target_endpoints,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TopologySpec":
+        return cls(
+            name=data["name"],
+            target_endpoints=data.get("target_endpoints"),
+            seed=data.get("seed"),
+            params=dict(data.get("params") or {}),
+        )
+
+
+@dataclass
+class RoutingSpec:
+    """A routing algorithm by registry name.
+
+    ``params`` go to the constructor through
+    :func:`repro.routing.registry.make_routing` (``seed``,
+    ``num_candidates``, ``max_hops``, ...).  Randomised algorithms
+    (:data:`repro.routing.registry.SEEDED`) get ``seed=0`` filled in
+    when omitted — a spec must pin every source of randomness, or the
+    runner's resume/byte-identity guarantee would silently not hold.
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.name not in ROUTING_BUILDERS:
+            raise ValueError(
+                f"unknown routing {self.name!r}; "
+                f"choose from {sorted(ROUTING_BUILDERS)}"
+            )
+        # Copy before filling: never mutate a caller-supplied dict.
+        self.params = dict(self.params)
+        if self.name in SEEDED and self.params.get("seed") is None:
+            self.params["seed"] = 0
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoutingSpec":
+        return cls(name=data["name"], params=dict(data.get("params") or {}))
+
+
+@dataclass
+class TrafficSpec:
+    """An open-loop traffic pattern by registry name (§V patterns).
+
+    ``seed`` only exists for the (randomised) worst-case generator: it
+    defaults to 0 there so the resolved pattern is always
+    reproducible, and is normalised to ``None`` for the deterministic
+    kinds — otherwise two specs describing the identical simulation
+    would hash differently and defeat dedup/resume.
+    """
+
+    pattern: str
+    seed: int | None = None
+
+    def __post_init__(self):
+        if self.pattern not in PATTERN_KINDS:
+            raise ValueError(
+                f"unknown pattern {self.pattern!r}; choose from {PATTERN_KINDS}"
+            )
+        self.seed = (self.seed or 0) if self.pattern == "worstcase" else None
+
+    def to_dict(self) -> dict:
+        return {"pattern": self.pattern, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficSpec":
+        return cls(pattern=data["pattern"], seed=data.get("seed"))
+
+
+@dataclass
+class WorkloadSpec:
+    """A closed-loop workload by registry name.
+
+    ``ranks`` is an upper bound (shape-constrained kinds round down,
+    exactly like ``make_workload``); ``placement`` names the
+    rank -> endpoint strategy.
+    """
+
+    kind: str
+    ranks: int
+    size_flits: int = 16
+    iterations: int = 2
+    placement: str = "spread"
+
+    def __post_init__(self):
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload {self.kind!r}; choose from {WORKLOAD_KINDS}"
+            )
+        if self.placement not in PLACEMENT_KINDS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; "
+                f"choose from {PLACEMENT_KINDS}"
+            )
+        if self.ranks < 2:
+            raise ValueError(f"ranks must be >= 2, got {self.ranks}")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "ranks": self.ranks,
+            "size_flits": self.size_flits,
+            "iterations": self.iterations,
+            "placement": self.placement,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        return cls(
+            kind=data["kind"],
+            ranks=data["ranks"],
+            size_flits=data.get("size_flits", 16),
+            iterations=data.get("iterations", 2),
+            placement=data.get("placement", "spread"),
+        )
+
+
+def sim_config_to_dict(config: SimConfig) -> dict:
+    return asdict(config)
+
+
+def sim_config_from_dict(data: dict) -> SimConfig:
+    return SimConfig(**data)
+
+
+@dataclass
+class Scenario:
+    """One fully-described simulation: specs + sweep axes.
+
+    Exactly one of ``traffic`` (open loop: a latency-vs-load sweep
+    over ``loads``, averaged over ``replicas`` derived seeds) or
+    ``workload`` (closed loop: one completion-time run bounded by
+    ``max_cycles``) must be set.  ``label`` is cosmetic but part of
+    the serialized form, so relabelling changes the scenario hash.
+    """
+
+    topology: TopologySpec
+    routing: RoutingSpec
+    sim: SimConfig = field(default_factory=SimConfig)
+    traffic: TrafficSpec | None = None
+    workload: WorkloadSpec | None = None
+    loads: list[float] = field(default_factory=list)
+    replicas: int = 1
+    stop_after_saturation: int = 1
+    max_cycles: int | None = None
+    label: str = ""
+
+    def __post_init__(self):
+        if (self.traffic is None) == (self.workload is None):
+            raise ValueError("exactly one of traffic/workload must be set")
+        if self.traffic is not None and not self.loads:
+            raise ValueError("open-loop scenarios need a non-empty loads list")
+        if self.workload is not None and self.loads:
+            raise ValueError("closed-loop scenarios take no loads axis")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.stop_after_saturation < 1:
+            raise ValueError("stop_after_saturation must be >= 1")
+        # Axes the other engine would silently ignore are rejected —
+        # they would still be hashed, so two specs describing the same
+        # simulation would dedup/resume as different work.
+        if self.workload is not None and self.replicas != 1:
+            raise ValueError("replicas is an open-loop axis (closed loop runs once)")
+        if self.workload is not None and self.stop_after_saturation != 1:
+            raise ValueError("stop_after_saturation is an open-loop axis")
+        if self.traffic is not None and self.max_cycles is not None:
+            raise ValueError("max_cycles is a closed-loop axis (open loop uses sim "
+                             "warmup/measure/drain cycles)")
+        self.loads = [float(x) for x in self.loads]
+
+    def revalidate(self) -> None:
+        """Re-run every spec's invariant checks and normalisations.
+
+        Mutation paths that bypass construction (grid overrides
+        setting e.g. ``routing.name`` directly) call this so sub-spec
+        validation and seed default-filling can never be skipped.
+        """
+        self.topology.__post_init__()
+        self.routing.__post_init__()
+        if self.traffic is not None:
+            self.traffic.__post_init__()
+        if self.workload is not None:
+            self.workload.__post_init__()
+        self.__post_init__()
+
+    @property
+    def engine(self) -> str:
+        """Dispatch target: ``"open"`` (load sweep) or ``"closed"``."""
+        return "open" if self.traffic is not None else "closed"
+
+    @property
+    def num_rows(self) -> int:
+        """Result rows this scenario contributes to a campaign output."""
+        return len(self.loads) if self.engine == "open" else 1
+
+    def to_dict(self) -> dict:
+        return {
+            "topology": self.topology.to_dict(),
+            "routing": self.routing.to_dict(),
+            "sim": sim_config_to_dict(self.sim),
+            "traffic": self.traffic.to_dict() if self.traffic else None,
+            "workload": self.workload.to_dict() if self.workload else None,
+            "loads": list(self.loads),
+            "replicas": self.replicas,
+            "stop_after_saturation": self.stop_after_saturation,
+            "max_cycles": self.max_cycles,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        return cls(
+            topology=TopologySpec.from_dict(data["topology"]),
+            routing=RoutingSpec.from_dict(data["routing"]),
+            sim=sim_config_from_dict(data["sim"]),
+            traffic=(
+                TrafficSpec.from_dict(data["traffic"]) if data.get("traffic") else None
+            ),
+            workload=(
+                WorkloadSpec.from_dict(data["workload"])
+                if data.get("workload")
+                else None
+            ),
+            loads=list(data.get("loads") or []),
+            replicas=data.get("replicas", 1),
+            stop_after_saturation=data.get("stop_after_saturation", 1),
+            max_cycles=data.get("max_cycles"),
+            label=data.get("label", ""),
+        )
+
+    def hash(self) -> str:
+        return scenario_hash(self)
+
+
+def scenario_hash(scenario: Scenario) -> str:
+    """Stable 16-hex-digit identity of a scenario's serialized form.
+
+    Two scenarios hash equal iff their ``to_dict()`` forms are equal —
+    the key campaign outputs are deduplicated and resumed by.
+    """
+    digest = hashlib.sha256(canonical_json(scenario.to_dict()).encode())
+    return digest.hexdigest()[:16]

@@ -42,6 +42,7 @@ from repro.sim.parallel import (
     parallel_latency_vs_load,
     parallel_workload_completion,
     replica_seed,
+    simulations_started,
 )
 
 __all__ = [
@@ -60,5 +61,6 @@ __all__ = [
     "parallel_workload_completion",
     "CompletionTask",
     "replica_seed",
+    "simulations_started",
     "find_saturation_load",
 ]

@@ -49,6 +49,23 @@ from repro.sim.sweep import default_loads
 #: Simulation inputs published to forked workers (set per sweep).
 _WORK: dict = {}
 
+#: Simulations scheduled by this process (serial runs and tasks handed
+#: to a pool alike) since import.  Scheduled == executed — waves only
+#: ever contain tasks that run — so the delta across a call is the
+#: number of simulations it cost.  The campaign resume tests and CI
+#: assert a zero delta when every scenario is reused from cache.
+_SIMULATIONS_STARTED = 0
+
+
+def simulations_started() -> int:
+    """Monotonic count of simulations this process has scheduled."""
+    return _SIMULATIONS_STARTED
+
+
+def _count_simulations(n: int) -> None:
+    global _SIMULATIONS_STARTED
+    _SIMULATIONS_STARTED += n
+
 
 def replica_seed(base_seed: int, replica: int) -> int:
     """Deterministic seed for one replica, independent of scheduling.
@@ -195,6 +212,7 @@ def parallel_latency_vs_load(
                 tasks = [
                     (i, rep, loads[i]) for i in wave for rep in range(replicas)
                 ]
+                _count_simulations(len(tasks))
                 by_point: dict[int, list[SimResult]] = {i: [] for i in wave}
                 for i, _rep, result in pool.map(_simulate_task, tasks, chunksize=1):
                     by_point[i].append(result)
@@ -263,6 +281,7 @@ def parallel_workload_completion(
     if not tasks:
         return []
     workers = resolve_workers(workers, len(tasks))
+    _count_simulations(len(tasks))
     ctx = _fork_context()
     if workers <= 1 or ctx is None:
         return [
@@ -305,6 +324,7 @@ def _serial_sweep(
         for rep in range(replicas):
             seed = replica_seed(config.seed, rep)
             cfg = config if seed == config.seed else replace(config, seed=seed)
+            _count_simulations(1)
             results.append(simulate(topology, routing_factory(), traffic, load, cfg))
         pt = _aggregate(load, results)
         points.append(pt)

@@ -26,15 +26,24 @@ from repro.topologies.slimfly import SlimFly
 from repro.topologies.torus import Torus
 
 
-def _sf(target: int, seed=None) -> Topology:
+def _sf(target: int, seed=None, q: int | None = None,
+        concentration: int | None = None) -> Topology:
+    if q is not None:
+        return SlimFly.from_q(q, concentration=concentration)
+    if concentration is not None:
+        raise ValueError("SF concentration override requires an explicit q")
     return SlimFly.for_endpoints(target)
 
 
-def _df(target: int, seed=None) -> Topology:
+def _df(target: int, seed=None, h: int | None = None) -> Topology:
+    if h is not None:
+        return Dragonfly.balanced(h)
     return Dragonfly.for_endpoints(target)
 
 
-def _ft3(target: int, seed=None) -> Topology:
+def _ft3(target: int, seed=None, p: int | None = None) -> Topology:
+    if p is not None:
+        return FatTree3(p)
     return FatTree3.for_endpoints(target)
 
 
@@ -42,16 +51,16 @@ def _fbf3(target: int, seed=None) -> Topology:
     return FlattenedButterfly.for_endpoints(3, target)
 
 
-def _hc(target: int, seed=None) -> Topology:
-    return Hypercube.for_routers(target)
+def _hc(target: int, seed=None, concentration: int = 1) -> Topology:
+    return Hypercube.for_routers(target, concentration=concentration)
 
 
-def _t3d(target: int, seed=None) -> Topology:
-    return Torus.cube(3, target)
+def _t3d(target: int, seed=None, concentration: int = 1) -> Topology:
+    return Torus.cube(3, target, concentration=concentration)
 
 
-def _t5d(target: int, seed=None) -> Topology:
-    return Torus.cube(5, target)
+def _t5d(target: int, seed=None, concentration: int = 1) -> Topology:
+    return Torus.cube(5, target, concentration=concentration)
 
 
 def _dln(target: int, seed=None) -> Topology:
@@ -61,8 +70,8 @@ def _dln(target: int, seed=None) -> Topology:
     return RandomDLN.for_endpoints(target, router_radix=sf.router_radix, seed=seed)
 
 
-def _lh(target: int, seed=None) -> Topology:
-    return LongHopHypercube.for_routers(target)
+def _lh(target: int, seed=None, concentration: int = 1) -> Topology:
+    return LongHopHypercube.for_routers(target, concentration=concentration)
 
 
 TOPOLOGY_BUILDERS: dict[str, Callable[..., Topology]] = {
@@ -80,16 +89,49 @@ TOPOLOGY_BUILDERS: dict[str, Callable[..., Topology]] = {
 #: Display order used by the figures (paper legend order).
 TOPOLOGY_ORDER = ["T3D", "HC", "T5D", "LH-HC", "FT-3", "FBF-3", "DF", "DLN", "SF"]
 
+#: Params that pin a topology's exact shape, making target_endpoints
+#: optional.  Everything else (concentration, seed) only modifies a
+#: shape that must come from one of these or from the target search.
+SHAPE_PARAMS = {"SF": ("q",), "DF": ("h",), "FT-3": ("p",)}
 
-def balanced_instance(name: str, target_endpoints: int, seed=None) -> Topology:
-    """Balanced instance of topology ``name`` with N ≈ target_endpoints."""
-    try:
-        builder = TOPOLOGY_BUILDERS[name]
-    except KeyError:
+
+def shape_is_pinned(name: str, params: dict) -> bool:
+    """Whether ``params`` alone determine the instance of ``name``."""
+    return any(k in params for k in SHAPE_PARAMS.get(name, ()))
+
+
+def validate_shape_params(name: str, target_endpoints: int | None, params: dict) -> None:
+    """Raise the errors resolution would, without building anything.
+
+    Lets the spec layer reject an unbuildable topology description at
+    construction instead of mid-campaign.
+    """
+    if name not in TOPOLOGY_BUILDERS:
         raise KeyError(
             f"unknown topology {name!r}; choose from {sorted(TOPOLOGY_BUILDERS)}"
-        ) from None
-    return builder(target_endpoints, seed=seed)
+        )
+    if target_endpoints is None and not shape_is_pinned(name, params):
+        raise ValueError(
+            f"topology {name!r} needs target_endpoints "
+            f"(params {sorted(params)} do not pin the shape)"
+        )
+    if name == "SF" and "concentration" in params and "q" not in params:
+        raise ValueError("SF concentration override requires an explicit q")
+
+
+def balanced_instance(
+    name: str, target_endpoints: int | None, seed=None, **params
+) -> Topology:
+    """Balanced instance of topology ``name`` with N ≈ target_endpoints.
+
+    ``params`` pin the exact shape instead of searching near the
+    target (``q``/``concentration`` for SF, ``h`` for DF, ``p`` for
+    FT-3) — the scenario layer uses them so a serialized spec resolves
+    to the very instance an experiment was defined with.  With shape
+    params given, ``target_endpoints`` may be ``None``.
+    """
+    validate_shape_params(name, target_endpoints, params)
+    return TOPOLOGY_BUILDERS[name](target_endpoints, seed=seed, **params)
 
 
 def balanced_config_sweep(

@@ -22,8 +22,11 @@ from repro.traffic.adversarial import (
     FatTreeWorstCase,
     worst_case_for,
 )
+from repro.traffic.registry import PATTERN_KINDS, make_pattern
 
 __all__ = [
+    "PATTERN_KINDS",
+    "make_pattern",
     "TrafficPattern",
     "UniformRandom",
     "FixedPermutation",

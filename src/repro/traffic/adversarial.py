@@ -140,9 +140,16 @@ class FatTreeWorstCase(FixedPermutation):
 
 
 def worst_case_for(topology: Topology, tables=None, seed=None) -> FixedPermutation:
-    """Dispatch the matching adversarial pattern for a topology."""
+    """Dispatch the matching adversarial pattern for a topology.
+
+    ``tables`` may be a zero-argument callable; it is only invoked on
+    the branch that routes over tables, so callers with an expensive
+    (cached) table build never pay it for the DF/FT patterns.
+    """
     if isinstance(topology, Dragonfly):
         return DragonflyWorstCase(topology)
     if isinstance(topology, FatTree3):
         return FatTreeWorstCase(topology)
+    if callable(tables):
+        tables = tables()
     return SlimFlyWorstCase(topology, tables=tables, seed=seed)

@@ -1,0 +1,46 @@
+"""Name -> traffic-pattern registry (scenario specs, fig6 CLI).
+
+``make_pattern("worstcase", topology, tables=..., seed=...)`` builds
+the pattern the §V experiments call by CLI name.  The worst-case kind
+dispatches per topology (:func:`repro.traffic.adversarial.worst_case_for`);
+``tables`` may be a zero-argument callable so callers with a cached
+table builder only pay the all-pairs BFS when the Slim Fly-style
+pattern actually consumes it (Dragonfly/fat-tree worst cases do not).
+"""
+
+from __future__ import annotations
+
+from repro.traffic.adversarial import worst_case_for
+from repro.traffic.patterns import TrafficPattern, UniformRandom
+from repro.traffic.permutations import (
+    BitComplementPattern,
+    BitReversalPattern,
+    ShiftPattern,
+    ShufflePattern,
+)
+
+PATTERN_KINDS = ("uniform", "bitrev", "shift", "shuffle", "bitcomp", "worstcase")
+
+
+def make_pattern(
+    kind: str, topology, tables=None, seed=None
+) -> TrafficPattern:
+    """Build a traffic pattern by registry name.
+
+    ``seed`` only matters for the (randomised) worst-case generator;
+    the permutation kinds are pure functions of the endpoint count.
+    """
+    n = topology.num_endpoints
+    if kind == "uniform":
+        return UniformRandom(n)
+    if kind == "bitrev":
+        return BitReversalPattern(n)
+    if kind == "shift":
+        return ShiftPattern(n)
+    if kind == "shuffle":
+        return ShufflePattern(n)
+    if kind == "bitcomp":
+        return BitComplementPattern(n)
+    if kind == "worstcase":
+        return worst_case_for(topology, tables=tables, seed=seed)
+    raise ValueError(f"unknown pattern {kind!r}; choose from {PATTERN_KINDS}")

@@ -35,7 +35,13 @@ from repro.workloads.collectives import (
 )
 from repro.workloads.stencil import HaloExchange, HaloExchange2D, HaloExchange3D
 from repro.workloads.trace import TraceWorkload, read_trace, write_trace
-from repro.workloads.registry import WORKLOAD_KINDS, make_workload
+from repro.workloads.registry import (
+    PLACEMENT_KINDS,
+    WORKLOAD_KINDS,
+    make_placed_workload,
+    make_placement,
+    make_workload,
+)
 
 __all__ = [
     "Message",
@@ -53,6 +59,9 @@ __all__ = [
     "TraceWorkload",
     "read_trace",
     "write_trace",
+    "PLACEMENT_KINDS",
     "WORKLOAD_KINDS",
+    "make_placed_workload",
+    "make_placement",
     "make_workload",
 ]

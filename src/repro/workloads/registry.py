@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, spread_placement
 from repro.workloads.collectives import (
     AllToAll,
     BroadcastTree,
@@ -104,3 +104,43 @@ def make_workload(
             endpoints=endpoints,
         )
     raise ValueError(f"unknown workload {kind!r}; choose from {WORKLOAD_KINDS}")
+
+
+#: Rank -> endpoint placement strategies by name (scenario specs).
+PLACEMENT_KINDS = ("spread", "linear")
+
+
+def make_placement(name: str, topology, num_ranks: int) -> list[int]:
+    """Endpoint list for ``num_ranks`` ranks on ``topology`` by name.
+
+    ``spread`` round-robins ranks over routers (the experiment
+    default); ``linear`` packs them onto the lowest endpoint ids.
+    """
+    if name == "spread":
+        return spread_placement(topology, num_ranks)
+    if name == "linear":
+        return list(range(min(num_ranks, topology.num_endpoints)))
+    raise ValueError(f"unknown placement {name!r}; choose from {PLACEMENT_KINDS}")
+
+
+def make_placed_workload(
+    kind: str,
+    topology,
+    num_ranks: int,
+    size_flits: int = 16,
+    iterations: int = 2,
+    placement: str = "spread",
+) -> Workload:
+    """Workload with its ranks placed on ``topology`` by strategy name.
+
+    The one-stop resolution the scenario layer uses for
+    :class:`repro.scenarios.WorkloadSpec`: equivalent to
+    ``make_workload(kind, ..., endpoints=make_placement(placement, ...))``.
+    """
+    return make_workload(
+        kind,
+        num_ranks,
+        size_flits,
+        endpoints=make_placement(placement, topology, num_ranks),
+        iterations=iterations,
+    )

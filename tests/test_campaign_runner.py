@@ -1,0 +1,246 @@
+"""run_campaign: dispatch, JSONL persistence, resume, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main as cli_main
+from repro.scenarios import (
+    Campaign,
+    RoutingSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    WorkloadSpec,
+    run_campaign,
+    scenario_hash,
+)
+from repro.sim.config import SimConfig
+from repro.sim.parallel import simulations_started
+
+CFG = SimConfig(warmup_cycles=20, measure_cycles=60, drain_cycles=300)
+HC = TopologySpec("HC", target_endpoints=16, params={"concentration": 2})
+
+
+def open_scenario(label="open", seed=0, loads=(0.1, 0.3)):
+    return Scenario(
+        topology=HC,
+        routing=RoutingSpec("min"),
+        sim=CFG,
+        traffic=TrafficSpec("uniform", seed=seed),
+        loads=list(loads),
+        label=label,
+    )
+
+
+def closed_scenario(label="closed", kind="ring-allreduce", seed=0):
+    return Scenario(
+        topology=HC,
+        routing=RoutingSpec("min"),
+        sim=SimConfig(seed=seed),
+        workload=WorkloadSpec(kind, ranks=8, size_flits=2),
+        max_cycles=50_000,
+        label=label,
+    )
+
+
+def mixed_campaign() -> Campaign:
+    return Campaign(
+        "mixed",
+        [
+            open_scenario("sweep-a"),
+            closed_scenario("ring"),
+            closed_scenario("a2a", kind="alltoall"),
+            open_scenario("sweep-b", seed=1),
+        ],
+    )
+
+
+class TestDispatch:
+    def test_rows_in_campaign_order_with_positions(self, tmp_path):
+        campaign = mixed_campaign()
+        report = run_campaign(campaign, out=tmp_path / "r.jsonl")
+        assert report.simulated == 4 and report.skipped == 0
+        labels = [r["label"] for r in report.rows]
+        assert labels == ["sweep-a", "sweep-a", "ring", "a2a", "sweep-b", "sweep-b"]
+        assert [r["row"] for r in report.rows] == [0, 1, 0, 0, 0, 1]
+        engines = {r["label"]: r["engine"] for r in report.rows}
+        assert engines["sweep-a"] == "open" and engines["ring"] == "closed"
+
+    def test_rows_are_self_describing(self):
+        report = run_campaign(Campaign("one", [open_scenario()]))
+        row = report.rows[0]
+        restored = Scenario.from_dict(row["spec"])
+        assert scenario_hash(restored) == row["scenario"]
+        assert {"load", "latency", "accepted", "saturated"} <= set(row)
+
+    def test_file_matches_report_rows(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        report = run_campaign(mixed_campaign(), out=out)
+        lines = out.read_text().splitlines()
+        assert [json.loads(x) for x in lines] == report.rows
+
+    def test_duplicates_run_once(self):
+        before = simulations_started()
+        report = run_campaign(Campaign("dup", [open_scenario(), open_scenario()]))
+        assert report.simulated == 1
+        assert simulations_started() - before == 2  # one sweep, two loads
+
+    def test_worker_count_does_not_change_rows(self, tmp_path):
+        serial = run_campaign(mixed_campaign(), workers=1, out=tmp_path / "w1.jsonl")
+        fanned = run_campaign(mixed_campaign(), workers=2, out=tmp_path / "w2.jsonl")
+        assert serial.rows == fanned.rows
+        assert (tmp_path / "w1.jsonl").read_bytes() == (tmp_path / "w2.jsonl").read_bytes()
+
+    def test_resume_requires_out(self):
+        with pytest.raises(ValueError, match="resume"):
+            run_campaign(mixed_campaign(), resume=True)
+
+
+class TestResume:
+    def test_complete_file_resumes_with_zero_simulations(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        campaign = mixed_campaign()
+        run_campaign(campaign, out=out)
+        clean = out.read_bytes()
+
+        before = simulations_started()
+        report = run_campaign(campaign, out=out, resume=True)
+        assert simulations_started() == before
+        assert report.simulated == 0 and report.skipped == 4
+        assert out.read_bytes() == clean
+        assert [r["label"] for r in report.rows] == [
+            "sweep-a", "sweep-a", "ring", "a2a", "sweep-b", "sweep-b"
+        ]
+
+    @pytest.mark.parametrize("keep_lines", [0, 1, 2, 3, 5])
+    def test_killed_campaign_resumes_byte_identical(self, tmp_path, keep_lines):
+        out = tmp_path / "rows.jsonl"
+        campaign = mixed_campaign()
+        run_campaign(campaign, out=out)
+        clean = out.read_bytes()
+
+        # Simulate a kill: keep a prefix plus a torn (half-written) line.
+        lines = clean.decode().splitlines(keepends=True)
+        torn = lines[keep_lines][: len(lines[keep_lines]) // 2] if keep_lines < len(lines) else ""
+        out.write_bytes("".join(lines[:keep_lines]).encode() + torn.encode())
+
+        report = run_campaign(campaign, out=out, resume=True)
+        assert out.read_bytes() == clean
+        assert report.simulated + report.skipped == 4
+
+    def test_interrupted_resume_keeps_tmp_progress(self, tmp_path):
+        # Kill #1 leaves a partial out file; the resume run makes more
+        # progress into out.jsonl.tmp and is killed too.  The next
+        # resume must harvest the tmp file instead of re-simulating.
+        out = tmp_path / "rows.jsonl"
+        campaign = mixed_campaign()
+        run_campaign(campaign, out=out)
+        clean = out.read_bytes()
+        lines = clean.decode().splitlines(keepends=True)
+        out.write_text("".join(lines[:2]))                      # kill #1: sweep-a only
+        (tmp_path / "rows.jsonl.tmp").write_text("".join(lines[:4]))  # kill #2: +ring, a2a
+        before = simulations_started()
+        report = run_campaign(campaign, out=out, resume=True)
+        assert report.simulated == 1 and report.skipped == 3    # only sweep-b reruns
+        assert simulations_started() - before == 2              # its two load points
+        assert out.read_bytes() == clean
+
+    def test_partial_scenario_reruns_completely(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        campaign = Campaign("one", [open_scenario(loads=(0.1, 0.2, 0.3))])
+        run_campaign(campaign, out=out)
+        clean = out.read_bytes()
+        # Keep only 2 of the scenario's 3 rows: the scenario is
+        # incomplete and must be resimulated from scratch.
+        out.write_text("".join(clean.decode().splitlines(keepends=True)[:2]))
+        before = simulations_started()
+        report = run_campaign(campaign, out=out, resume=True)
+        assert simulations_started() > before
+        assert report.simulated == 1 and report.skipped == 0
+        assert out.read_bytes() == clean
+
+    def test_resume_ignores_foreign_rows(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        campaign = Campaign("one", [open_scenario()])
+        run_campaign(campaign, out=out)
+        clean = out.read_bytes()
+        out.write_bytes(b'{"scenario": "feedface00000000", "row": 0, "rows": 1}\n' + clean)
+        report = run_campaign(campaign, out=out, resume=True)
+        assert report.skipped == 1
+        assert out.read_bytes() == clean
+
+    def test_resume_ignores_rows_from_other_campaigns(self, tmp_path):
+        # Same scenarios under a renamed campaign: cached lines would
+        # replay the stale name verbatim, so they must not be reused.
+        out = tmp_path / "rows.jsonl"
+        run_campaign(Campaign("old-name", [open_scenario()]), out=out)
+        report = run_campaign(
+            Campaign("new-name", [open_scenario()]), out=out, resume=True
+        )
+        assert report.simulated == 1 and report.skipped == 0
+        assert all(
+            json.loads(l)["campaign"] == "new-name"
+            for l in out.read_text().splitlines()
+        )
+
+    def test_resume_with_missing_file_runs_everything(self, tmp_path):
+        report = run_campaign(
+            Campaign("one", [open_scenario()]), out=tmp_path / "new.jsonl", resume=True
+        )
+        assert report.simulated == 1
+
+    def test_changed_scenario_invalidates_cache(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        run_campaign(Campaign("one", [open_scenario(label="v1")]), out=out)
+        report = run_campaign(
+            Campaign("one", [open_scenario(label="v2")]), out=out, resume=True
+        )
+        assert report.simulated == 1 and report.skipped == 0
+
+
+class TestCampaignCLI:
+    def test_cli_runs_and_resumes(self, tmp_path, capsys):
+        campaign = Campaign("cli", [open_scenario(), closed_scenario()])
+        cfile = campaign.save(tmp_path / "c.json")
+        out = tmp_path / "c.jsonl"
+        assert cli_main(["campaign", str(cfile), "--out", str(out)]) == 0
+        assert "simulated=2" in capsys.readouterr().out
+        assert cli_main(
+            ["campaign", str(cfile), "--out", str(out), "--resume"]
+        ) == 0
+        assert "simulated=0 skipped=2" in capsys.readouterr().out
+        assert len(out.read_text().splitlines()) == 3
+
+    def test_cli_default_out_derives_from_campaign_file(self, tmp_path, capsys):
+        cfile = Campaign("cli", [open_scenario()]).save(tmp_path / "grid.json")
+        assert cli_main(["campaign", str(cfile)]) == 0
+        assert (tmp_path / "grid.results.jsonl").exists()
+
+    def test_cli_missing_file_errors(self, tmp_path, capsys):
+        assert cli_main(["campaign", str(tmp_path / "nope.json")]) == 2
+        assert cli_main(["campaign"]) == 2
+
+    def test_cli_rejects_stray_positional(self, capsys):
+        # `fig6 worstcase` (forgotten --pattern) must not silently run
+        # the default pattern with the stray word bound to campaign_file.
+        assert cli_main(["fig6", "worstcase"]) == 2
+        assert "unexpected argument" in capsys.readouterr().err
+
+    def test_cli_rejects_cross_mode_flags(self, tmp_path, capsys):
+        cfile = Campaign("cli", [open_scenario()]).save(tmp_path / "c.json")
+        assert cli_main(["campaign", str(cfile), "--json", "x.json"]) == 2
+        assert "--json applies to experiments" in capsys.readouterr().err
+        assert cli_main(["campaign", str(cfile), "--replicas", "8"]) == 2
+        assert "edit the spec" in capsys.readouterr().err
+        assert cli_main(["table2", "--scale", "quick", "--resume"]) == 2
+        assert "campaign" in capsys.readouterr().err
+
+    def test_cli_json_flag_writes_experiment_results(self, tmp_path, capsys):
+        path = tmp_path / "res.json"
+        assert cli_main(["table2", "--scale", "quick", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert isinstance(data, list) and data[0]["experiment"]
+        assert data[0]["tables"][0]["rows"]

@@ -1,0 +1,177 @@
+"""Campaign-rebuilt experiments emit rows identical to the legacy paths.
+
+The fig6/fig8/workload_completion experiments were rebuilt on the
+scenario/campaign API; their ``run()`` signatures are preserved as
+thin wrappers.  These tests re-implement the pre-redesign computation
+inline — direct topology/routing/traffic construction plus
+``parallel_latency_vs_load``/``parallel_workload_completion`` calls —
+and require the rebuilt experiments to reproduce its rows exactly, at
+any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.balance import balanced_concentration, saturation_load_estimate
+from repro.experiments import fig6_performance, fig8_buffers_oversub, workload_completion
+from repro.experiments.common import Scale, performance_trio
+from repro.routing import (
+    ANCARouting,
+    DragonflyUGAL,
+    MinimalRouting,
+    RoutingTables,
+    UGALRouting,
+    ValiantRouting,
+)
+from repro.sim import CompletionTask, SimConfig, parallel_workload_completion
+from repro.sim.parallel import parallel_latency_vs_load
+from repro.sim.sweep import max_accepted
+from repro.topologies import SlimFly
+from repro.traffic import SlimFlyWorstCase, UniformRandom
+from repro.workloads import make_workload, spread_placement
+
+SCALE = Scale.QUICK
+SEED = 0
+
+#: Short simulations keep these tests cheap; equivalence is unaffected
+#: because the *same* config reaches the legacy-inline and campaign
+#: paths (the autouse fixture patches the preset both read).
+TINY_CFG = SimConfig(warmup_cycles=30, measure_cycles=80, drain_cycles=300)
+
+
+@pytest.fixture(autouse=True)
+def tiny_sim_config(monkeypatch):
+    for mod in (fig6_performance, fig8_buffers_oversub):
+        monkeypatch.setattr(mod, "sim_config_for", lambda scale: TINY_CFG)
+
+
+@pytest.fixture(scope="module")
+def legacy_fig6_rows():
+    """The pre-redesign fig6 path (uniform pattern), verbatim."""
+    cfg = TINY_CFG
+    sf, df, ft = performance_trio(SCALE)
+    sf_tables = RoutingTables(sf.adjacency)
+    df_tables = RoutingTables(df.adjacency)
+    protocols = [
+        ("SF-MIN", sf, lambda: MinimalRouting(sf_tables)),
+        ("SF-VAL", sf, lambda: ValiantRouting(sf_tables, seed=SEED)),
+        ("SF-UGAL-L", sf, lambda: UGALRouting(sf_tables, "local", seed=SEED)),
+        ("SF-UGAL-G", sf, lambda: UGALRouting(sf_tables, "global", seed=SEED)),
+        ("DF-UGAL-L", df, lambda: DragonflyUGAL(df, df_tables, seed=SEED)),
+        ("FT-ANCA", ft, lambda: ANCARouting(ft, seed=SEED)),
+    ]
+    rows = []
+    for name, topo, factory in protocols:
+        points = parallel_latency_vs_load(
+            topo, factory, UniformRandom(topo.num_endpoints),
+            loads=fig6_performance._loads(SCALE, "uniform"), config=cfg, workers=1,
+        )
+        for pt in points:
+            rows.append([
+                name,
+                pt.load,
+                round(pt.latency, 1) if pt.latency is not None else None,
+                round(pt.accepted, 3) if pt.accepted is not None else None,
+                pt.saturated,
+            ])
+    return rows
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_fig6_rows_match_legacy_path(legacy_fig6_rows, workers):
+    result = fig6_performance.run(
+        scale=SCALE, seed=SEED, pattern="uniform", workers=workers
+    )
+    assert result.tables[0][1] == legacy_fig6_rows
+
+
+def test_fig8_buffers_rows_match_legacy_path():
+    buffers = [16, 64]
+    sf = SlimFly.from_q(5)
+    tables = RoutingTables(sf.adjacency)
+    traffic = SlimFlyWorstCase(sf, tables, seed=SEED)
+    base_cfg = TINY_CFG
+    loads = [round(0.1 + 0.4 * i / 3, 3) for i in range(4)]
+    legacy = []
+    for buf in buffers:
+        cfg = replace(base_cfg, buffer_per_port=buf)
+        points = parallel_latency_vs_load(
+            sf, lambda: UGALRouting(tables, "local", seed=SEED), traffic,
+            loads=loads, config=cfg, workers=1,
+        )
+        for pt in points:
+            legacy.append([
+                buf, pt.load,
+                round(pt.latency, 1) if pt.latency is not None else None,
+                pt.saturated,
+            ])
+    for workers in (1, 2):
+        result = fig8_buffers_oversub.run_buffers(
+            scale=SCALE, seed=SEED, buffers=buffers, workers=workers
+        )
+        assert result.tables[0][1] == legacy
+
+
+def test_fig8_oversub_rows_match_legacy_path():
+    q = 5
+    base = SlimFly.from_q(q)
+    p_bal = balanced_concentration(base.num_routers, base.network_radix)
+    cfg = TINY_CFG
+    tables = RoutingTables(base.adjacency)
+    loads = [round((i + 1) / 5, 3) for i in range(5)]
+    legacy = []
+    for p in [p_bal, p_bal + 1]:
+        sf = SlimFly.from_q(q, concentration=p)
+        points = parallel_latency_vs_load(
+            sf, lambda: MinimalRouting(tables), UniformRandom(sf.num_endpoints),
+            loads=loads, config=cfg, workers=1,
+        )
+        acc = max_accepted(points)
+        est = saturation_load_estimate(sf.num_routers, sf.network_radix, p)
+        legacy.append([p, sf.num_endpoints, round(acc, 3), round(est, 3)])
+    result = fig8_buffers_oversub.run_oversub(
+        scale=SCALE, seed=SEED, extra_ps=[p_bal + 1], workers=1
+    )
+    assert result.tables[0][1] == legacy
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_workload_completion_rows_match_legacy_path(workers):
+    kind, ranks, flits = "gather", 6, 2
+    sf, df, ft = performance_trio(SCALE)
+    n_ranks = min(ranks, sf.num_endpoints, df.num_endpoints, ft.num_endpoints)
+    cfg = SimConfig(seed=SEED)
+    sf_tables = RoutingTables(sf.adjacency)
+    df_tables = RoutingTables(df.adjacency)
+    protocols = [
+        ("SF-MIN", sf, lambda: MinimalRouting(sf_tables)),
+        ("SF-VAL", sf, lambda: ValiantRouting(sf_tables, seed=SEED)),
+        ("SF-UGAL-L", sf, lambda: UGALRouting(sf_tables, "local", seed=SEED)),
+        ("DF-UGAL-L", df, lambda: DragonflyUGAL(df, df_tables, seed=SEED)),
+        ("FT-ANCA", ft, lambda: ANCARouting(ft, seed=SEED)),
+    ]
+    tasks, labels = [], []
+    for name, topo, factory in protocols:
+        wl = make_workload(
+            kind, n_ranks, flits, endpoints=spread_placement(topo, n_ranks)
+        )
+        tasks.append(CompletionTask(
+            topology=topo, routing_factory=factory, workload=wl,
+            config=cfg, max_cycles=300_000, label=f"{name}/{kind}",
+        ))
+        labels.append(name)
+    legacy = []
+    for name, res in zip(labels, parallel_workload_completion(tasks, workers=1)):
+        legacy.append([
+            kind, name, res.num_messages, res.delivered_flits, res.makespan,
+            round(res.avg_message_latency, 1), round(res.p99_message_latency, 1),
+            round(res.flits_per_cycle, 3), res.finished,
+        ])
+    result = workload_completion.run(
+        scale=SCALE, seed=SEED, workload=kind, workers=workers,
+        ranks=ranks, message_flits=flits,
+    )
+    assert result.tables[0][1] == legacy

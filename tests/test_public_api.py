@@ -48,11 +48,13 @@ class TestSubpackageAll:
             "repro.topologies",
             "repro.analysis",
             "repro.routing",
+            "repro.scenarios",
             "repro.sim",
             "repro.traffic",
             "repro.layout",
             "repro.costmodel",
             "repro.util",
+            "repro.workloads",
         ],
     )
     def test_all_exports_resolve(self, modname):
