@@ -15,6 +15,19 @@
   spectral gap (the §III-D/§IX expander arguments).
 - :mod:`repro.analysis.faults` — fault injection: degraded topologies
   and reroute reports.
+
+Plus the reporting pipeline (DESIGN.md, Layer 6) that turns campaign
+output back into the paper's deliverables:
+
+- :mod:`repro.analysis.frames` — campaign JSONL -> tidy, schema-checked
+  row tables with group/aggregate helpers (mean ± CI, saturation-point
+  detection).
+- :mod:`repro.analysis.figures` — figure renderers for the paper's
+  families: byte-deterministic builtin SVG backend, optional matplotlib
+  PNG backend.
+- :mod:`repro.analysis.report` — campaign files + analytic experiments
+  -> ``REPORT.md`` with embedded figures and per-figure provenance
+  (``python -m repro.experiments report``).
 """
 
 from repro.analysis.distance import (
@@ -50,8 +63,46 @@ from repro.analysis.faults import (
     fail_router_links,
     degraded_routing_report,
 )
+from repro.analysis.frames import (
+    Curve,
+    RowTable,
+    mean_ci,
+    provenance,
+    saturation_point,
+    summarize,
+)
+from repro.analysis.figures import (
+    BarFigure,
+    GroupedBarFigure,
+    HAVE_MATPLOTLIB,
+    LineFigure,
+    LineSeries,
+    save_figure,
+)
+from repro.analysis.report import (
+    FigureArtifact,
+    ReportResult,
+    build_report,
+    default_campaigns,
+)
 
 __all__ = [
+    "BarFigure",
+    "Curve",
+    "FigureArtifact",
+    "GroupedBarFigure",
+    "HAVE_MATPLOTLIB",
+    "LineFigure",
+    "LineSeries",
+    "ReportResult",
+    "RowTable",
+    "build_report",
+    "default_campaigns",
+    "mean_ci",
+    "provenance",
+    "saturation_point",
+    "save_figure",
+    "summarize",
     "channel_loads",
     "saturation_throughput",
     "uniform_demands",

@@ -1,0 +1,559 @@
+"""Paper-figure renderers: deterministic SVG, optional matplotlib PNG.
+
+Each figure family from the paper maps to one small spec dataclass —
+:class:`LineFigure` (latency/throughput curves, Figs 6 and 8),
+:class:`BarFigure` (cost/power per endpoint, Figs 11c/d), and
+:class:`GroupedBarFigure` (workload completion times) — with two
+backends:
+
+- ``render_svg()`` is a pure-Python renderer with **byte-deterministic
+  output**: fixed coordinate precision, fixed styling, no timestamps,
+  every iteration in input order.  Equal figure data renders to equal
+  bytes, which is what lets CI assert reproduction reports are
+  byte-identical across reruns and worker counts.
+- ``render_png(path)`` goes through matplotlib when it is installed
+  (:data:`HAVE_MATPLOTLIB`); the dependency is optional and gated, so
+  the SVG pipeline works on a bare numpy/scipy environment.
+
+Styling follows one fixed system: categorical series colors are
+assigned in a fixed slot order (well-known entities — protocols,
+topologies — always get the same slot via :data:`SERIES_COLORS`, so a
+protocol keeps its color across every figure), 2px lines with >=8px
+markers, bars with rounded data-ends, recessive grid, and a legend
+whenever a figure has two or more series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import importlib.util
+
+#: Probed without importing (matplotlib costs hundreds of ms to load
+#: and only the optional PNG path uses it; render_png imports lazily).
+HAVE_MATPLOTLIB = importlib.util.find_spec("matplotlib") is not None
+
+#: Categorical palette, fixed slot order (light-surface steps).  Slots
+#: are assigned in order and never cycled; figures with more series
+#: than slots fall back to the overflow gray + direct labels.
+PALETTE = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+OVERFLOW_COLOR = "#9a9895"
+
+#: Color follows the entity: a protocol or topology keeps its slot in
+#: every figure it appears in, regardless of which others are present.
+SERIES_COLORS = {
+    "SF-MIN": PALETTE[0],
+    "SF": PALETTE[0],
+    "SF-VAL": PALETTE[1],
+    "SF-UGAL-L": PALETTE[2],
+    "SF-UGAL-G": PALETTE[3],
+    "DF-UGAL-L": PALETTE[4],
+    "DF-UGAL-G": PALETTE[4],
+    "DF": PALETTE[4],
+    "FT-ANCA": PALETTE[5],
+    "FT-3": PALETTE[5],
+}
+
+_SURFACE = "#fcfcfb"
+_TEXT = "#0b0b0b"
+_TEXT_2 = "#52514e"
+_GRID = "#e8e7e4"
+_AXIS = "#c3c2b7"
+_FONT = "Helvetica, Arial, sans-serif"
+
+
+def assign_colors(names: Sequence[str]) -> list[str]:
+    """Colors for one figure's series, collision-free.
+
+    Pinned entities keep their :data:`SERIES_COLORS` slot; unknown
+    labels take the lowest palette slots no present series pins.  When
+    two pinned entities share a slot (aliases that never co-appear in
+    the paper's figures, e.g. DF-UGAL-L/DF-UGAL-G), the first
+    occurrence keeps it and later ones fall back to a free slot, so no
+    two series in one figure render alike.  Past eight series the
+    overflow gray repeats — rely on the legend there.
+    """
+    free = [
+        c for c in PALETTE if c not in {SERIES_COLORS.get(n) for n in names}
+    ]
+    used: set[str] = set()
+    out = []
+    for name in names:
+        color = SERIES_COLORS.get(name)
+        if color is None or color in used:
+            color = free.pop(0) if free else OVERFLOW_COLOR
+        used.add(color)
+        out.append(color)
+    return out
+
+
+def _fmt(v: float) -> str:
+    """Fixed-precision coordinate formatting (determinism)."""
+    return f"{v:.2f}".rstrip("0").rstrip(".")
+
+
+def _fmt_tick(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.4g}"
+
+
+def nice_ticks(lo: float, hi: float, max_ticks: int = 6) -> list[float]:
+    """Deterministic 1-2-5 axis ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(1, max_ticks - 1)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        step = mult * mag
+        if span / step <= max_ticks - 1:
+            break
+    first = math.ceil(lo / step - 1e-9) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-9 * span:
+        ticks.append(0.0 if abs(t) < step * 1e-9 else round(t, 10))
+        t += step
+    return ticks
+
+
+class _SVG:
+    """Minimal element sink with fixed formatting."""
+
+    def __init__(self, width: float, height: float):
+        self.width = width
+        self.height = height
+        self.parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_fmt(width)}" '
+            f'height="{_fmt(height)}" viewBox="0 0 {_fmt(width)} {_fmt(height)}">',
+            f'<rect width="{_fmt(width)}" height="{_fmt(height)}" '
+            f'fill="{_SURFACE}"/>',
+        ]
+
+    def line(self, x1, y1, x2, y2, stroke, width=1.0, dash=None):
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" '
+            f'y2="{_fmt(y2)}" stroke="{stroke}" stroke-width="{_fmt(width)}"{d}/>'
+        )
+
+    def polyline(self, points, stroke, width=2.0):
+        pts = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{_fmt(width)}" stroke-linejoin="round"/>'
+        )
+
+    def circle(self, cx, cy, r, fill, stroke=None, stroke_width=1.5):
+        s = (
+            f' stroke="{stroke}" stroke-width="{_fmt(stroke_width)}"'
+            if stroke
+            else ""
+        )
+        self.parts.append(
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+            f'fill="{fill}"{s}/>'
+        )
+
+    def bar(self, x, y, w, h, fill, radius=4.0):
+        """A bar with rounded data-end, anchored flat on the baseline."""
+        r = min(radius, w / 2.0, h)
+        if h <= 0:
+            return
+        self.parts.append(
+            f'<path d="M{_fmt(x)},{_fmt(y + h)} L{_fmt(x)},{_fmt(y + r)} '
+            f'Q{_fmt(x)},{_fmt(y)} {_fmt(x + r)},{_fmt(y)} '
+            f'L{_fmt(x + w - r)},{_fmt(y)} '
+            f'Q{_fmt(x + w)},{_fmt(y)} {_fmt(x + w)},{_fmt(y + r)} '
+            f'L{_fmt(x + w)},{_fmt(y + h)} Z" fill="{fill}"/>'
+        )
+
+    def text(self, x, y, s, size=11, fill=_TEXT_2, anchor="start",
+             bold=False, rotate=None):
+        w = ' font-weight="bold"' if bold else ""
+        rot = f' transform="rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"' \
+            if rotate is not None else ""
+        s = (
+            str(s)
+            .replace("&", "&amp;")
+            .replace("<", "&lt;")
+            .replace(">", "&gt;")
+        )
+        self.parts.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-family="{_FONT}" '
+            f'font-size="{_fmt(size)}" fill="{fill}" '
+            f'text-anchor="{anchor}"{w}{rot}>{s}</text>'
+        )
+
+    def render(self) -> str:
+        return "\n".join(self.parts + ["</svg>"]) + "\n"
+
+
+@dataclass
+class _Frame:
+    """Plot-area geometry plus data->pixel transforms."""
+
+    x0: float
+    y0: float
+    w: float
+    h: float
+    xlo: float
+    xhi: float
+    ylo: float
+    yhi: float
+
+    def px(self, x: float) -> float:
+        return self.x0 + (x - self.xlo) / (self.xhi - self.xlo) * self.w
+
+    def py(self, y: float) -> float:
+        return self.y0 + self.h - (y - self.ylo) / (self.yhi - self.ylo) * self.h
+
+
+def _draw_frame(svg: _SVG, frame: _Frame, title, xlabel, ylabel) -> None:
+    svg.text(frame.x0, 20, title, size=13, fill=_TEXT, bold=True)
+    for t in nice_ticks(frame.ylo, frame.yhi):
+        y = frame.py(t)
+        svg.line(frame.x0, y, frame.x0 + frame.w, y, _GRID)
+        svg.text(frame.x0 - 6, y + 3.5, _fmt_tick(t), size=10, anchor="end")
+    for t in nice_ticks(frame.xlo, frame.xhi):
+        x = frame.px(t)
+        svg.line(x, frame.y0 + frame.h, x, frame.y0 + frame.h + 4, _AXIS)
+        svg.text(x, frame.y0 + frame.h + 16, _fmt_tick(t), size=10,
+                 anchor="middle")
+    svg.line(frame.x0, frame.y0, frame.x0, frame.y0 + frame.h, _AXIS)
+    svg.line(frame.x0, frame.y0 + frame.h, frame.x0 + frame.w,
+             frame.y0 + frame.h, _AXIS)
+    svg.text(frame.x0 + frame.w / 2, frame.y0 + frame.h + 34, xlabel,
+             anchor="middle")
+    svg.text(16, frame.y0 + frame.h / 2, ylabel, anchor="middle", rotate=-90)
+
+
+def _draw_legend(svg: _SVG, names: Sequence[str], colors: Sequence[str],
+                 x: float, y: float) -> None:
+    for i, (name, color) in enumerate(zip(names, colors)):
+        yy = y + i * 18
+        svg.circle(x + 5, yy - 3.5, 5, color)
+        svg.text(x + 15, yy, name, size=11)
+
+
+@dataclass
+class LineSeries:
+    """One curve: name, points, optional per-point saturation flags."""
+
+    name: str
+    x: list[float]
+    y: list[float]
+    saturated: list[bool] | None = None
+
+
+@dataclass
+class LineFigure:
+    """Latency/throughput curves (the Fig 6 / Fig 8 families).
+
+    Points whose saturation flag is set render as open markers — the
+    paper's convention for points past the saturation throughput.
+    """
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[LineSeries] = field(default_factory=list)
+    diagonal: bool = False  # y = x guide (accepted == offered)
+
+    def render_svg(self, width: float = 640, height: float = 400) -> str:
+        legend_w = 130 if len(self.series) > 1 else 0
+        svg = _SVG(width + legend_w, height)
+        xs = [v for s in self.series for v in s.x]
+        ys = [v for s in self.series for v in s.y if v is not None]
+        frame = _Frame(
+            x0=64, y0=32, w=width - 64 - 16, h=height - 32 - 48,
+            xlo=min(xs, default=0.0), xhi=max(xs, default=1.0),
+            ylo=min(0.0, min(ys, default=0.0)), yhi=max(ys, default=1.0) or 1.0,
+        )
+        if frame.xhi <= frame.xlo:
+            frame.xhi = frame.xlo + 1.0
+        if frame.yhi <= frame.ylo:  # constant nonpositive data
+            frame.yhi = frame.ylo + 1.0
+        _draw_frame(svg, frame, self.title, self.xlabel, self.ylabel)
+        if self.diagonal:
+            # Clamp the y=x guide to the visible window (it can fall
+            # entirely outside for collapsed accepted-load curves).
+            lo = max(frame.xlo, frame.ylo)
+            hi = min(frame.xhi, frame.yhi)
+            if hi > lo:
+                svg.line(frame.px(lo), frame.py(lo),
+                         frame.px(hi), frame.py(hi), _AXIS, dash="4 3")
+        colors = assign_colors([s.name for s in self.series])
+        for color, s in zip(colors, self.series):
+            pts = [
+                (frame.px(x), frame.py(y))
+                for x, y in zip(s.x, s.y)
+                if y is not None
+            ]
+            if len(pts) > 1:
+                svg.polyline(pts, color)
+            flags = s.saturated or [False] * len(s.x)
+            for x, y, sat in zip(s.x, s.y, flags):
+                if y is None:
+                    continue
+                if sat:
+                    svg.circle(frame.px(x), frame.py(y), 4, _SURFACE,
+                               stroke=color)
+                else:
+                    svg.circle(frame.px(x), frame.py(y), 4, color)
+        if legend_w:
+            _draw_legend(svg, [s.name for s in self.series], colors,
+                         width + 8, 44)
+        return svg.render()
+
+    def render_png(self, path) -> Path:
+        _require_matplotlib()
+        import matplotlib.pyplot as plt
+
+        fig, ax = plt.subplots(figsize=(6.4, 4.0), dpi=100)
+        colors = assign_colors([s.name for s in self.series])
+        for color, s in zip(colors, self.series):
+            flags = s.saturated or [False] * len(s.x)
+            pts = [
+                (x, y, sat)
+                for x, y, sat in zip(s.x, s.y, flags)
+                if y is not None
+            ]
+            ax.plot([p[0] for p in pts], [p[1] for p in pts],
+                    linewidth=2, label=s.name, color=color)
+            # Same convention as the SVG backend: saturated points
+            # render as open markers.
+            for face, keep in ((color, False), ("white", True)):
+                marked = [(x, y) for x, y, sat in pts if sat is keep]
+                ax.plot([m[0] for m in marked], [m[1] for m in marked],
+                        "o", linestyle="none", color=color,
+                        markerfacecolor=face)
+        if self.diagonal:
+            xs = [v for s in self.series for v in s.x]
+            ys = [v for s in self.series for v in s.y if v is not None]
+            lo = max(min(xs, default=0.0), min(0.0, min(ys, default=0.0)))
+            hi = min(max(xs, default=1.0), max(ys, default=1.0))
+            if hi > lo:
+                ax.plot([lo, hi], [lo, hi], linestyle="--", color=_AXIS)
+        _style_axes(ax, self.title, self.xlabel, self.ylabel,
+                    legend=len(self.series) > 1)
+        return _save_png(fig, path)
+
+
+@dataclass
+class BarFigure:
+    """One measure across categories (cost/power per endpoint bars).
+
+    Identity lives on the axis, so bars share one hue; values are
+    direct-labeled on the data ends.
+    """
+
+    title: str
+    xlabel: str
+    ylabel: str
+    categories: list[str] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+    color: str = PALETTE[0]
+    value_fmt: str = "{:.0f}"
+
+    def render_svg(self, width: float = 640, height: float = 400) -> str:
+        svg = _SVG(width, height)
+        hi = max(self.values, default=1.0) or 1.0
+        frame = _Frame(
+            x0=64, y0=32, w=width - 64 - 16, h=height - 32 - 48,
+            xlo=0.0, xhi=1.0, ylo=0.0, yhi=hi * 1.12,
+        )
+        svg.text(frame.x0, 20, self.title, size=13, fill=_TEXT, bold=True)
+        for t in nice_ticks(0.0, frame.yhi):
+            y = frame.py(t)
+            svg.line(frame.x0, y, frame.x0 + frame.w, y, _GRID)
+            svg.text(frame.x0 - 6, y + 3.5, _fmt_tick(t), size=10, anchor="end")
+        svg.line(frame.x0, frame.y0, frame.x0, frame.y0 + frame.h, _AXIS)
+        svg.line(frame.x0, frame.y0 + frame.h, frame.x0 + frame.w,
+                 frame.y0 + frame.h, _AXIS)
+        n = max(1, len(self.categories))
+        slot = frame.w / n
+        bar_w = min(slot * 0.66, 56.0)
+        for i, (cat, val) in enumerate(zip(self.categories, self.values)):
+            x = frame.x0 + slot * i + (slot - bar_w) / 2
+            y = frame.py(val)
+            svg.bar(x, y, bar_w, frame.y0 + frame.h - y, self.color)
+            svg.text(x + bar_w / 2, y - 5, self.value_fmt.format(val),
+                     size=10, anchor="middle")
+            svg.text(frame.x0 + slot * i + slot / 2, frame.y0 + frame.h + 16,
+                     cat, size=10, anchor="middle")
+        svg.text(frame.x0 + frame.w / 2, frame.y0 + frame.h + 34,
+                 self.xlabel, anchor="middle")
+        svg.text(16, frame.y0 + frame.h / 2, self.ylabel, anchor="middle",
+                 rotate=-90)
+        return svg.render()
+
+    def render_png(self, path) -> Path:
+        _require_matplotlib()
+        import matplotlib.pyplot as plt
+
+        fig, ax = plt.subplots(figsize=(6.4, 4.0), dpi=100)
+        ax.bar(self.categories, self.values, color=self.color, width=0.66)
+        _style_axes(ax, self.title, self.xlabel, self.ylabel, legend=False)
+        return _save_png(fig, path)
+
+
+@dataclass
+class GroupedBarFigure:
+    """Several series across categories (completion-time bars).
+
+    ``values[series][group]`` may be ``None`` for a missing cell (a
+    run that hit its cycle cap); missing cells render as a gap.
+    """
+
+    title: str
+    xlabel: str
+    ylabel: str
+    groups: list[str] = field(default_factory=list)
+    series: list[str] = field(default_factory=list)
+    values: list[list[float | None]] = field(default_factory=list)
+
+    def render_svg(self, width: float = 700, height: float = 400) -> str:
+        legend_w = 130 if len(self.series) > 1 else 0
+        # Widen rather than let wide clusters bleed into neighbouring
+        # groups: every cluster needs >= 4px bars plus 2px gaps.
+        n_series = max(1, len(self.series))
+        min_slot = (4.0 * n_series + 2.0 * (n_series - 1)) / 0.8
+        width = max(width, 80 + min_slot * max(1, len(self.groups)))
+        svg = _SVG(width + legend_w, height)
+        flat = [v for row in self.values for v in row if v is not None]
+        hi = max(flat, default=1.0) or 1.0
+        frame = _Frame(
+            x0=64, y0=32, w=width - 64 - 16, h=height - 32 - 48,
+            xlo=0.0, xhi=1.0, ylo=0.0, yhi=hi * 1.1,
+        )
+        svg.text(frame.x0, 20, self.title, size=13, fill=_TEXT, bold=True)
+        for t in nice_ticks(0.0, frame.yhi):
+            y = frame.py(t)
+            svg.line(frame.x0, y, frame.x0 + frame.w, y, _GRID)
+            svg.text(frame.x0 - 6, y + 3.5, _fmt_tick(t), size=10, anchor="end")
+        svg.line(frame.x0, frame.y0, frame.x0, frame.y0 + frame.h, _AXIS)
+        svg.line(frame.x0, frame.y0 + frame.h, frame.x0 + frame.w,
+                 frame.y0 + frame.h, _AXIS)
+        n_groups = max(1, len(self.groups))
+        slot = frame.w / n_groups
+        bar_w = max(4.0, min((slot * 0.8 - 2.0 * (n_series - 1)) / n_series, 36.0))
+        cluster_w = bar_w * n_series + 2.0 * (n_series - 1)
+        colors = assign_colors(self.series)
+        for g, group in enumerate(self.groups):
+            gx = frame.x0 + slot * g + (slot - cluster_w) / 2
+            for s in range(len(self.series)):
+                # Ragged matrices (short rows, missing rows) render as
+                # gaps, exactly like explicit None cells.
+                row = self.values[s] if s < len(self.values) else []
+                val = row[g] if g < len(row) else None
+                if val is None:
+                    continue
+                x = gx + s * (bar_w + 2.0)
+                y = frame.py(val)
+                svg.bar(x, y, bar_w, frame.y0 + frame.h - y, colors[s],
+                        radius=2.0)
+            svg.text(frame.x0 + slot * g + slot / 2, frame.y0 + frame.h + 16,
+                     group, size=10, anchor="middle")
+        svg.text(frame.x0 + frame.w / 2, frame.y0 + frame.h + 34,
+                 self.xlabel, anchor="middle")
+        svg.text(16, frame.y0 + frame.h / 2, self.ylabel, anchor="middle",
+                 rotate=-90)
+        if legend_w:
+            _draw_legend(svg, self.series, colors, width + 8, 44)
+        return svg.render()
+
+    def render_png(self, path) -> Path:
+        _require_matplotlib()
+        import matplotlib.pyplot as plt
+
+        fig, ax = plt.subplots(figsize=(7.0, 4.0), dpi=100)
+        n = max(1, len(self.series))
+        w = 0.8 / n
+        colors = assign_colors(self.series)
+        for s, name in enumerate(self.series):
+            # Same semantics as the SVG backend: ragged rows are
+            # tolerated and None cells render as gaps, not 0-bars.
+            row = self.values[s] if s < len(self.values) else []
+            cells = [
+                (g + s * w, row[g])
+                for g in range(len(self.groups))
+                if g < len(row) and row[g] is not None
+            ]
+            ax.bar([c[0] for c in cells], [c[1] for c in cells], width=w,
+                   label=name, color=colors[s])
+        ax.set_xticks([g + 0.4 - w / 2 for g in range(len(self.groups))])
+        ax.set_xticklabels(self.groups)
+        _style_axes(ax, self.title, self.xlabel, self.ylabel,
+                    legend=len(self.series) > 1)
+        return _save_png(fig, path)
+
+
+Figure = LineFigure | BarFigure | GroupedBarFigure
+
+
+def _require_matplotlib() -> None:
+    if not HAVE_MATPLOTLIB:
+        raise RuntimeError(
+            "PNG rendering needs matplotlib, which is not installed; "
+            "the SVG backend (render_svg / save_figure) has no "
+            "third-party dependencies"
+        )
+
+
+def _style_axes(ax, title, xlabel, ylabel, legend):  # pragma: no cover
+    ax.set_title(title, fontsize=13, loc="left")
+    ax.set_xlabel(xlabel)
+    ax.set_ylabel(ylabel)
+    ax.grid(axis="y", color=_GRID)
+    for side in ("top", "right"):
+        ax.spines[side].set_visible(False)
+    if legend:
+        ax.legend(frameon=False, fontsize=9)
+
+
+def _save_png(fig, path) -> Path:  # pragma: no cover
+    path = Path(path)
+    fig.savefig(path, format="png")
+    import matplotlib.pyplot as plt
+
+    plt.close(fig)
+    return path
+
+
+def save_figure(figure: Figure, out_dir, name: str,
+                formats: Sequence[str] = ("svg",)) -> list[Path]:
+    """Write ``figure`` as ``<out_dir>/<name>.<fmt>`` per format.
+
+    ``svg`` always works (byte-deterministic builtin backend); ``png``
+    requires matplotlib and raises :class:`RuntimeError` without it.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for fmt in formats:
+        path = out_dir / f"{name}.{fmt}"
+        if fmt == "svg":
+            # Pinned encoding/newlines: byte-determinism must not
+            # depend on locale or platform newline translation.
+            path.write_text(figure.render_svg(), encoding="utf-8",
+                            newline="\n")
+        elif fmt == "png":
+            figure.render_png(path)
+        else:
+            raise ValueError(f"unknown figure format {fmt!r} (svg | png)")
+        written.append(path)
+    return written

@@ -1,0 +1,706 @@
+"""Campaign JSONL -> figures -> self-documenting REPORT.md (Layer 6).
+
+:func:`build_report` is the last mile of the reproduction pipeline: it
+ingests campaign output files (plus the analytic cost/power
+experiments), renders every figure family the rows support through
+:mod:`repro.analysis.figures`, and writes a ``REPORT.md`` whose every
+figure carries provenance (scenario hashes, seeds, worker counts) and
+paper-vs-reproduction commentary.
+
+Figure families are recognised by campaign-name prefix — ``fig6-*``
+(latency/throughput curves), ``fig8a-*`` (buffer panels),
+``fig8-oversub-*`` (oversubscription), ``workload-completion-*``
+(completion-time bars) — with a generic fallback for any other
+campaign, so arbitrary user grids still produce figures.
+
+Determinism: figures are pure functions of the row data and the SVG
+backend is byte-deterministic, so rebuilding a report from the same
+JSONL (at any worker count) reproduces every SVG byte for byte — the
+property CI asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro._version import __version__
+from repro.analysis.figures import (
+    BarFigure,
+    GroupedBarFigure,
+    LineFigure,
+    LineSeries,
+    save_figure,
+)
+from repro.analysis.frames import RowTable, provenance, saturation_point
+
+#: Paper-vs-reproduction commentary hooks, keyed by figure family.
+PAPER_EXPECTATIONS = {
+    "fig6": (
+        "Paper (Fig 6): Slim Fly's diameter 2 gives it the lowest low-load "
+        "latency; SF-MIN sustains near-full uniform throughput while VAL "
+        "saturates below ~50%; on worst-case traffic MIN collapses to "
+        "~1/(p+1) while UGAL sustains ~40-45% and the full-bandwidth fat "
+        "tree keeps the highest worst-case load."
+    ),
+    "buffers": (
+        "Paper (Fig 8a): smaller input buffers give lower latency near "
+        "saturation (stiffer backpressure), larger buffers higher "
+        "sustained bandwidth."
+    ),
+    "oversub": (
+        "Paper (Fig 8b-e): oversubscribed Slim Flies degrade gracefully - "
+        "the q=19 network accepts ~87.5% (balanced), ~80%, ~75% of uniform "
+        "traffic as concentration grows."
+    ),
+    "workload": (
+        "Deployment follow-up (Blach et al., 2023): diameter-2 Slim Fly "
+        "under MIN wins latency-bound collectives (broadcast/gather trees); "
+        "the full-bisection fat tree is hardest to beat on bandwidth-bound "
+        "all-to-all; adaptive UGAL never loses to oblivious Valiant."
+    ),
+    "cost": (
+        "Paper (Figs 11c/12c/13c): Slim Fly is the cheapest network beyond "
+        "~5K endpoints (~25% cheaper than Dragonfly), and the ordering is "
+        "insensitive to the cable product."
+    ),
+    "power": (
+        "Paper (Figs 11d/12d/13d): Slim Fly draws the least power per "
+        "endpoint - more than 25% below Dragonfly/FBF/DLN at scale."
+    ),
+    "generic": (
+        "User-defined campaign: no specific paper panel is pinned to this "
+        "grid; curves are rendered with the standard figure styling."
+    ),
+}
+
+
+@dataclass
+class FigureArtifact:
+    """One rendered figure plus everything REPORT.md says about it."""
+
+    name: str
+    title: str
+    paths: list[Path]
+    family: str
+    commentary: list[str] = field(default_factory=list)
+    provenance: list[dict] = field(default_factory=list)
+    source: str | None = None
+    workers: int | None = None
+
+
+@dataclass
+class ReportResult:
+    """Outcome of :func:`build_report`."""
+
+    out_dir: Path
+    report_path: Path
+    figures: list[FigureArtifact] = field(default_factory=list)
+    data_files: list[Path] = field(default_factory=list)
+    #: Data-quality notes (skipped torn/invalid lines), also printed
+    #: into REPORT.md so a degraded input cannot pass silently.
+    warnings: list[str] = field(default_factory=list)
+    simulated: int = 0
+    skipped: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"report: {len(self.figures)} figures from "
+            f"{len(self.data_files)} data file(s) "
+            f"(scenarios simulated={self.simulated} reused={self.skipped}) "
+            f"-> {self.report_path}"
+        )
+
+
+def _slug(text: str) -> str:
+    out = "".join(c if c.isalnum() else "-" for c in text.lower())
+    while "--" in out:
+        out = out.replace("--", "-")
+    return out.strip("-")
+
+
+def _anchor(title: str) -> str:
+    """GitHub-style heading anchor: drop punctuation, spaces become dashes.
+
+    Unlike :func:`_slug` (filenames), consecutive dashes are kept —
+    that is what GitHub's renderer generates, and collapsing them
+    would leave dead links in the Contents list.
+    """
+    kept = (c for c in title.lower() if c.isalnum() or c in " -_")
+    return "".join(kept).replace(" ", "-")
+
+
+def _display_path(path, out_dir: Path) -> str:
+    """Out-dir-relative path when possible (keeps REPORT.md relocatable
+    and byte-stable across output directories)."""
+    p = Path(path)
+    try:
+        return p.relative_to(out_dir).as_posix()
+    except ValueError:
+        return str(p)
+
+
+def _unique_name(base: str, used_names: set) -> str:
+    """Claim a figure file name, suffixing an ordinal on collision."""
+    name, ordinal = base, 2
+    while name in used_names:
+        name = f"{base}-{ordinal}"
+        ordinal += 1
+    used_names.add(name)
+    return name
+
+
+def _family(campaign: str, engine: str) -> str:
+    if campaign.startswith("fig6"):
+        return "fig6"
+    if campaign.startswith("fig8a"):
+        return "buffers"
+    if campaign.startswith("fig8-oversub"):
+        return "oversub"
+    if campaign.startswith("workload-completion"):
+        return "workload"
+    return "workload" if engine == "closed" else "generic"
+
+
+def _open_loop_figures(campaign: str, table: RowTable, family: str):
+    """Latency + throughput curve figures for one open-loop campaign."""
+    curves = table.curves()
+    latency = LineFigure(
+        title=f"{campaign}: latency vs offered load",
+        xlabel="offered load",
+        ylabel="latency [cycles]",
+        series=[
+            LineSeries(c.label, c.loads, c.latency, c.saturated) for c in curves
+        ],
+    )
+    accepted = LineFigure(
+        title=f"{campaign}: accepted vs offered load",
+        xlabel="offered load",
+        ylabel="accepted load",
+        diagonal=True,
+        series=[
+            LineSeries(c.label, c.loads, c.accepted, c.saturated)
+            for c in curves
+        ],
+    )
+    observed = []
+    for c in curves:
+        sat = saturation_point(c)
+        observed.append(
+            f"{c.label}: saturates at load {sat:g}"
+            if sat is not None
+            else f"{c.label}: no saturation over the measured range"
+        )
+    figures = [(f"{_slug(campaign)}-latency", latency),
+               (f"{_slug(campaign)}-throughput", accepted)]
+    if family == "oversub":
+        cats, vals = [], []
+        for c in curves:
+            acc = [a for a in c.accepted if a is not None]
+            cats.append(c.label)
+            vals.append(max(acc) if acc else 0.0)
+        figures.append(
+            (
+                f"{_slug(campaign)}-accepted-bars",
+                BarFigure(
+                    title=f"{campaign}: max accepted throughput",
+                    xlabel="concentration",
+                    ylabel="max accepted load",
+                    categories=cats,
+                    values=vals,
+                    value_fmt="{:.2f}",
+                ),
+            )
+        )
+    return figures, observed
+
+
+def _closed_loop_figures(campaign: str, table: RowTable):
+    """Completion-time bars for one closed-loop campaign.
+
+    Labels of the form ``PROTOCOL/workload`` (the experiment
+    convention) render as grouped bars; anything else as one bar per
+    label.  Unfinished runs (cycle-cap hits) become gaps.
+    """
+    rows = table.closed_rows().rows
+    observed = []
+
+    # Rows sharing a label (e.g. a seed axis the label does not show)
+    # aggregate to the mean of their finished runs, never last-wins.
+    by_label: dict[str, list[dict]] = {}
+    for r in rows:
+        by_label.setdefault(r["label"], []).append(r)
+    cells: dict[str, float | None] = {}
+    for label, group_rows in by_label.items():
+        vals = [
+            float(r["makespan"]) for r in group_rows if r["finished"]
+        ]
+        cells[label] = sum(vals) / len(vals) if vals else None
+        unfinished = len(group_rows) - len(vals)
+        if unfinished:
+            runs = f" in {unfinished}/{len(group_rows)} runs" \
+                if len(group_rows) > 1 else ""
+            observed.append(f"{label}: hit the cycle cap{runs} (unfinished)")
+        if len(group_rows) > 1 and vals:
+            observed.append(
+                f"{label}: mean over {len(vals)} finished of "
+                f"{len(group_rows)} runs"
+            )
+
+    if all("/" in label for label in by_label):
+        protocols = list(
+            dict.fromkeys(label.split("/", 1)[0] for label in by_label)
+        )
+        kinds = list(
+            dict.fromkeys(label.split("/", 1)[1] for label in by_label)
+        )
+        values = [
+            [cells.get(f"{p}/{k}") for k in kinds] for p in protocols
+        ]
+        fig = GroupedBarFigure(
+            title=f"{campaign}: completion time",
+            xlabel="workload",
+            ylabel="completion [cycles]",
+            groups=kinds,
+            series=protocols,
+            values=values,
+        )
+        for k in kinds:
+            finished = {p: cells.get(f"{p}/{k}") for p in protocols}
+            finished = {p: v for p, v in finished.items() if v is not None}
+            if finished:
+                best = min(finished, key=finished.get)
+                observed.append(
+                    f"{k}: fastest completion {best} "
+                    f"at {finished[best]:g} cycles"
+                )
+    else:
+        fig = GroupedBarFigure(
+            title=f"{campaign}: completion time",
+            xlabel="scenario",
+            ylabel="completion [cycles]",
+            groups=list(by_label),
+            series=["completion"],
+            values=[[cells[label] for label in by_label]],
+        )
+    return [(f"{_slug(campaign)}-completion", fig)], observed
+
+
+def _campaign_artifacts(
+    table: RowTable,
+    figures_dir: Path,
+    formats: Sequence[str],
+    workers_by_campaign: dict,
+    sources_by_campaign: dict,
+    used_names: set,
+) -> list[FigureArtifact]:
+    artifacts = []
+    for campaign in table.campaigns():
+        workers = workers_by_campaign.get(campaign)
+        sub = table.filter(campaign=campaign)
+        # A campaign may mix engines; each engine renders its own family.
+        parts = []
+        if sub.open_rows():
+            family = _family(campaign, "open")
+            figures, observed = _open_loop_figures(
+                campaign, sub.open_rows(), family
+            )
+            parts.append((family, figures, observed, provenance(sub.open_rows())))
+        if sub.closed_rows():
+            figures, observed = _closed_loop_figures(campaign, sub)
+            parts.append(
+                ("workload", figures, observed, provenance(sub.closed_rows()))
+            )
+        for family, figures, observed, prov in parts:
+            for name, fig in figures:
+                # Distinct campaign names can slugify identically
+                # ("my.run" vs "my-run"); never overwrite a figure.
+                name = _unique_name(name, used_names)
+                paths = save_figure(fig, figures_dir, name, formats)
+                artifacts.append(
+                    FigureArtifact(
+                        name=name,
+                        title=fig.title,
+                        paths=paths,
+                        family=family,
+                        commentary=observed,
+                        provenance=prov,
+                        source=sources_by_campaign.get(campaign),
+                        workers=workers,
+                    )
+                )
+    return artifacts
+
+
+def _analytic_artifacts(scale, seed: int, figures_dir: Path,
+                        formats: Sequence[str],
+                        cable_model: str) -> list[FigureArtifact]:
+    """Cost/power bars from the analytic (simulation-free) experiments."""
+    from repro.experiments.runner import run_experiment
+
+    artifacts = []
+    for exp, family, ylabel, fmt, kw in (
+        ("fig11-cost", "cost", "cost [$ / endpoint]", "{:.0f}",
+         {"cable_model": cable_model}),
+        ("fig11-power", "power", "power [W / endpoint]", "{:.1f}", {}),
+    ):
+        result = run_experiment(exp, scale, seed, **kw)
+        headers, rows = result.tables[-1]
+        # Locate the column by header, so a reshaped experiment table
+        # fails loudly instead of silently plotting the wrong measure.
+        col = next(
+            (i for i, h in enumerate(headers) if "endpoint at largest N" in h),
+            None,
+        )
+        if col is None:
+            raise ValueError(
+                f"{exp} table shape changed (headers: {headers}); update "
+                f"repro.analysis.report._analytic_artifacts to match"
+            )
+        fig = BarFigure(
+            title=f"{result.title} - per endpoint at largest N",
+            xlabel="topology",
+            ylabel=ylabel,
+            categories=[str(r[0]) for r in rows],
+            values=[float(r[col]) for r in rows],
+            value_fmt=fmt,
+        )
+        name = _slug(f"{exp}-{scale.value}-per-endpoint")
+        paths = save_figure(fig, figures_dir, name, formats)
+        artifacts.append(
+            FigureArtifact(
+                name=name,
+                title=fig.title,
+                paths=paths,
+                family=family,
+                commentary=list(result.notes),
+                provenance=[
+                    {
+                        "scenario": "analytic",
+                        "label": exp,
+                        "campaign": f"experiment {exp} --scale {scale.value}",
+                        "engine": "analytic",
+                        "rows": len(rows),
+                        "seeds": {"seed": seed},
+                    }
+                ],
+                source=f"analytic experiment {exp} (scale={scale.value})",
+            )
+        )
+    return artifacts
+
+
+def _load_experiment_results(path: Path) -> list:
+    """Parse + validate one ``--json`` experiment-results file.
+
+    Runs before any figure is written, so a malformed input fails the
+    whole report without leaving a partially-updated output directory.
+    """
+    from repro.experiments.common import ExperimentResult
+
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not (isinstance(data, list)
+            and all(isinstance(d, dict) and "experiment" in d for d in data)):
+        raise ValueError(
+            f"{path} is not an experiment-results file (expected the JSON "
+            f"list written by `--json`; campaign specs replay through the "
+            f"'campaign' subcommand, and campaign rows are .jsonl)"
+        )
+    if not data:
+        # Mirror the loud .jsonl empty-input rejection: a wrong file
+        # must not silently vanish from the report.
+        raise ValueError(f"{path} contains no experiment results")
+    results = []
+    for entry in data:
+        try:
+            results.append(ExperimentResult.from_dict(entry))
+        except (KeyError, TypeError) as exc:
+            # Truncated/hand-built results files get the same loud
+            # ValueError path as every other malformed input.
+            raise ValueError(
+                f"{path}: malformed experiment result "
+                f"{entry.get('experiment', '?')!r}: {exc!r}"
+            ) from exc
+    return results
+
+
+def _experiment_json_artifacts(path: Path, results: list, figures_dir: Path,
+                               formats: Sequence[str],
+                               used_names: set,
+                               out_dir: Path) -> list[FigureArtifact]:
+    """Figures from pre-validated experiment results (series bundles).
+
+    ``used_names`` dedupes figure file names across input files, so
+    two results files holding the same experiment id cannot silently
+    overwrite each other's images.
+    """
+    artifacts = []
+    for result in results:
+        for i, bundle in enumerate(result.bundles):
+            fig = LineFigure(
+                title=bundle.title,
+                xlabel=bundle.xlabel,
+                ylabel=bundle.ylabel,
+                series=[
+                    LineSeries(s.name, list(s.x), list(s.y))
+                    for s in bundle.series
+                ],
+            )
+            base = _slug(f"{result.experiment}-bundle{i}")
+            name = _unique_name(base, used_names)
+            # Titles carry the same dedup ordinal, so REPORT.md
+            # headings (and their Contents anchors) stay unique too.
+            suffix = "" if name == base else f" ({name[len(base) + 1:]})"
+            paths = save_figure(fig, figures_dir, name, formats)
+            artifacts.append(
+                FigureArtifact(
+                    name=name,
+                    title=f"{result.experiment}: {bundle.title}{suffix}",
+                    paths=paths,
+                    family="generic",
+                    commentary=list(result.notes),
+                    provenance=[],
+                    source=_display_path(path, out_dir),
+                )
+            )
+    return artifacts
+
+
+def default_campaigns(scale, seed: int = 0):
+    """The report's standard figure-set campaigns at ``scale``.
+
+    One panel per simulated figure family: Fig 6 uniform traffic, the
+    Fig 8a buffer study, the Fig 8 oversubscription study, and the
+    all-to-all workload-completion comparison.
+    """
+    from repro.experiments import (
+        fig6_performance,
+        fig8_buffers_oversub,
+        workload_completion,
+    )
+
+    return [
+        fig6_performance.campaign(scale, seed=seed, pattern="uniform"),
+        fig8_buffers_oversub.campaign_buffers(scale, seed=seed),
+        fig8_buffers_oversub.campaign_oversub(scale, seed=seed),
+        workload_completion.campaign(scale, seed=seed, workload="alltoall"),
+    ]
+
+
+def _render_markdown(title: str, artifacts: list[FigureArtifact],
+                     data_files: list[Path], out_dir: Path,
+                     scale_value: str, warnings: Sequence[str] = ()) -> str:
+    lines = [
+        f"# {title}",
+        "",
+        f"Generated by `python -m repro.experiments report` "
+        f"(repro {__version__}, scale `{scale_value}`). Do not edit: "
+        f"rerunning the command regenerates this file and every figure.",
+        "",
+        "Simulation rows are worker-count independent and every figure is "
+        "a byte-deterministic function of its rows, so rebuilding this "
+        "report from the same campaign JSONL reproduces each SVG byte for "
+        "byte - at any `--workers` value.",
+        "",
+    ]
+    if data_files:
+        lines.append("Input data files:")
+        lines.extend(f"- `{_display_path(p, out_dir)}`" for p in data_files)
+        lines.append("")
+    if warnings:
+        lines.append("Data-quality warnings:")
+        lines.extend(f"- {w}" for w in warnings)
+        lines.append("")
+    lines.extend(["## Contents", ""])
+    lines.extend(
+        f"- [{a.title}](#{_anchor(a.title)})" for a in artifacts
+    )
+    lines.append("")
+    for a in artifacts:
+        rel = a.paths[0].relative_to(out_dir)
+        lines.extend(
+            [
+                f"## {a.title}",
+                "",
+                f"![{a.name}]({rel.as_posix()})",
+                "",
+                f"**Paper expectation.** {PAPER_EXPECTATIONS[a.family]}",
+                "",
+            ]
+        )
+        if a.commentary:
+            lines.append("**Observed in this reproduction.**")
+            lines.extend(f"- {c}" for c in a.commentary)
+            lines.append("")
+        lines.append("**Provenance.**")
+        if a.source:
+            lines.append(f"- source: `{a.source}`")
+        if a.workers is not None:
+            lines.append(
+                f"- simulated with workers={a.workers} "
+                f"(rows identical for any worker count)"
+            )
+        if a.provenance:
+            lines.extend(
+                [
+                    "",
+                    "| scenario | label | engine | rows | seeds |",
+                    "|---|---|---|---|---|",
+                ]
+            )
+            for p in a.provenance:
+                seeds = ", ".join(f"{k}={v}" for k, v in p["seeds"].items())
+                # Labels are arbitrary user strings; a raw pipe would
+                # split the Markdown cell and shift the columns.
+                label = str(p["label"]).replace("|", "\\|")
+                lines.append(
+                    f"| `{p['scenario']}` | {label} | {p['engine']} | "
+                    f"{p['rows']} | {seeds or '-'} |"
+                )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def build_report(
+    inputs: Sequence = (),
+    out_dir=".",
+    *,
+    scale="quick",
+    seed: int = 0,
+    workers: int = 1,
+    analytics: bool = True,
+    cable_model: str = "mellanox-fdr10",
+    formats: Sequence[str] = ("svg",),
+    title: str = "Slim Fly reproduction report",
+) -> ReportResult:
+    """Build ``REPORT.md`` + figures under ``out_dir``.
+
+    ``inputs`` are campaign JSONL files and/or ``--json`` experiment
+    result files; with no inputs the standard figure-set campaigns
+    (:func:`default_campaigns`) are run at ``scale`` into
+    ``out_dir/data/`` with ``resume=True`` — so rebuilding an existing
+    report directory simulates nothing and reproduces every SVG byte
+    for byte.  ``analytics`` adds the simulation-free cost/power
+    figures (``cable_model`` picks the cost model's cable product);
+    ``formats`` may add ``"png"`` (requires matplotlib).
+    """
+    from repro.experiments.common import Scale
+    from repro.scenarios import run_campaign
+
+    scale = Scale.coerce(scale)
+    out_dir = Path(out_dir)
+    figures_dir = out_dir / "figures"
+    figures_dir.mkdir(parents=True, exist_ok=True)
+
+    result = ReportResult(out_dir=out_dir, report_path=out_dir / "REPORT.md")
+    inputs = [Path(p) for p in inputs]
+    if not inputs:
+        data_dir = out_dir / "data"
+        data_dir.mkdir(parents=True, exist_ok=True)
+        for campaign in default_campaigns(scale, seed=seed):
+            out = data_dir / f"{campaign.name}.jsonl"
+            report = run_campaign(
+                campaign, workers=workers, out=out, resume=out.exists()
+            )
+            result.simulated += report.simulated
+            result.skipped += report.skipped
+            inputs.append(out)
+
+    bad = [p for p in inputs if p.suffix not in (".jsonl", ".json")]
+    if bad:
+        raise ValueError(
+            f"report inputs must be .jsonl campaign rows or .json "
+            f"experiment results, got {', '.join(map(str, bad))}"
+        )
+    # All JSONL inputs merge into one table before rendering, so a
+    # campaign whose rows span several files (sharded runs) renders
+    # one figure set instead of the last file silently overwriting
+    # the earlier ones.
+    tables = []
+    for p in inputs:
+        if p.suffix != ".jsonl":
+            continue
+        table = RowTable.from_jsonl(p)
+        table.source = _display_path(p, out_dir)
+        if not table:
+            raise ValueError(
+                f"{p} holds no valid campaign rows "
+                f"({len(table.invalid)} schema-invalid, "
+                f"{table.torn_lines} unparseable line(s)) — is it really "
+                f"a campaign JSONL output?"
+            )
+        if table.invalid or table.torn_lines:
+            result.warnings.append(
+                f"`{p}`: skipped {len(table.invalid)} schema-invalid and "
+                f"{table.torn_lines} unparseable line(s)"
+            )
+        tables.append(table)
+    # Parse/validate every .json input BEFORE rendering anything, so a
+    # malformed input cannot leave a half-updated output directory.
+    parsed_json = [
+        (p, _load_experiment_results(p)) for p in inputs if p.suffix == ".json"
+    ]
+    result.data_files.extend(inputs)
+    used_names: set = set()
+    if tables:
+        workers_by_campaign: dict = {}
+        sources_by_campaign: dict = {}
+        for t in tables:
+            meta = t.meta or {}
+            for c in t.campaigns():
+                if c == meta.get("campaign") and c not in workers_by_campaign:
+                    workers_by_campaign[c] = meta.get("workers")
+                sources_by_campaign.setdefault(c, []).append(t.source)
+        result.figures.extend(
+            _campaign_artifacts(
+                RowTable.concat(tables),
+                figures_dir,
+                formats,
+                workers_by_campaign,
+                {
+                    c: ", ".join(dict.fromkeys(s))
+                    for c, s in sources_by_campaign.items()
+                },
+                used_names,
+            )
+        )
+    for path, results in parsed_json:
+        artifacts = _experiment_json_artifacts(
+            path, results, figures_dir, formats, used_names, out_dir
+        )
+        if not artifacts:
+            # Tables-only results (table2, costmodel, ...) carry no
+            # series bundles; say so rather than silently omitting
+            # the file from the figure set.
+            result.warnings.append(
+                f"`{_display_path(path, out_dir)}`: no series bundles "
+                f"(tables-only experiment results render no figures)"
+            )
+        result.figures.extend(artifacts)
+
+    if analytics:
+        result.figures.extend(
+            _analytic_artifacts(scale, seed, figures_dir, formats,
+                                cable_model)
+        )
+
+    # A reused --out directory must not mix this build's figures with
+    # a previous run's (different scale/inputs): remove strays so the
+    # directory always matches REPORT.md exactly.
+    current = {p for a in result.figures for p in a.paths}
+    for ext in ("svg", "png"):
+        for stray in sorted(figures_dir.glob(f"*.{ext}")):
+            if stray not in current:
+                stray.unlink()
+
+    result.report_path.write_text(
+        _render_markdown(
+            title, result.figures, result.data_files, out_dir, scale.value,
+            result.warnings,
+        ),
+        encoding="utf-8",
+        newline="\n",
+    )
+    return result

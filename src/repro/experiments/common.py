@@ -82,6 +82,30 @@ class ExperimentResult:
             "notes": list(self.notes),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result from its ``to_dict`` form.
+
+        Lossless round-trip (modulo JSON's tuple->list coercion inside
+        table rows), so saved ``--json`` outputs can be re-rendered or
+        fed to the analysis layer without rerunning the experiment.
+        """
+        from repro.util.series import Series
+
+        result = cls(experiment=data["experiment"], title=data["title"])
+        for table in data.get("tables", []):
+            result.add_table(list(table["headers"]),
+                             [list(r) for r in table["rows"]])
+        for b in data.get("bundles", []):
+            bundle = SeriesBundle(
+                title=b["title"], xlabel=b["xlabel"], ylabel=b["ylabel"]
+            )
+            for s in b.get("series", []):
+                bundle.add(Series(name=s["name"], x=list(s["x"]), y=list(s["y"])))
+            result.add_bundle(bundle)
+        result.notes = list(data.get("notes", []))
+        return result
+
 
 def sim_config_for(scale: Scale):
     """Simulator run lengths per scale preset."""

@@ -5,6 +5,14 @@
     python -m repro.experiments fig6 --pattern worstcase
     python -m repro.experiments all --scale quick --json results.json
     python -m repro.experiments campaign grid.json --workers 4 --resume
+    python -m repro.experiments report --out report/ --workers 4
+    python -m repro.experiments report rows.jsonl --out report/
+
+The ``report`` subcommand is the last mile: it consumes campaign JSONL
+files (or, with none given, runs the standard figure-set campaigns
+into ``<out>/data/`` with resume semantics) plus the analytic
+cost/power experiments, and emits ``<out>/REPORT.md`` with
+byte-deterministic SVG figures and per-figure provenance.
 """
 
 from __future__ import annotations
@@ -138,12 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
         "or run a declarative scenario campaign.",
     )
     parser.add_argument(
-        "experiment", nargs="?", help="experiment id, 'all', or 'campaign'"
+        "experiment", nargs="?", help="experiment id, 'all', 'campaign', or 'report'"
     )
     parser.add_argument(
-        "campaign_file",
-        nargs="?",
-        help="campaign JSON file (with the 'campaign' subcommand)",
+        "files",
+        nargs="*",
+        help="campaign JSON file (with 'campaign') or input data files "
+        "(with 'report': campaign .jsonl rows and/or --json .json results)",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
@@ -186,12 +195,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         metavar="PATH",
         default=None,
-        help="campaign row output (JSONL; default: <campaign>.results.jsonl)",
+        help="campaign row output (JSONL; default: <campaign>.results.jsonl) "
+        "or the report output directory (required for 'report')",
     )
     parser.add_argument(
         "--resume",
         action="store_true",
         help="reuse completed scenarios already present in the campaign output",
+    )
+    parser.add_argument(
+        "--no-analytics",
+        action="store_true",
+        help="report: skip the analytic cost/power figures",
+    )
+    parser.add_argument(
+        "--png",
+        action="store_true",
+        help="report: additionally render PNG figures (requires matplotlib)",
     )
     return parser
 
@@ -204,8 +224,15 @@ def run_experiment(name: str, scale, seed: int, **kw):
 def _run_campaign_cli(args) -> int:
     from repro.scenarios import Campaign, run_campaign
 
-    if not args.campaign_file:
+    if not args.files:
         print("campaign needs a JSON file argument", file=sys.stderr)
+        return 2
+    if len(args.files) > 1:
+        print(
+            f"campaign takes exactly one JSON file, got {len(args.files)} "
+            f"(run several campaigns as separate invocations)",
+            file=sys.stderr,
+        )
         return 2
     if args.json:
         # Campaigns stream JSONL rows via --out; silently dropping the
@@ -214,6 +241,10 @@ def _run_campaign_cli(args) -> int:
             "--json applies to experiments; campaigns write rows to --out",
             file=sys.stderr,
         )
+        return 2
+    if args.no_analytics or args.png:
+        print("--no-analytics/--png apply to the 'report' subcommand only",
+              file=sys.stderr)
         return 2
     # Everything but --workers/--out/--resume is baked into the spec
     # file; silently dropping a flag would misrepresent the rows.
@@ -236,7 +267,7 @@ def _run_campaign_cli(args) -> int:
             file=sys.stderr,
         )
         return 2
-    path = Path(args.campaign_file)
+    path = Path(args.files[0])
     if not path.exists():
         print(f"no such campaign file: {path}", file=sys.stderr)
         return 2
@@ -251,28 +282,133 @@ def _run_campaign_cli(args) -> int:
     return 0
 
 
+def _run_report_cli(args) -> int:
+    from repro.analysis.figures import HAVE_MATPLOTLIB
+    from repro.analysis.report import build_report
+
+    if not args.out:
+        print("report needs --out <directory>", file=sys.stderr)
+        return 2
+    if Path(args.out).exists() and not Path(args.out).is_dir():
+        print(f"--out must be a directory, and {args.out} is a file",
+              file=sys.stderr)
+        return 2
+    if args.png and not HAVE_MATPLOTLIB:
+        # Fail before the (potentially long) simulations, not after.
+        print(
+            "--png needs matplotlib, which is not installed; the SVG "
+            "backend needs no extra dependencies",
+            file=sys.stderr,
+        )
+        return 2
+    # Axes that cannot apply to report rendering are rejected loudly,
+    # mirroring the campaign subcommand's strictness.
+    ignored = [
+        flag
+        for flag, value, default in (
+            ("--json", args.json, None),
+            ("--resume", args.resume, False),
+            ("--pattern", args.pattern, "uniform"),
+            ("--workload", args.workload, "alltoall"),
+            ("--replicas", args.replicas, 1),
+        )
+        if value != default
+    ]
+    if ignored:
+        print(
+            f"{', '.join(ignored)} cannot apply to 'report' (campaigns "
+            "resume automatically; other axes live in the input files)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.no_analytics and args.cable_model != "mellanox-fdr10":
+        print(
+            "--cable-model applies to the analytic cost figure, which "
+            "--no-analytics skips",
+            file=sys.stderr,
+        )
+        return 2
+    if args.files and args.no_analytics and (
+        args.scale != "default" or args.seed != 0
+    ):
+        # With input files and no analytics nothing consumes these
+        # axes — same loud-rejection rule as the flags above.
+        print(
+            "--scale/--seed only apply to simulations and analytic "
+            "figures; with input files and --no-analytics neither runs",
+            file=sys.stderr,
+        )
+        return 2
+    missing = [f for f in args.files if not Path(f).exists()]
+    if missing:
+        print(f"no such input file(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    if args.files and args.workers != 1:
+        # With input files nothing simulates, so the flag would be
+        # silently dropped — same loud-rejection rule as above.
+        print(
+            "--workers only applies when report runs the default campaigns "
+            "(no input files); the given files already hold the rows",
+            file=sys.stderr,
+        )
+        return 2
+    # Unknown suffixes are rejected inside build_report (before any
+    # simulation); its ValueError becomes the exit-2 diagnostic below.
+    formats = ("svg", "png") if args.png else ("svg",)
+    start = time.time()
+    try:
+        result = build_report(
+            args.files,
+            args.out,
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            analytics=not args.no_analytics,
+            cable_model=args.cable_model,
+            formats=formats,
+        )
+    except ValueError as exc:
+        # Malformed inputs (e.g. a campaign spec passed as a results
+        # file) get the same clean exit-2 diagnostic as flag misuse.
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(result.summary())
+    print(f"[report finished in {time.time() - start:.1f}s]")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.list or not args.experiment:
         width = max(len(k) for k in EXPERIMENTS)
         for key, (_, desc) in EXPERIMENTS.items():
             print(f"{key.ljust(width)}  {desc}")
+        print(
+            "\nsubcommands: campaign <grid.json> [--workers N] [--resume]  |  "
+            "report [data.jsonl ...] --out <dir>"
+        )
         return 0
 
     if args.experiment == "campaign":
         return _run_campaign_cli(args)
+    if args.experiment == "report":
+        return _run_report_cli(args)
     if args.out or args.resume:
         print(
-            "--out/--resume apply to the 'campaign' subcommand only",
+            "--out/--resume apply to the 'campaign' and 'report' subcommands only",
             file=sys.stderr,
         )
         return 2
-    if args.campaign_file:
-        # Only 'campaign' takes a second positional; catching it here
-        # keeps e.g. `fig6 worstcase` (forgotten --pattern) loud.
+    if args.no_analytics or args.png:
+        print("--no-analytics/--png apply to the 'report' subcommand only",
+              file=sys.stderr)
+        return 2
+    if args.files:
+        # Only 'campaign'/'report' take extra positionals; catching it
+        # here keeps e.g. `fig6 worstcase` (forgotten --pattern) loud.
         print(
-            f"unexpected argument {args.campaign_file!r} "
-            f"(only 'campaign' takes a file argument)",
+            f"unexpected argument {args.files[0]!r} "
+            f"(only 'campaign' and 'report' take file arguments)",
             file=sys.stderr,
         )
         return 2

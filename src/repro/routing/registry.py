@@ -70,6 +70,20 @@ ROUTING_BUILDERS: dict[str, Callable[..., RoutingAlgorithm]] = {
     "ft-anca": _ft_anca,
 }
 
+#: The class each builder constructs — the self-description the
+#: auto-generated registry reference (docs/REGISTRY.md) introspects
+#: for constructor parameters.
+ROUTING_CLASSES: dict[str, type] = {
+    "min": MinimalRouting,
+    "val": ValiantRouting,
+    "ugal-l": UGALRouting,
+    "ugal-g": UGALRouting,
+    "df-min": DragonflyMinimal,
+    "df-ugal-l": DragonflyUGAL,
+    "df-ugal-g": DragonflyUGAL,
+    "ft-anca": ANCARouting,
+}
+
 #: Algorithms that route over all-pairs tables (the rest only need the
 #: topology object) — lets callers skip the table build entirely.
 TABLE_FREE = {"ft-anca"}

@@ -17,6 +17,14 @@ reused verbatim (zero simulations) and only the missing ones run.
 Because rows are written in campaign order and cached lines are
 replayed byte-for-byte, an interrupted campaign resumed to completion
 produces a final file identical to an uninterrupted run.
+
+Next to the JSONL, the runner writes a provenance sidecar
+(``<out>.meta.json``): the campaign name, package version, worker
+count, and the scenario index (hash, label, engine, row count).  The
+analysis layer (:mod:`repro.analysis.frames`) reads it to stamp
+per-figure provenance into reproduction reports.  The sidecar is
+deliberately free of timestamps and run counters, so a rerun with the
+same inputs rewrites it byte-identically.
 """
 
 from __future__ import annotations
@@ -150,6 +158,51 @@ class CampaignReport:
         )
 
 
+def _write_meta(
+    out_path: Path, campaign: Campaign, workers: int, simulated: int
+) -> None:
+    """Provenance sidecar for an output file (see module docstring).
+
+    ``workers`` records how the rows were *produced*: a resume that
+    simulated nothing keeps the previous sidecar's worker count — the
+    rows in the file are still the old run's — instead of stamping a
+    worker count that never ran a simulation.
+    """
+    from repro import __version__
+
+    meta_path = out_path.with_name(out_path.name + ".meta.json")
+    if simulated == 0 and meta_path.exists():
+        try:
+            previous = json.loads(meta_path.read_text(encoding="utf-8"))
+            # A corrupt/foreign sidecar (non-dict JSON included) is
+            # simply rewritten rather than trusted.
+            if isinstance(previous, dict) and \
+                    previous.get("campaign") == campaign.name:
+                workers = previous.get("workers", workers)
+        except ValueError:
+            pass
+    meta = {
+        "format": 1,
+        "campaign": campaign.name,
+        "generator": f"repro {__version__}",
+        "workers": workers,
+        "scenarios": [
+            {
+                "scenario": scenario_hash(s),
+                "label": s.label,
+                "engine": s.engine,
+                "rows": s.num_rows,
+            }
+            for s in campaign.scenarios
+        ],
+    }
+    meta_path.write_text(
+        json.dumps(meta, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+        newline="\n",
+    )
+
+
 def _emit(stream: IO[str] | None, rows: list[dict], raw: list[str] | None) -> None:
     if stream is None:
         return
@@ -281,6 +334,8 @@ def run_campaign(
             stream.close()
     if write_path is not None and write_path != out_path:
         os.replace(write_path, out_path)
+    if out_path is not None:
+        _write_meta(out_path, campaign, workers, report.simulated)
     return report
 
 

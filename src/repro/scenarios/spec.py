@@ -193,10 +193,12 @@ class WorkloadSpec:
 
 
 def sim_config_to_dict(config: SimConfig) -> dict:
+    """A SimConfig as a plain field dict (JSON-ready, lossless)."""
     return asdict(config)
 
 
 def sim_config_from_dict(data: dict) -> SimConfig:
+    """Rebuild a SimConfig from its ``sim_config_to_dict`` form."""
     return SimConfig(**data)
 
 

@@ -86,6 +86,20 @@ TOPOLOGY_BUILDERS: dict[str, Callable[..., Topology]] = {
     "LH-HC": _lh,
 }
 
+#: The class each builder constructs — the self-description the
+#: auto-generated registry reference (docs/REGISTRY.md) introspects.
+TOPOLOGY_CLASSES: dict[str, type] = {
+    "SF": SlimFly,
+    "DF": Dragonfly,
+    "FT-3": FatTree3,
+    "FBF-3": FlattenedButterfly,
+    "HC": Hypercube,
+    "T3D": Torus,
+    "T5D": Torus,
+    "DLN": RandomDLN,
+    "LH-HC": LongHopHypercube,
+}
+
 #: Display order used by the figures (paper legend order).
 TOPOLOGY_ORDER = ["T3D", "HC", "T5D", "LH-HC", "FT-3", "FBF-3", "DF", "DLN", "SF"]
 
@@ -132,6 +146,12 @@ def balanced_instance(
     """
     validate_shape_params(name, target_endpoints, params)
     return TOPOLOGY_BUILDERS[name](target_endpoints, seed=seed, **params)
+
+
+#: Registry-style alias, symmetric with ``make_routing`` /
+#: ``make_pattern`` / ``make_workload``: the one factory every string
+#: topology key goes through.
+make_topology = balanced_instance
 
 
 def balanced_config_sweep(

@@ -21,6 +21,18 @@ from repro.traffic.permutations import (
 
 PATTERN_KINDS = ("uniform", "bitrev", "shift", "shuffle", "bitcomp", "worstcase")
 
+#: The generator each kind resolves to (``worstcase`` dispatches per
+#: topology through :func:`worst_case_for`) — the self-description the
+#: auto-generated registry reference (docs/REGISTRY.md) introspects.
+PATTERN_TARGETS = {
+    "uniform": UniformRandom,
+    "bitrev": BitReversalPattern,
+    "shift": ShiftPattern,
+    "shuffle": ShufflePattern,
+    "bitcomp": BitComplementPattern,
+    "worstcase": worst_case_for,
+}
+
 
 def make_pattern(
     kind: str, topology, tables=None, seed=None

@@ -67,6 +67,18 @@ WORKLOAD_KINDS = (
     "halo3d",
 )
 
+#: The generator class each kind constructs — the self-description the
+#: auto-generated registry reference (docs/REGISTRY.md) introspects.
+WORKLOAD_CLASSES: dict[str, type] = {
+    "alltoall": AllToAll,
+    "ring-allreduce": RingAllReduce,
+    "rd-allreduce": RecursiveDoublingAllReduce,
+    "broadcast": BroadcastTree,
+    "gather": GatherTree,
+    "halo2d": HaloExchange2D,
+    "halo3d": HaloExchange3D,
+}
+
 
 def make_workload(
     kind: str,

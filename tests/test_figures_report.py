@@ -1,0 +1,515 @@
+"""Figure renderers (determinism, styling) and the report builder/CLI."""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.figures import (
+    BarFigure,
+    GroupedBarFigure,
+    HAVE_MATPLOTLIB,
+    LineFigure,
+    LineSeries,
+    PALETTE,
+    SERIES_COLORS,
+    assign_colors,
+    nice_ticks,
+    save_figure,
+)
+from repro.analysis.report import build_report
+from repro.experiments.runner import main as cli_main
+from repro.scenarios import (
+    Campaign,
+    RoutingSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    WorkloadSpec,
+    run_campaign,
+)
+from repro.sim.config import SimConfig
+
+CFG = SimConfig(warmup_cycles=20, measure_cycles=60, drain_cycles=300)
+HC = TopologySpec("HC", target_endpoints=16, params={"concentration": 2})
+
+
+def tiny_campaign() -> Campaign:
+    return Campaign(
+        "tiny",
+        [
+            Scenario(topology=HC, routing=RoutingSpec("min"), sim=CFG,
+                     traffic=TrafficSpec("uniform"), loads=[0.1, 0.5, 0.9],
+                     label="HC-MIN"),
+            Scenario(topology=HC, routing=RoutingSpec("val", {"seed": 0}),
+                     sim=CFG, traffic=TrafficSpec("uniform"),
+                     loads=[0.1, 0.5, 0.9], label="HC-VAL"),
+            Scenario(topology=HC, routing=RoutingSpec("min"),
+                     sim=SimConfig(seed=0),
+                     workload=WorkloadSpec("ring-allreduce", ranks=8,
+                                           size_flits=2),
+                     max_cycles=50_000, label="HC-MIN/ring-allreduce"),
+        ],
+    )
+
+
+def make_mixed_rows_file(path, campaign="c"):
+    rows = [
+        {
+            "campaign": campaign, "scenario": "feedface00000000",
+            "label": "HC-MIN", "engine": "open", "row": i, "rows": 2,
+            "load": 0.1 * (i + 1), "latency": 10.0 + i,
+            "accepted": 0.1 * (i + 1), "saturated": False,
+            "spec": {"sim": {"seed": 0}},
+        }
+        for i in range(2)
+    ]
+    path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+    return path
+
+
+@pytest.fixture(scope="module")
+def tiny_rows(tmp_path_factory):
+    out = tmp_path_factory.mktemp("rows") / "tiny.jsonl"
+    run_campaign(tiny_campaign(), out=out, workers=1)
+    return out
+
+
+def line_figure() -> LineFigure:
+    return LineFigure(
+        title="t", xlabel="x", ylabel="y",
+        series=[
+            LineSeries("SF-MIN", [0.1, 0.5, 0.9], [10.0, 12.0, 40.0],
+                       [False, False, True]),
+            LineSeries("SF-VAL", [0.1, 0.5, 0.9], [15.0, None, 50.0]),
+        ],
+    )
+
+
+class TestSVGBackend:
+    def test_byte_deterministic(self):
+        assert line_figure().render_svg() == line_figure().render_svg()
+        bars = BarFigure(title="b", xlabel="x", ylabel="y",
+                         categories=["SF", "DF"], values=[1.0, 2.0])
+        assert bars.render_svg() == bars.render_svg()
+
+    def test_data_changes_change_bytes(self):
+        a = line_figure()
+        b = line_figure()
+        b.series[0].y[0] = 11.0
+        assert a.render_svg() != b.render_svg()
+
+    @pytest.mark.parametrize(
+        "figure",
+        [
+            line_figure(),
+            BarFigure(title="b", xlabel="x", ylabel="y",
+                      categories=["SF", "DF"], values=[3.0, 2.0]),
+            GroupedBarFigure(title="g", xlabel="x", ylabel="y",
+                             groups=["a2a", "ring"],
+                             series=["SF-MIN", "FT-ANCA"],
+                             values=[[1.0, 2.0], [3.0, None]]),
+        ],
+        ids=["line", "bar", "grouped"],
+    )
+    def test_well_formed_svg(self, figure):
+        root = ET.fromstring(figure.render_svg())
+        assert root.tag.endswith("svg")
+        width, height = float(root.get("width")), float(root.get("height"))
+        for el in root.iter():
+            for attr in ("x", "y", "cx", "cy", "x1", "x2", "y1", "y2"):
+                value = el.get(attr)
+                if value is not None:
+                    assert -20 <= float(value) <= max(width, height) + 20
+
+    def test_known_entities_keep_their_color(self):
+        svg = line_figure().render_svg()
+        assert SERIES_COLORS["SF-MIN"] in svg
+        assert SERIES_COLORS["SF-VAL"] in svg
+        # Color follows the entity regardless of position in the figure.
+        assert assign_colors(["SF-VAL"]) == [SERIES_COLORS["SF-VAL"]]
+
+    def test_unknown_series_take_free_palette_slots_in_order(self):
+        names = [f"s{i}" for i in range(9)]
+        colors = assign_colors(names)
+        assert colors[:8] == list(PALETTE)
+        assert colors[8] not in PALETTE  # overflow gray past 8 series
+
+    def test_assign_colors_avoids_pinned_slots(self):
+        colors = assign_colors(["my-custom", "SF-MIN"])
+        assert colors[1] == SERIES_COLORS["SF-MIN"]
+        assert colors[0] != colors[1]
+        # All-distinct for a full mixed figure too.
+        mixed = assign_colors(["a", "SF-MIN", "b", "FT-ANCA"])
+        assert len(set(mixed)) == 4
+        # Pinned entities sharing a slot (aliases) must not collide
+        # when they co-appear in one figure.
+        aliased = assign_colors(["DF-UGAL-L", "DF-UGAL-G"])
+        assert aliased[0] == SERIES_COLORS["DF-UGAL-L"]
+        assert aliased[0] != aliased[1]
+
+    def test_diagonal_clamped_to_visible_window(self):
+        fig = LineFigure(
+            title="t", xlabel="x", ylabel="y", diagonal=True,
+            series=[LineSeries("s", [0.1, 0.5, 0.9], [0.01, 0.03, 0.05])],
+        )
+        root = ET.fromstring(fig.render_svg())
+        w, h = float(root.get("width")), float(root.get("height"))
+        for el in root.iter():
+            if el.tag.rsplit("}", 1)[-1] == "line":
+                for attr in ("x1", "x2", "y1", "y2"):
+                    assert -20 <= float(el.get(attr)) <= max(w, h) + 20
+
+    def test_saturated_points_render_open_markers(self):
+        svg = line_figure().render_svg()
+        color = SERIES_COLORS["SF-MIN"]
+        assert f'fill="#fcfcfb" stroke="{color}"' in svg
+
+    def test_none_values_skipped_not_drawn(self):
+        fig = LineFigure(title="t", xlabel="x", ylabel="y",
+                         series=[LineSeries("s", [0.1, 0.5], [None, None])])
+        root = ET.fromstring(fig.render_svg())
+        assert not [el for el in root.iter() if el.tag.endswith("circle")]
+
+    def test_constant_nonpositive_series_renders(self):
+        fig = LineFigure(title="t", xlabel="x", ylabel="y",
+                         series=[LineSeries("a", [0, 1, 2],
+                                            [-5.0, -5.0, -5.0])])
+        assert fig.render_svg().startswith("<svg")
+
+    def test_grouped_bars_tolerate_ragged_matrix(self):
+        fig = GroupedBarFigure(title="t", xlabel="x", ylabel="y",
+                               groups=["a", "b"], series=["s1", "s2"],
+                               values=[[1.0]])
+        assert fig.render_svg().startswith("<svg")
+
+    def test_nice_ticks(self):
+        ticks = nice_ticks(0.0, 1.0)
+        assert ticks[0] == 0.0 and ticks[-1] == 1.0
+        assert nice_ticks(0.0, 0.0)  # degenerate range still ticks
+
+    def test_save_figure_svg_and_unknown_format(self, tmp_path):
+        (path,) = save_figure(line_figure(), tmp_path, "fig")
+        assert path.read_text().startswith("<svg")
+        with pytest.raises(ValueError, match="format"):
+            save_figure(line_figure(), tmp_path, "fig", formats=("pdf",))
+
+    @pytest.mark.skipif(HAVE_MATPLOTLIB, reason="matplotlib installed")
+    def test_png_gated_without_matplotlib(self, tmp_path):
+        with pytest.raises(RuntimeError, match="matplotlib"):
+            save_figure(line_figure(), tmp_path, "fig", formats=("png",))
+
+    @pytest.mark.skipif(not HAVE_MATPLOTLIB, reason="needs matplotlib")
+    def test_png_renders_with_matplotlib(self, tmp_path):
+        (path,) = save_figure(line_figure(), tmp_path, "fig", formats=("png",))
+        assert path.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+
+class TestBuildReport:
+    def test_figures_and_report_from_jsonl(self, tiny_rows, tmp_path):
+        result = build_report([tiny_rows], tmp_path, analytics=False)
+        assert result.report_path.exists()
+        names = sorted(f.name for f in result.figures)
+        assert names == ["tiny-completion", "tiny-latency", "tiny-throughput"]
+        for artifact in result.figures:
+            assert artifact.paths[0].exists()
+            assert artifact.provenance
+            assert artifact.workers == 1
+        text = result.report_path.read_text()
+        assert "![tiny-latency](figures/tiny-latency.svg)" in text
+        assert "Paper expectation" in text and "Provenance" in text
+        # Every scenario hash from the rows is pinned in the report.
+        for line in tiny_rows.read_text().splitlines():
+            assert json.loads(line)["scenario"] in text
+
+    def test_stale_figures_removed_on_rebuild(self, tiny_rows, tmp_path):
+        result = build_report([tiny_rows], tmp_path, analytics=False)
+        stray = result.out_dir / "figures" / "old-run-figure.svg"
+        stray.write_text("<svg/>")
+        build_report([tiny_rows], tmp_path, analytics=False)
+        assert not stray.exists()
+        for artifact in result.figures:
+            assert artifact.paths[0].exists()
+
+    def test_rebuild_is_byte_identical(self, tiny_rows, tmp_path):
+        first = build_report([tiny_rows], tmp_path, analytics=False)
+        snapshot = {
+            p: p.read_bytes()
+            for a in first.figures for p in a.paths
+        }
+        snapshot[first.report_path] = first.report_path.read_bytes()
+        build_report([tiny_rows], tmp_path, analytics=False)
+        for path, content in snapshot.items():
+            assert path.read_bytes() == content
+
+    def test_analytic_cost_power_figures(self, tmp_path, tiny_rows):
+        result = build_report([tiny_rows], tmp_path, analytics=True,
+                              scale="quick")
+        families = {a.family for a in result.figures}
+        assert {"cost", "power"} <= families
+        text = result.report_path.read_text()
+        assert "cheapest" in text or "power" in text
+
+    def test_analytics_cable_model_passthrough(self, tmp_path, tiny_rows):
+        result = build_report([tiny_rows], tmp_path, analytics=True,
+                              scale="quick", cable_model="mellanox-qdr56")
+        cost = next(a for a in result.figures if a.family == "cost")
+        assert "mellanox-qdr56" in cost.title
+
+    def test_experiment_json_input(self, tmp_path):
+        data = [
+            {
+                "experiment": "fig1",
+                "title": "t",
+                "tables": [],
+                "bundles": [
+                    {"title": "b", "xlabel": "x", "ylabel": "y",
+                     "series": [{"name": "SF", "x": [1, 2], "y": [3, 4]}]}
+                ],
+                "notes": ["a note"],
+            }
+        ]
+        path = tmp_path / "results.json"
+        path.write_text(json.dumps(data))
+        result = build_report([path], tmp_path / "out", analytics=False)
+        assert [a.name for a in result.figures] == ["fig1-bundle0"]
+        assert "a note" in result.report_path.read_text()
+
+    def test_duplicate_experiment_json_inputs_keep_distinct_figures(
+        self, tmp_path
+    ):
+        data = [
+            {
+                "experiment": "fig1",
+                "title": "t",
+                "tables": [],
+                "bundles": [
+                    {"title": "b", "xlabel": "x", "ylabel": "y",
+                     "series": [{"name": "SF", "x": [1], "y": [2]}]}
+                ],
+                "notes": [],
+            }
+        ]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(data))
+        b.write_text(json.dumps(data))
+        result = build_report([a, b], tmp_path / "out", analytics=False)
+        names = [f.name for f in result.figures]
+        assert names == ["fig1-bundle0", "fig1-bundle0-2"]
+        assert len({f.paths[0] for f in result.figures}) == 2
+        # Titles (and hence REPORT.md anchors) deduped too.
+        assert len({f.title for f in result.figures}) == 2
+
+    def test_campaign_spec_json_rejected_with_message(self, tmp_path):
+        spec = tiny_campaign().save(tmp_path / "grid.json")
+        with pytest.raises(ValueError, match="experiment-results"):
+            build_report([spec], tmp_path / "out", analytics=False)
+
+    def test_duplicate_closed_labels_average_not_last_wins(self, tmp_path):
+        def row(makespan, scenario):
+            return {
+                "campaign": "c", "scenario": scenario,
+                "label": "SF-MIN/alltoall", "engine": "closed", "row": 0,
+                "rows": 1, "workload": "alltoall", "num_messages": 2,
+                "completed_messages": 2, "finished": True,
+                "makespan": makespan, "cycles": makespan,
+                "delivered_flits": 4, "avg_message_latency": 5.0,
+                "p99_message_latency": 6.0, "avg_packet_latency": 4.0,
+                "flits_per_cycle": 0.1, "spec": {"sim": {"seed": 0}},
+            }
+
+        path = tmp_path / "rows.jsonl"
+        path.write_text(json.dumps(row(100, "a" * 16)) + "\n"
+                        + json.dumps(row(300, "b" * 16)) + "\n")
+        result = build_report([path], tmp_path / "out", analytics=False)
+        (artifact,) = result.figures
+        assert any("mean over 2 finished" in c for c in artifact.commentary)
+        # The mean (200), not the last row (300), is what renders.
+        assert any("200 cycles" in c for c in artifact.commentary)
+
+    def test_colliding_campaign_slugs_keep_distinct_figures(self, tmp_path):
+        a = make_mixed_rows_file(tmp_path / "a.jsonl", campaign="my.run")
+        b = make_mixed_rows_file(tmp_path / "b.jsonl", campaign="my-run")
+        result = build_report([a, b], tmp_path / "out", analytics=False)
+        paths = [f.paths[0] for f in result.figures]
+        assert len(set(paths)) == len(paths)
+        assert any(p.name == "my-run-latency.svg" for p in paths)
+        assert any(p.name == "my-run-latency-2.svg" for p in paths)
+
+    def test_tables_only_json_surfaces_warning(self, tmp_path):
+        data = [{"experiment": "table2", "title": "t", "tables":
+                 [{"headers": ["a"], "rows": [[1]]}], "bundles": [],
+                 "notes": []}]
+        path = tmp_path / "results.json"
+        path.write_text(json.dumps(data))
+        result = build_report([path], tmp_path / "out", analytics=False)
+        assert result.figures == []
+        assert any("tables-only" in w for w in result.warnings)
+
+    def test_empty_experiment_json_rejected(self, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="no experiment results"):
+            build_report([path], tmp_path / "out", analytics=False)
+
+    def test_truncated_experiment_json_rejected(self, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text('[{"experiment": "fig1"}]')
+        with pytest.raises(ValueError, match="malformed experiment"):
+            build_report([path], tmp_path / "out", analytics=False)
+
+    def test_bad_json_input_fails_before_any_figure_writes(self, tiny_rows,
+                                                           tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a results list"}')
+        out = tmp_path / "out"
+        with pytest.raises(ValueError):
+            build_report([tiny_rows, bad], out, analytics=False)
+        # Validation runs before rendering: nothing half-written.
+        assert not list((out / "figures").iterdir())
+
+    def test_jsonl_with_no_valid_rows_rejected(self, tmp_path):
+        bogus = tmp_path / "rows.jsonl"
+        bogus.write_text('{"not": "a campaign row"}\n')
+        with pytest.raises(ValueError, match="no valid campaign rows"):
+            build_report([bogus], tmp_path / "out", analytics=False)
+
+    def test_torn_lines_surface_as_warnings(self, tiny_rows, tmp_path):
+        degraded = tmp_path / "degraded.jsonl"
+        degraded.write_text(tiny_rows.read_text() + '{"torn...')
+        result = build_report([degraded], tmp_path / "out", analytics=False)
+        assert result.warnings and "unparseable" in result.warnings[0]
+        assert "Data-quality warnings" in result.report_path.read_text()
+
+    def test_resume_preserves_sidecar_worker_count(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        run_campaign(tiny_campaign(), out=out, workers=1)
+        # Full resume at another worker count simulates nothing, so the
+        # sidecar must keep recording how the rows were produced.
+        report = run_campaign(tiny_campaign(), out=out, workers=2, resume=True)
+        assert report.simulated == 0
+        meta = json.loads((tmp_path / "rows.jsonl.meta.json").read_text())
+        assert meta["workers"] == 1
+
+    def test_rejects_unknown_input_suffix(self, tmp_path):
+        bad = tmp_path / "rows.csv"
+        bad.write_text("")
+        with pytest.raises(ValueError, match="inputs"):
+            build_report([bad], tmp_path / "out", analytics=False)
+
+    def test_campaign_sharded_across_files_renders_once(self, tiny_rows,
+                                                        tmp_path):
+        lines = tiny_rows.read_text().splitlines(keepends=True)
+        shard1 = tmp_path / "shard1.jsonl"
+        shard2 = tmp_path / "shard2.jsonl"
+        shard1.write_text("".join(lines[:3]))
+        shard2.write_text("".join(lines[3:]))
+        result = build_report([shard1, shard2], tmp_path / "out",
+                              analytics=False)
+        # One figure set for the campaign, with every curve present.
+        assert sorted(f.name for f in result.figures) == [
+            "tiny-completion", "tiny-latency", "tiny-throughput"
+        ]
+        latency = next(a for a in result.figures if a.name == "tiny-latency")
+        svg = latency.paths[0].read_text()
+        assert ">HC-MIN</text>" in svg and ">HC-VAL</text>" in svg
+        assert "shard1.jsonl" in latency.source
+        assert "shard2.jsonl" in latency.source
+
+    def test_closed_labels_with_extra_slashes_render_bars(self, tmp_path):
+        row = {
+            "campaign": "c", "scenario": "feedface00000000",
+            "label": "SF/MIN/alltoall", "engine": "closed", "row": 0,
+            "rows": 1, "workload": "alltoall", "num_messages": 2,
+            "completed_messages": 2, "finished": True, "makespan": 42,
+            "cycles": 42, "delivered_flits": 4, "avg_message_latency": 5.0,
+            "p99_message_latency": 6.0, "avg_packet_latency": 4.0,
+            "flits_per_cycle": 0.1, "spec": {"sim": {"seed": 0}},
+        }
+        path = tmp_path / "rows.jsonl"
+        path.write_text(json.dumps(row) + "\n")
+        result = build_report([path], tmp_path / "out", analytics=False)
+        (artifact,) = result.figures
+        # The bar must actually render (one <path> per drawn bar).
+        assert "<path" in artifact.paths[0].read_text()
+
+    def test_contents_anchors_are_github_style(self, tiny_rows, tmp_path):
+        result = build_report([tiny_rows], tmp_path, analytics=False)
+        text = result.report_path.read_text()
+        # "## tiny: latency vs offered load" -> GitHub drops the colon
+        # and turns each space into a dash.
+        assert "(#tiny-latency-vs-offered-load)" in text
+
+
+class TestReportCLI:
+    def test_report_from_file(self, tiny_rows, tmp_path, capsys):
+        out = tmp_path / "rep"
+        rc = cli_main(["report", str(tiny_rows), "--out", str(out),
+                       "--no-analytics"])
+        assert rc == 0
+        assert (out / "REPORT.md").exists()
+        assert sorted(p.name for p in (out / "figures").iterdir()) == [
+            "tiny-completion.svg", "tiny-latency.svg", "tiny-throughput.svg",
+        ]
+        assert "3 figures" in capsys.readouterr().out
+
+    def test_report_requires_out(self, capsys):
+        assert cli_main(["report"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_report_out_must_be_a_directory(self, tiny_rows, tmp_path,
+                                            capsys):
+        stray = tmp_path / "outfile"
+        stray.write_text("")
+        assert cli_main(["report", str(tiny_rows), "--out", str(stray)]) == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_report_rejects_cross_mode_flags(self, tiny_rows, tmp_path, capsys):
+        out = str(tmp_path / "rep")
+        assert cli_main(["report", str(tiny_rows), "--out", out,
+                         "--resume"]) == 2
+        assert "--resume" in capsys.readouterr().err
+        assert cli_main(["report", str(tiny_rows), "--out", out,
+                         "--replicas", "4"]) == 2
+
+    def test_report_missing_input_errors(self, tmp_path, capsys):
+        assert cli_main(["report", str(tmp_path / "nope.jsonl"),
+                         "--out", str(tmp_path / "rep")]) == 2
+        assert "no such input" in capsys.readouterr().err
+
+    def test_report_rejects_unknown_suffix_cleanly(self, tmp_path, capsys):
+        stray = tmp_path / "notes.txt"
+        stray.write_text("hello")
+        assert cli_main(["report", str(stray),
+                         "--out", str(tmp_path / "rep")]) == 2
+        assert ".jsonl" in capsys.readouterr().err
+
+    def test_report_rejects_campaign_spec_json_cleanly(self, tmp_path, capsys):
+        spec = tiny_campaign().save(tmp_path / "grid.json")
+        assert cli_main(["report", str(spec),
+                         "--out", str(tmp_path / "rep")]) == 2
+        assert "experiment-results" in capsys.readouterr().err
+
+    def test_report_rejects_inert_scale_seed(self, tiny_rows, tmp_path,
+                                             capsys):
+        assert cli_main(["report", str(tiny_rows), "--out",
+                         str(tmp_path / "rep"), "--no-analytics",
+                         "--scale", "paper"]) == 2
+        assert "--scale" in capsys.readouterr().err
+
+    def test_report_rejects_workers_with_input_files(self, tiny_rows,
+                                                     tmp_path, capsys):
+        assert cli_main(["report", str(tiny_rows), "--out",
+                         str(tmp_path / "rep"), "--workers", "8"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_campaign_cli_rejects_multiple_files(self, tmp_path, capsys):
+        spec = tiny_campaign().save(tmp_path / "grid.json")
+        assert cli_main(["campaign", str(spec), str(spec)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_experiments_reject_report_flags(self, capsys):
+        assert cli_main(["table2", "--scale", "quick", "--png"]) == 2
+        assert "report" in capsys.readouterr().err

@@ -1,0 +1,63 @@
+"""docs/REGISTRY.md must match a fresh regeneration (no staleness)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_registry", DOCS / "gen_registry.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("gen_registry", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_committed_registry_doc_is_fresh():
+    generated = _load_generator().generate()
+    committed = (DOCS / "REGISTRY.md").read_text(encoding="utf-8")
+    assert committed == generated, (
+        "docs/REGISTRY.md is stale; regenerate with "
+        "`PYTHONPATH=src python docs/gen_registry.py`"
+    )
+
+
+def test_table_rows_have_consistent_cell_counts():
+    # Unescaped pipes (union annotations) would split cells and shift
+    # columns when rendered.
+    import re
+
+    cell_split = re.compile(r"(?<!\\)\|")
+    expected = None
+    for line in (DOCS / "REGISTRY.md").read_text(encoding="utf-8").splitlines():
+        if line.startswith("|"):
+            count = len(cell_split.findall(line))
+            if set(line.replace("|", "").replace("-", "").strip()) == set():
+                expected = count  # separator row pins the table width
+            elif expected is not None:
+                assert count == expected, f"ragged table row: {line}"
+        else:
+            expected = None
+
+
+def test_every_registry_key_documented():
+    from repro.routing.registry import ROUTING_BUILDERS
+    from repro.topologies.registry import TOPOLOGY_BUILDERS
+    from repro.traffic.registry import PATTERN_KINDS
+    from repro.workloads.registry import PLACEMENT_KINDS, WORKLOAD_KINDS
+
+    text = (DOCS / "REGISTRY.md").read_text(encoding="utf-8")
+    for key in (
+        list(TOPOLOGY_BUILDERS)
+        + list(ROUTING_BUILDERS)
+        + list(PATTERN_KINDS)
+        + list(WORKLOAD_KINDS)
+        + list(PLACEMENT_KINDS)
+    ):
+        assert f"`{key}`" in text, f"registry key {key!r} missing from docs"
