@@ -1,8 +1,8 @@
-"""Simulator flits/sec microbenchmark (the PR-1 tentpole metric).
+"""Simulator throughput microbenchmark + the cross-PR perf trajectory.
 
 Fixed configuration — MMS(q=5) Slim Fly, uniform random traffic,
 minimal routing at offered load 0.6 with the Fig 6 quick-scale run
-lengths — simulated by both engines:
+lengths — simulated by both cycle engines:
 
 - the **flat engine** (:mod:`repro.sim.engine`): struct-of-arrays
   state, ring-buffer event wheels, batched injection, table-driven MIN;
@@ -14,12 +14,20 @@ Both must produce identical results (asserted here; the full
 differential matrix lives in ``tests/test_sim_reference_equivalence``)
 and the flat engine must deliver >= 3x the flits/sec — the refactor's
 acceptance bar, tracked in the perf trajectory via pytest-benchmark.
+
+``test_bench_trajectory_json`` additionally times the **flow-level
+backend** (a full paper-scale-shaped sweep at MMS(q=11)) and writes
+``BENCH_sim.json`` at the repository root — flits/sec for ``cycle``,
+sweep rows/sec for ``flow`` — so the performance trajectory of both
+fidelities is tracked across PRs.
 """
 
+import json
 import time
+from pathlib import Path
 
 from repro.routing import MinimalRouting, RoutingTables
-from repro.sim import SimConfig, simulate
+from repro.sim import SimConfig, flow_sweep, simulate
 from repro.sim.reference import ReferenceMinimalRouting, reference_simulate
 from repro.topologies import SlimFly
 from repro.traffic import UniformRandom
@@ -28,6 +36,11 @@ from repro.traffic import UniformRandom
 LOAD = 0.6
 CONFIG = SimConfig(warmup_cycles=150, measure_cycles=350, drain_cycles=1200, seed=1)
 SPEEDUP_FLOOR = 3.0
+#: Flow-backend benchmark: one 10-point sweep, MMS(q=11) = 1,452
+#: endpoints (cycle-prohibitive territory), model build included.
+FLOW_Q = 11
+FLOW_LOADS = [round(0.1 * i, 4) for i in range(1, 11)]
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 
 def _setup():
@@ -100,4 +113,83 @@ def test_speedup_over_seed_engine():
     assert speedup >= SPEEDUP_FLOOR, (
         f"flat engine is only {speedup:.2f}x the seed baseline "
         f"(floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def _flow_setup():
+    sf = SlimFly.from_q(FLOW_Q)
+    tables = RoutingTables(sf.adjacency)
+    tables.next_hop_matrix()
+    return sf, tables, UniformRandom(sf.num_endpoints)
+
+
+def _best_of(fn, repeats=3):
+    best = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.process_time()
+        result = fn()
+        elapsed = time.process_time() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def test_flow_backend_sweep(benchmark):
+    sf, tables, traffic = _flow_setup()
+    points = benchmark(
+        lambda: flow_sweep(
+            sf, lambda: MinimalRouting(tables), traffic, FLOW_LOADS, CONFIG
+        )
+    )
+    assert len(points) == len(FLOW_LOADS)
+    assert any(p.latency is not None for p in points)
+
+
+def test_bench_trajectory_json():
+    """Both fidelities' rates, written to the repo root (BENCH_sim.json).
+
+    ``cycle``: flits/sec of the flat engine on the fixed MMS(q=5)
+    point plus its speedup over the frozen seed engine.  ``flow``:
+    sweep rows/sec of the flow-level backend on MMS(q=11) including
+    model build — the end-to-end cost a campaign actually pays.
+    Determinism backstops keep both honest.
+    """
+    sf, tables, traffic = _setup()
+    cycle_res, cycle_time = _best_of(
+        lambda: simulate(sf, MinimalRouting(tables), traffic, LOAD, CONFIG)
+    )
+    assert cycle_res.delivered == cycle_res.injected
+    flits_per_sec = cycle_res.delivered * CONFIG.packet_length / cycle_time
+
+    fsf, ftables, ftraffic = _flow_setup()
+    points, flow_time = _best_of(
+        lambda: flow_sweep(
+            fsf, lambda: MinimalRouting(ftables), ftraffic, FLOW_LOADS, CONFIG
+        )
+    )
+    rows_per_sec = len(points) / flow_time
+    again = flow_sweep(
+        fsf, lambda: MinimalRouting(ftables), ftraffic, FLOW_LOADS, CONFIG
+    )
+    assert again == points, "flow backend must be deterministic"
+
+    payload = {
+        "benchmark": "sim_throughput",
+        "cycle": {
+            "network": "SlimFly MMS(q=5)",
+            "routing": "MIN",
+            "offered_load": LOAD,
+            "flits_per_sec": round(flits_per_sec, 1),
+        },
+        "flow": {
+            "network": f"SlimFly MMS(q={FLOW_Q})",
+            "routing": "MIN",
+            "sweep_points": len(FLOW_LOADS),
+            "rows_per_sec": round(rows_per_sec, 2),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\ncycle {flits_per_sec / 1e3:.1f} kflit/s, "
+        f"flow {rows_per_sec:.1f} sweep rows/s -> {BENCH_PATH.name}"
     )

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Mixed-fidelity campaigns: overlay cycle-accurate and flow-level
+sweeps, then scale the flow backend to the full paper-size Slim Fly
+(DESIGN.md, "Layer 2 — backends").
+
+Part 1 builds a {routing x backend} grid on a small MMS(q=5) instance:
+every protocol sweeps twice — once through the cycle-accurate engine,
+once through the flow-level solver — so the resulting JSONL holds both
+fidelities of the same curves (the report layer renders the flow rows
+dashed, in the protocol's color).  Part 2 (``--paper``) runs the
+flow-only paper-scale Fig 6 panel: SF q=25 (23,750 endpoints) MIN /
+VAL / UGAL-L against DF h=9 and FT-3 p=29 — sizes the Python cycle
+engine cannot sweep, solved in seconds per scenario.
+
+Run:  python examples/paper_scale_sweep.py [output-dir] [--paper]
+
+Produces ``fidelity_grid.jsonl`` (and with ``--paper`` additionally
+``fig6_paper.jsonl``); render either with:
+
+    python -m repro.experiments report <rows.jsonl> --out report/
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.fig6_performance import paper_campaign
+from repro.scenarios import (
+    Campaign,
+    RoutingSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    run_campaign,
+)
+from repro.sim import SimConfig
+
+CFG = SimConfig(warmup_cycles=150, measure_cycles=350, drain_cycles=1200)
+LOADS = [0.1, 0.25, 0.4, 0.55, 0.7, 0.85]
+
+
+def fidelity_grid() -> Campaign:
+    """{routing x backend} on MMS(q=5): each curve at both fidelities."""
+    base = Scenario(
+        topology=TopologySpec("SF", params={"q": 5}),
+        routing=RoutingSpec("min"),
+        sim=CFG,
+        traffic=TrafficSpec("uniform"),
+        loads=LOADS,
+    )
+    return Campaign.from_grid(
+        "fig6-fidelity-overlay",
+        base,
+        {
+            "routing": [
+                RoutingSpec("min"),
+                RoutingSpec("val", {"seed": 0}),
+                RoutingSpec("ugal-l", {"seed": 0}),
+            ],
+            "backend": ["cycle", "flow"],
+        },
+        # One label per protocol: rows of the two backends share it,
+        # which is exactly what makes the report overlay them.
+        label=lambda s: f"SF-{s.routing.name.upper()}",
+    )
+
+
+def saturation_by_fidelity(rows) -> dict[tuple[str, str], float | None]:
+    """First saturated load per (label, fidelity) — the overlay summary."""
+    out: dict[tuple[str, str], float | None] = {}
+    for row in rows:
+        key = (row["label"], row["fidelity"])
+        out.setdefault(key, None)
+        if row["saturated"] and out[key] is None:
+            out[key] = row["load"]
+    return out
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if a != "--paper"]
+    paper = "--paper" in sys.argv[1:]
+    out_dir = Path(args[0]) if args else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    grid = fidelity_grid()
+    print(f"campaign {grid.name}: {len(grid)} scenarios "
+          f"({len(LOADS)} loads each, both fidelities)")
+    start = time.time()
+    report = run_campaign(grid, workers=0, out=out_dir / "fidelity_grid.jsonl")
+    print(f"  {report.summary()}  [{time.time() - start:.1f}s]")
+
+    print("\nsaturation load, cycle vs flow (the fidelity you trade):")
+    sats = saturation_by_fidelity(report.rows)
+    labels = dict.fromkeys(label for label, _ in sats)
+    for label in labels:
+        cyc = sats.get((label, "cycle"))
+        flo = sats.get((label, "flow"))
+        fmt = lambda v: f"{v:.2f}" if v is not None else f">{LOADS[-1]:.2f}"
+        print(f"  {label:10s} cycle={fmt(cyc)}  flow={fmt(flo)}")
+
+    if not paper:
+        print("\n(pass --paper to add the q=25 paper-scale flow sweep)")
+        return
+
+    camp = paper_campaign(scale="default", pattern="uniform")
+    print(f"\ncampaign {camp.name}: {len(camp)} paper-scale scenarios "
+          f"(flow backend only — ~24K endpoints each)")
+    start = time.time()
+    report = run_campaign(camp, workers=1, out=out_dir / "fig6_paper.jsonl")
+    print(f"  {report.summary()}  [{time.time() - start:.1f}s]")
+    for (label, _), sat in saturation_by_fidelity(report.rows).items():
+        shown = f"{sat:.2f}" if sat is not None else "none measured"
+        print(f"  {label:10s} saturation {shown}")
+
+
+if __name__ == "__main__":
+    main()

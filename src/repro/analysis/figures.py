@@ -99,6 +99,24 @@ def assign_colors(names: Sequence[str]) -> list[str]:
     return out
 
 
+def line_series_colors(series) -> list[str]:
+    """Per-series colors with fidelity-overlay sharing.
+
+    :func:`assign_colors` on the series names, then dashed series
+    named ``"<base> (<suffix>)"`` inherit the color of a same-figure
+    series called ``<base>`` — a flow-level overlay keeps its
+    protocol's color and differs only by line style.
+    """
+    colors = assign_colors([s.name for s in series])
+    by_name = {s.name: c for s, c in zip(series, colors)}
+    for i, s in enumerate(series):
+        if getattr(s, "dash", False) and s.name.endswith(")") and " (" in s.name:
+            base = s.name.rsplit(" (", 1)[0]
+            if base in by_name:
+                colors[i] = by_name[base]
+    return colors
+
+
 def _fmt(v: float) -> str:
     """Fixed-precision coordinate formatting (determinism)."""
     return f"{v:.2f}".rstrip("0").rstrip(".")
@@ -150,11 +168,12 @@ class _SVG:
             f'y2="{_fmt(y2)}" stroke="{stroke}" stroke-width="{_fmt(width)}"{d}/>'
         )
 
-    def polyline(self, points, stroke, width=2.0):
+    def polyline(self, points, stroke, width=2.0, dash=None):
+        d = f' stroke-dasharray="{dash}"' if dash else ""
         pts = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
         self.parts.append(
             f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
-            f'stroke-width="{_fmt(width)}" stroke-linejoin="round"/>'
+            f'stroke-width="{_fmt(width)}" stroke-linejoin="round"{d}/>'
         )
 
     def circle(self, cx, cy, r, fill, stroke=None, stroke_width=1.5):
@@ -251,12 +270,21 @@ def _draw_legend(svg: _SVG, names: Sequence[str], colors: Sequence[str],
 
 @dataclass
 class LineSeries:
-    """One curve: name, points, optional per-point saturation flags."""
+    """One curve: name, points, optional per-point saturation flags.
+
+    ``dash`` renders the line dashed — the convention for reduced-
+    fidelity (flow-level) curves overlaid on cycle-accurate ones.  A
+    dashed series whose name is ``"<base> (<suffix>)"`` shares the
+    base entity's color when that base is present in the same figure,
+    so a protocol's two fidelities read as one entity, distinguished
+    by line style.
+    """
 
     name: str
     x: list[float]
     y: list[float]
     saturated: list[bool] | None = None
+    dash: bool = False
 
 
 @dataclass
@@ -296,7 +324,7 @@ class LineFigure:
             if hi > lo:
                 svg.line(frame.px(lo), frame.py(lo),
                          frame.px(hi), frame.py(hi), _AXIS, dash="4 3")
-        colors = assign_colors([s.name for s in self.series])
+        colors = line_series_colors(self.series)
         for color, s in zip(colors, self.series):
             pts = [
                 (frame.px(x), frame.py(y))
@@ -304,7 +332,7 @@ class LineFigure:
                 if y is not None
             ]
             if len(pts) > 1:
-                svg.polyline(pts, color)
+                svg.polyline(pts, color, dash="6 4" if s.dash else None)
             flags = s.saturated or [False] * len(s.x)
             for x, y, sat in zip(s.x, s.y, flags):
                 if y is None:
@@ -324,7 +352,7 @@ class LineFigure:
         import matplotlib.pyplot as plt
 
         fig, ax = plt.subplots(figsize=(6.4, 4.0), dpi=100)
-        colors = assign_colors([s.name for s in self.series])
+        colors = line_series_colors(self.series)
         for color, s in zip(colors, self.series):
             flags = s.saturated or [False] * len(s.x)
             pts = [
@@ -333,7 +361,8 @@ class LineFigure:
                 if y is not None
             ]
             ax.plot([p[0] for p in pts], [p[1] for p in pts],
-                    linewidth=2, label=s.name, color=color)
+                    linewidth=2, label=s.name, color=color,
+                    linestyle="--" if s.dash else "-")
             # Same convention as the SVG backend: saturated points
             # render as open markers.
             for face, keep in ((color, False), ("white", True)):

@@ -99,7 +99,12 @@ def _row_error(row) -> str | None:
 
 @dataclass
 class Curve:
-    """One open-loop latency-vs-load sweep, in ascending row order."""
+    """One open-loop latency-vs-load sweep, in ascending row order.
+
+    ``fidelity`` is the engine backend that produced the rows
+    (``"cycle"`` or ``"flow"``); rows from pre-backend files carry no
+    fidelity tag and default to cycle-accurate.
+    """
 
     label: str
     scenario: str
@@ -108,6 +113,7 @@ class Curve:
     accepted: list[float | None]
     saturated: list[bool]
     spec: dict
+    fidelity: str = "cycle"
 
     def __len__(self) -> int:
         return len(self.loads)
@@ -304,6 +310,7 @@ class RowTable:
                     accepted=[r["accepted"] for r in ordered],
                     saturated=[bool(r["saturated"]) for r in ordered],
                     spec=ordered[0]["spec"],
+                    fidelity=ordered[0].get("fidelity", "cycle"),
                 )
             )
         return curves
@@ -418,9 +425,10 @@ def provenance(table: RowTable) -> list[dict]:
     """Per-scenario provenance records, in first-seen order.
 
     Each record pins one scenario: its hash (the resume/dedup
-    identity), label, engine, expected row count, and every seed its
-    spec carries.  This is the block REPORT.md prints under each
-    figure.
+    identity), label, engine, fidelity (the backend that produced the
+    rows; pre-backend files default to cycle-accurate), expected row
+    count, and every seed its spec carries.  This is the block
+    REPORT.md prints under each figure.
     """
     out = []
     for (h, label), sub in table.group_by("scenario", "label").items():
@@ -431,6 +439,7 @@ def provenance(table: RowTable) -> list[dict]:
                 "label": label,
                 "campaign": first["campaign"],
                 "engine": first["engine"],
+                "fidelity": first.get("fidelity", "cycle"),
                 "rows": first["rows"],
                 "seeds": _spec_seeds(first["spec"]),
             }

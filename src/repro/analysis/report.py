@@ -165,14 +165,31 @@ def _family(campaign: str, engine: str) -> str:
 
 
 def _open_loop_figures(campaign: str, table: RowTable, family: str):
-    """Latency + throughput curve figures for one open-loop campaign."""
+    """Latency + throughput curve figures for one open-loop campaign.
+
+    Campaigns mixing engine fidelities overlay: flow-level curves
+    render dashed, suffixed ``(flow)``, in their protocol's color —
+    cycle-accurate and flow-level results of one scenario read as one
+    entity distinguished by line style.
+    """
     curves = table.curves()
+    mixed = len({c.fidelity for c in curves}) > 1
+
+    def series_name(c) -> str:
+        if mixed and c.fidelity != "cycle":
+            return f"{c.label} ({c.fidelity})"
+        return c.label
+
     latency = LineFigure(
         title=f"{campaign}: latency vs offered load",
         xlabel="offered load",
         ylabel="latency [cycles]",
         series=[
-            LineSeries(c.label, c.loads, c.latency, c.saturated) for c in curves
+            LineSeries(
+                series_name(c), c.loads, c.latency, c.saturated,
+                dash=c.fidelity != "cycle",
+            )
+            for c in curves
         ],
     )
     accepted = LineFigure(
@@ -181,17 +198,21 @@ def _open_loop_figures(campaign: str, table: RowTable, family: str):
         ylabel="accepted load",
         diagonal=True,
         series=[
-            LineSeries(c.label, c.loads, c.accepted, c.saturated)
+            LineSeries(
+                series_name(c), c.loads, c.accepted, c.saturated,
+                dash=c.fidelity != "cycle",
+            )
             for c in curves
         ],
     )
     observed = []
     for c in curves:
         sat = saturation_point(c)
+        name = series_name(c)
         observed.append(
-            f"{c.label}: saturates at load {sat:g}"
+            f"{name}: saturates at load {sat:g}"
             if sat is not None
-            else f"{c.label}: no saturation over the measured range"
+            else f"{name}: no saturation over the measured range"
         )
     figures = [(f"{_slug(campaign)}-latency", latency),
                (f"{_slug(campaign)}-throughput", accepted)]
@@ -546,8 +567,8 @@ def _render_markdown(title: str, artifacts: list[FigureArtifact],
             lines.extend(
                 [
                     "",
-                    "| scenario | label | engine | rows | seeds |",
-                    "|---|---|---|---|---|",
+                    "| scenario | label | engine | fidelity | rows | seeds |",
+                    "|---|---|---|---|---|---|",
                 ]
             )
             for p in a.provenance:
@@ -555,9 +576,11 @@ def _render_markdown(title: str, artifacts: list[FigureArtifact],
                 # Labels are arbitrary user strings; a raw pipe would
                 # split the Markdown cell and shift the columns.
                 label = str(p["label"]).replace("|", "\\|")
+                fidelity = p.get("fidelity", "cycle") \
+                    if p["engine"] != "analytic" else "-"
                 lines.append(
                     f"| `{p['scenario']}` | {label} | {p['engine']} | "
-                    f"{p['rows']} | {seeds or '-'} |"
+                    f"{fidelity} | {p['rows']} | {seeds or '-'} |"
                 )
         lines.append("")
     return "\n".join(lines)

@@ -43,6 +43,37 @@ from repro.traffic.registry import PATTERN_KINDS as PATTERNS  # noqa: F401
 from repro.util.series import SeriesBundle
 
 
+def _collect_panel(report, bundle: SeriesBundle):
+    """Campaign rows -> (table rows, first saturated load per label).
+
+    The shared aggregation of every Fig 6 panel renderer: one bundle
+    series per protocol (finite-latency points only), the full result
+    table, and the saturation map ``_shape_notes`` checks (labels that
+    never saturate map to 1.0).
+    """
+    rows = []
+    saturation: dict[str, float] = {}
+    for name, points in rows_by_label(report).items():
+        series = bundle.new(name)
+        sat_load = None
+        for pt in points:
+            if pt["latency"] is not None:
+                series.append(pt["load"], round(pt["latency"], 2))
+            rows.append(
+                [
+                    name,
+                    pt["load"],
+                    round(pt["latency"], 1) if pt["latency"] is not None else None,
+                    round(pt["accepted"], 3) if pt["accepted"] is not None else None,
+                    pt["saturated"],
+                ]
+            )
+            if pt["saturated"] and sat_load is None:
+                sat_load = pt["load"]
+        saturation[name] = sat_load if sat_load is not None else 1.0
+    return rows, saturation
+
+
 def _loads(scale: Scale, pattern: str) -> list[float]:
     hi = 0.5 if pattern == "worstcase" else 0.95
     n = {Scale.QUICK: 5, Scale.DEFAULT: 8, Scale.PAPER: 14}[scale]
@@ -51,9 +82,19 @@ def _loads(scale: Scale, pattern: str) -> list[float]:
 
 
 def campaign(
-    scale=Scale.DEFAULT, seed: int = 0, pattern: str = "uniform", replicas: int = 1
+    scale=Scale.DEFAULT,
+    seed: int = 0,
+    pattern: str = "uniform",
+    replicas: int = 1,
+    backend: str = "cycle",
 ) -> Campaign:
-    """One Fig 6 panel as a declarative campaign (six load sweeps)."""
+    """One Fig 6 panel as a declarative campaign (six load sweeps).
+
+    ``backend`` selects the engine fidelity; the default keeps the
+    historical campaign name (and every scenario hash) unchanged,
+    while e.g. ``backend="flow"`` yields a ``fig6-<pattern>-<scale>-
+    flow`` campaign whose rows solve through the flow-level model.
+    """
     scale = Scale.coerce(scale)
     cfg = sim_config_for(scale)
     loads = _loads(scale, pattern)
@@ -66,10 +107,106 @@ def campaign(
             loads=loads,
             replicas=replicas,
             label=name,
+            backend=backend,
         )
         for name, tspec, rspec in performance_protocol_specs(scale, seed)
     ]
-    return Campaign(f"fig6-{pattern}-{scale.value}", scenarios)
+    name = f"fig6-{pattern}-{scale.value}"
+    if backend != "cycle":
+        name += f"-{backend}"
+    return Campaign(name, scenarios)
+
+
+#: The paper-scale §V trio: SF q=25 (N=23,750) vs the closest balanced
+#: Dragonfly (h=9, N=26,406) and three-level fat tree (p=29, N=24,389).
+#: Only the flow-level backend sweeps these sizes in reasonable time —
+#: the reason the paper-scale variant exists.
+PAPER_SCALE_SHAPES = {"q": 25, "h": 9, "p": 29}
+
+
+def paper_campaign(
+    scale=Scale.DEFAULT,
+    seed: int = 0,
+    pattern: str = "uniform",
+    sf_only: bool = False,
+) -> Campaign:
+    """Fig 6 at full paper scale (q=25 MMS), flow-level backend only.
+
+    Protocols: SF MIN/VAL/UGAL-L against DF-UGAL-L and FT-ANCA on the
+    :data:`PAPER_SCALE_SHAPES` trio.  ``sf_only`` keeps just the three
+    Slim Fly sweeps (the CI wall-clock gate); the full campaign run
+    with ``resume=True`` over the same output file then adds only the
+    comparison networks.  ``scale`` picks the load-point count — the
+    shapes stay paper-size at every scale.
+    """
+    from repro.scenarios import RoutingSpec, TopologySpec
+
+    scale = Scale.coerce(scale)
+    loads = _loads(scale, pattern)
+    sf = TopologySpec("SF", params={"q": PAPER_SCALE_SHAPES["q"]})
+    df = TopologySpec("DF", params={"h": PAPER_SCALE_SHAPES["h"]})
+    ft = TopologySpec("FT-3", params={"p": PAPER_SCALE_SHAPES["p"]})
+    rows = [
+        ("SF-MIN", sf, RoutingSpec("min")),
+        ("SF-VAL", sf, RoutingSpec("val", {"seed": seed})),
+        ("SF-UGAL-L", sf, RoutingSpec("ugal-l", {"seed": seed})),
+        ("DF-UGAL-L", df, RoutingSpec("df-ugal-l", {"seed": seed})),
+        ("FT-ANCA", ft, RoutingSpec("ft-anca", {"seed": seed})),
+    ]
+    if sf_only:
+        rows = [r for r in rows if r[1] is sf]
+    scenarios = [
+        Scenario(
+            topology=tspec,
+            routing=rspec,
+            sim=sim_config_for(scale),
+            traffic=TrafficSpec(pattern, seed=seed),
+            loads=loads,
+            label=name,
+            backend="flow",
+        )
+        for name, tspec, rspec in rows
+    ]
+    return Campaign(f"fig6-paper-{pattern}", scenarios)
+
+
+def run_paper(
+    scale=Scale.DEFAULT,
+    seed=0,
+    pattern: str = "uniform",
+    workers: int = 1,
+) -> ExperimentResult:
+    """Render the paper-scale Fig 6 panel through the flow backend.
+
+    ``workers`` is accepted for CLI parity; the flow backend solves
+    in-process and its rows are byte-identical at any worker count.
+    """
+    scale = Scale.coerce(scale)
+    camp = paper_campaign(scale, seed=seed, pattern=pattern)
+    report = run_campaign(camp, workers=workers)
+
+    q, h, p = (PAPER_SCALE_SHAPES[k] for k in ("q", "h", "p"))
+    result = ExperimentResult(
+        f"fig6-paper-{pattern}",
+        f"Latency vs offered load at paper scale — {pattern} traffic "
+        f"(flow-level backend)",
+    )
+    result.note(
+        f"networks: SF q={q} (N=23750), DF h={h} (N=26406), "
+        f"FT-3 p={p} (N=24389) — full §V sizes, flow-level fidelity"
+    )
+    bundle = SeriesBundle(
+        title=f"Fig 6 paper scale ({pattern})",
+        xlabel="offered load",
+        ylabel="latency [cycles]",
+    )
+    rows, saturation = _collect_panel(report, bundle)
+    result.add_bundle(bundle)
+    result.add_table(
+        ["protocol", "offered load", "latency [cyc]", "accepted", "saturated"], rows
+    )
+    _shape_notes(result, bundle, saturation, pattern)
+    return result
 
 
 def run(
@@ -102,28 +239,7 @@ def run(
         xlabel="offered load",
         ylabel="latency [cycles]",
     )
-
-    rows = []
-    saturation: dict[str, float] = {}
-    for name, points in rows_by_label(report).items():
-        series = bundle.new(name)
-        sat_load = None
-        for pt in points:
-            if pt["latency"] is not None:
-                series.append(pt["load"], round(pt["latency"], 2))
-            rows.append(
-                [
-                    name,
-                    pt["load"],
-                    round(pt["latency"], 1) if pt["latency"] is not None else None,
-                    round(pt["accepted"], 3) if pt["accepted"] is not None else None,
-                    pt["saturated"],
-                ]
-            )
-            if pt["saturated"] and sat_load is None:
-                sat_load = pt["load"]
-        saturation[name] = sat_load if sat_load is not None else 1.0
-
+    rows, saturation = _collect_panel(report, bundle)
     result.add_bundle(bundle)
     result.add_table(
         ["protocol", "offered load", "latency [cyc]", "accepted", "saturated"], rows

@@ -67,6 +67,10 @@ EXPERIMENTS = {
     "fig6c": (_lazy("fig6_performance", pattern="shift"), "Fig 6c: shift traffic"),
     "fig6d": (_lazy("fig6_performance", pattern="worstcase"),
               "Fig 6d: worst-case traffic"),
+    "fig6-paper": (
+        _lazy("fig6_performance", "run_paper"),
+        "Fig 6 at paper scale (q=25 MMS, flow-level backend; use --pattern)",
+    ),
     "fig8a": (
         _lazy("fig8_buffers_oversub", "run_buffers"),
         "Fig 8a: buffer-size study",
@@ -108,9 +112,11 @@ EXPERIMENTS = {
 }
 
 #: Experiments whose simulation sweeps fan out over --workers.
+#: fig6-paper accepts the flag for parity (the flow backend solves
+#: in-process; rows are identical at any worker count).
 PARALLEL_SWEEPS = {
-    "fig6", "fig6a", "fig6b", "fig6c", "fig6d", "fig8a", "fig8-oversub",
-    "workload_completion",
+    "fig6", "fig6a", "fig6b", "fig6c", "fig6d", "fig6-paper", "fig8a",
+    "fig8-oversub", "workload_completion",
 }
 #: Of those, the ones that also accept --replicas (per-point seed averaging).
 REPLICATED_SWEEPS = {"fig6", "fig6a", "fig6b", "fig6c", "fig6d"}
@@ -420,7 +426,7 @@ def main(argv=None) -> int:
             print(f"unknown experiment {name!r}; --list shows options", file=sys.stderr)
             return 2
         kw = {}
-        if name == "fig6":
+        if name in ("fig6", "fig6-paper"):
             kw["pattern"] = args.pattern
         if name == "workload_completion":
             kw["workload"] = args.workload

@@ -73,7 +73,12 @@ def tables_for(spec: TopologySpec) -> RoutingTables:
 
 @dataclass
 class ResolvedScenario:
-    """A scenario's live simulator inputs, ready for dispatch."""
+    """A scenario's live simulator inputs, ready for dispatch.
+
+    ``backend`` names the engine fidelity the runner dispatches to
+    (validated against :mod:`repro.sim.backends` here, so an unknown
+    backend fails at resolution, not mid-campaign).
+    """
 
     scenario: Scenario
     topology: Topology
@@ -81,6 +86,7 @@ class ResolvedScenario:
     config: SimConfig
     traffic: object | None = None
     workload: object | None = None
+    backend: str = "cycle"
 
 
 def resolve(scenario: Scenario) -> ResolvedScenario:
@@ -89,6 +95,9 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
     Tables are only built when the routing algorithm (or a Slim
     Fly-style worst-case pattern) actually routes over them.
     """
+    from repro.sim.backends import get_backend
+
+    get_backend(scenario.backend)  # unknown backends fail loudly here
     topology = resolve_topology(scenario.topology)
     tspec = scenario.topology
     if routing_needs_tables(scenario.routing.name):
@@ -126,4 +135,5 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
         config=scenario.sim,
         traffic=traffic,
         workload=workload,
+        backend=scenario.backend,
     )

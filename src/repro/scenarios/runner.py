@@ -66,6 +66,7 @@ def _open_rows(
                 "scenario": h,
                 "label": scenario.label,
                 "engine": "open",
+                "fidelity": scenario.backend,
                 "row": i,
                 "rows": len(points),
                 "load": pt.load,
@@ -87,6 +88,7 @@ def _closed_rows(
             "scenario": scenario_hash(scenario),
             "label": scenario.label,
             "engine": "closed",
+            "fidelity": scenario.backend,
             "row": 0,
             "rows": 1,
             "workload": result.workload,
@@ -222,6 +224,7 @@ def _run_open(resolved, workers: int) -> list[LoadPoint]:
         workers=workers,
         replicas=s.replicas,
         stop_after_saturation=s.stop_after_saturation,
+        backend=resolved.backend,
     )
 
 

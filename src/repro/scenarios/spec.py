@@ -22,6 +22,7 @@ import json
 from dataclasses import asdict, dataclass, field
 
 from repro.routing.registry import ROUTING_BUILDERS, SEEDED
+from repro.sim.backends import ENGINE_BACKENDS
 from repro.sim.config import SimConfig
 from repro.topologies.registry import TOPOLOGY_BUILDERS, validate_shape_params
 from repro.traffic.registry import PATTERN_KINDS
@@ -211,6 +212,13 @@ class Scenario:
     ``workload`` (closed loop: one completion-time run bounded by
     ``max_cycles``) must be set.  ``label`` is cosmetic but part of
     the serialized form, so relabelling changes the scenario hash.
+
+    ``backend`` is the engine-fidelity axis
+    (:data:`repro.sim.backends.ENGINE_BACKENDS`): ``"cycle"`` runs the
+    cycle-accurate engine, ``"flow"`` the flow-level fluid solver.
+    The default is omitted from the serialized form, so pre-backend
+    JSON specs load unchanged and every existing scenario hash — the
+    resume/dedup identity of published result files — is preserved.
     """
 
     topology: TopologySpec
@@ -223,10 +231,24 @@ class Scenario:
     stop_after_saturation: int = 1
     max_cycles: int | None = None
     label: str = ""
+    backend: str = "cycle"
 
     def __post_init__(self):
+        if self.backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {self.backend!r}; "
+                f"choose from {sorted(ENGINE_BACKENDS)}"
+            )
         if (self.traffic is None) == (self.workload is None):
             raise ValueError("exactly one of traffic/workload must be set")
+        if (
+            self.workload is not None
+            and not ENGINE_BACKENDS[self.backend].supports_closed_loop
+        ):
+            raise ValueError(
+                f"backend {self.backend!r} is open-loop only (closed-loop "
+                f"workload scenarios need a cycle-accurate engine)"
+            )
         if self.traffic is not None and not self.loads:
             raise ValueError("open-loop scenarios need a non-empty loads list")
         if self.workload is not None and self.loads:
@@ -273,7 +295,7 @@ class Scenario:
         return len(self.loads) if self.engine == "open" else 1
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "topology": self.topology.to_dict(),
             "routing": self.routing.to_dict(),
             "sim": sim_config_to_dict(self.sim),
@@ -285,6 +307,13 @@ class Scenario:
             "max_cycles": self.max_cycles,
             "label": self.label,
         }
+        # The default backend is omitted, NOT written: a pre-backend
+        # JSON spec and today's default spec describe the identical
+        # simulation and must serialize (and therefore hash) equal —
+        # resume identities of existing result files depend on it.
+        if self.backend != "cycle":
+            data["backend"] = self.backend
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
@@ -305,6 +334,7 @@ class Scenario:
             stop_after_saturation=data.get("stop_after_saturation", 1),
             max_cycles=data.get("max_cycles"),
             label=data.get("label", ""),
+            backend=data.get("backend", "cycle"),
         )
 
     def hash(self) -> str:

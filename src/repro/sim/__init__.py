@@ -19,6 +19,10 @@ Modules
 - :mod:`repro.sim.sweep` — latency-vs-offered-load curve helper.
 - :mod:`repro.sim.parallel` — multiprocessing orchestrators (load
   sweeps and closed-loop workload points).
+- :mod:`repro.sim.backends` — the engine-backend registry (``cycle``
+  and ``flow`` fidelities behind one sweep/simulate contract).
+- :mod:`repro.sim.flowlevel` — the flow-level fluid solver (steady-
+  state link rates; paper-scale sweeps).
 - :mod:`repro.sim.reference` — the frozen seed engine (differential
   oracle and benchmark baseline; not for production use).
 
@@ -26,7 +30,16 @@ See DESIGN.md at the repository root for the architecture and the
 determinism contract between the flat engine and the reference.
 """
 
+from repro.sim.backends import (
+    BACKEND_KINDS,
+    ENGINE_BACKENDS,
+    CycleBackend,
+    EngineBackend,
+    FlowBackend,
+    get_backend,
+)
 from repro.sim.config import SimConfig
+from repro.sim.flowlevel import FlowModel, flow_simulate, flow_sweep
 from repro.sim.packet import Packet
 from repro.sim.network import SimNetwork
 from repro.sim.engine import (
@@ -46,6 +59,15 @@ from repro.sim.parallel import (
 )
 
 __all__ = [
+    "BACKEND_KINDS",
+    "ENGINE_BACKENDS",
+    "CycleBackend",
+    "EngineBackend",
+    "FlowBackend",
+    "FlowModel",
+    "flow_simulate",
+    "flow_sweep",
+    "get_backend",
     "SimConfig",
     "Packet",
     "SimNetwork",

@@ -1,0 +1,200 @@
+"""Engine-backend registry: one simulation contract, several fidelities.
+
+Layer 2 used to *be* the cycle engine; it is now an interface with two
+implementations selected by name (the ``backend`` axis of a
+:class:`~repro.scenarios.spec.Scenario`, the ``backend=`` argument of
+:func:`repro.sim.parallel.parallel_latency_vs_load`):
+
+- ``cycle`` — the cycle-accurate flit-level engine
+  (:mod:`repro.sim.engine`): bit-exact against the frozen seed
+  implementation, worker-count independent rows, open and closed loop.
+- ``flow`` — the flow-level fluid solver (:mod:`repro.sim.flowlevel`):
+  steady-state link rates by iterated water-filling, ~100-1000x faster,
+  scales to full paper-size MMS instances; open loop only, rows
+  byte-identical across worker counts (it consumes no RNG and runs
+  in-process).
+
+Every backend answers the same two questions — one load point
+(:meth:`EngineBackend.simulate` -> :class:`~repro.sim.stats.SimResult`)
+and one load sweep (:meth:`EngineBackend.sweep` ->
+:class:`~repro.sim.stats.LoadPoint` rows) — so campaigns can grid over
+fidelities and the analysis layer can overlay their curves.  Rows carry
+the backend under the ``fidelity`` key.
+
+The determinism contracts are deliberately different and both load-
+bearing (see DESIGN.md, "Layer 2 — backends"): ``cycle`` must stay bit
+identical to :mod:`repro.sim.reference`; ``flow`` must produce
+byte-identical rows for any worker count, pinned against the cycle
+engine by the cross-fidelity tolerance suite.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.sim.config import SimConfig
+from repro.sim.stats import LoadPoint, SimResult
+
+
+class EngineBackend(ABC):
+    """One simulation fidelity behind the common Layer-2 contract.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the ``backend`` value scenarios serialize).
+    fidelity:
+        Human-readable fidelity label for docs and reports.
+    determinism:
+        One-line statement of the backend's determinism contract.
+    supports_closed_loop:
+        Whether workload (closed-loop) scenarios can dispatch here.
+    """
+
+    name: str = "backend"
+    fidelity: str = ""
+    determinism: str = ""
+    supports_closed_loop: bool = False
+
+    @abstractmethod
+    def simulate(
+        self,
+        topology,
+        routing,
+        traffic,
+        offered_load: float,
+        config: SimConfig | None = None,
+    ) -> SimResult:
+        """Solve a single (topology, routing, traffic, load) point."""
+
+    @abstractmethod
+    def sweep(
+        self,
+        topology,
+        routing_factory: Callable[[], object],
+        traffic,
+        loads: Sequence[float],
+        config: SimConfig | None = None,
+        workers: int | None = 1,
+        replicas: int = 1,
+        stop_after_saturation: int = 1,
+    ) -> list[LoadPoint]:
+        """Latency-vs-load curve with the shared sweep semantics.
+
+        All backends honour the same row contract: ascending loads,
+        saturation short-circuit fill rows, and worker-count
+        independent results.
+        """
+
+
+class CycleBackend(EngineBackend):
+    """The cycle-accurate flit-level engine (DESIGN.md Layers 1-2)."""
+
+    name = "cycle"
+    fidelity = "cycle-accurate (flit level)"
+    determinism = (
+        "bit-exact vs the frozen seed engine (sim/reference.py) for any "
+        "seed and routing; rows identical for any worker count"
+    )
+    supports_closed_loop = True
+
+    def simulate(self, topology, routing, traffic, offered_load, config=None):
+        from repro.sim.engine import simulate
+
+        return simulate(topology, routing, traffic, offered_load, config)
+
+    def sweep(
+        self,
+        topology,
+        routing_factory,
+        traffic,
+        loads,
+        config=None,
+        workers=1,
+        replicas=1,
+        stop_after_saturation=1,
+    ):
+        from repro.sim.parallel import parallel_latency_vs_load
+
+        return parallel_latency_vs_load(
+            topology,
+            routing_factory,
+            traffic,
+            loads=loads,
+            config=config,
+            workers=workers,
+            replicas=replicas,
+            stop_after_saturation=stop_after_saturation,
+            backend="cycle",
+        )
+
+
+class FlowBackend(EngineBackend):
+    """The flow-level fluid solver (:mod:`repro.sim.flowlevel`).
+
+    ``workers`` and ``replicas`` are accepted for signature parity and
+    ignored: the model is deterministic (no RNG, no scheduling), so a
+    replica average equals the single solution and the in-process
+    computation is byte-identical at any worker count — the property
+    CI pins with a ``cmp`` between ``--workers 1`` and ``--workers 4``
+    campaign outputs.
+    """
+
+    name = "flow"
+    fidelity = "flow-level (steady-state rates)"
+    determinism = (
+        "pure function of the spec: no RNG consumed, solved in-process; "
+        "rows byte-identical across worker counts and reruns"
+    )
+    supports_closed_loop = False
+
+    def simulate(self, topology, routing, traffic, offered_load, config=None):
+        from repro.sim.flowlevel import flow_simulate
+
+        return flow_simulate(topology, routing, traffic, offered_load, config)
+
+    def sweep(
+        self,
+        topology,
+        routing_factory,
+        traffic,
+        loads,
+        config=None,
+        workers=1,
+        replicas=1,
+        stop_after_saturation=1,
+    ):
+        from repro.sim.flowlevel import flow_sweep
+
+        # Solved points are counted inside FlowModel.sweep (one per
+        # non-short-circuited load), matching the cycle counter's
+        # scheduled == executed semantics.
+        return flow_sweep(
+            topology,
+            routing_factory,
+            traffic,
+            loads,
+            config=config,
+            stop_after_saturation=stop_after_saturation,
+        )
+
+
+#: name -> backend singleton (backends are stateless dispatchers).
+ENGINE_BACKENDS: dict[str, EngineBackend] = {
+    backend.name: backend for backend in (CycleBackend(), FlowBackend())
+}
+
+#: Accepted ``backend`` values, registry order (``cycle`` first: the
+#: default every pre-backend spec implicitly carries).
+BACKEND_KINDS = tuple(ENGINE_BACKENDS)
+
+
+def get_backend(name: str) -> EngineBackend:
+    """Look up an engine backend by registry name."""
+    try:
+        return ENGINE_BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine backend {name!r}; choose from {sorted(ENGINE_BACKENDS)}"
+        ) from None

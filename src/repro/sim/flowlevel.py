@@ -1,0 +1,751 @@
+"""Flow-level (fluid) engine: steady-state link rates, no cycles.
+
+The cycle engine answers "what happens flit by flit"; this module
+answers the same sweep questions — accepted throughput, saturation
+load, mean/p99 latency — by solving per-load *steady-state link rates*
+instead of ticking cycles, which is 100–1000x faster and scales to
+full paper-size MMS instances (q=25–43, thousands of routers, 10k+
+endpoints) that the Python cycle engine cannot sweep.
+
+The model, per (topology, routing, traffic) triple:
+
+1. **Demand.**  Endpoint traffic aggregates to a router-level demand
+   matrix ``D`` (flits/cycle between router pairs at unit offered load
+   per active endpoint).  Intra-router traffic never enters the fabric
+   and is accounted separately (it is always delivered).
+2. **Path sets.**  Each routing maps demand to per-channel rates:
+
+   - *MIN* follows the deterministic next-hop table exactly (the same
+     paths the cycle engine drives), keeping a per-flow channel list;
+   - *VAL* decomposes into its two legs — ``s -> w`` and ``w -> d``
+     for a uniform random intermediate ``w ∉ {s, d}`` — whose expected
+     rates are again demand matrices, routed as ECMP fluid splits
+     (the exact expectation of ``sample_min_path``'s per-hop uniform
+     choice);
+   - *UGAL* blends the MIN and VAL channel-load vectors: at each
+     offered load it diverts the smallest traffic fraction ``x`` that
+     keeps the peak channel utilisation feasible (MIN-like at low
+     load, Valiant-like spreading near saturation), falling back to
+     the peak-minimising blend when nothing is feasible;
+   - *Dragonfly MIN/UGAL* route the canonical local-global-local
+     gateway paths of :class:`~repro.routing.dragonfly_routing.
+     DragonflyMinimal` (generic shortest-path tables would smear the
+     single-cable funnel that defines Dragonfly behaviour), with the
+     group-Valiant flavour as the UGAL diversion set;
+   - *ANCA* (fat tree) spreads over all minimal next hops (ECMP) —
+     the fluid ideal of per-hop adaptive up-routing.
+
+3. **Allocation.**  Flow rates solve max-min fairness over the path
+   sets by iterated water-filling: rates rise together until a channel
+   saturates (its flows freeze) or a flow meets its demand, repeated
+   until no flow can grow.  MIN keeps per-flow paths, so the filling
+   is exact per flow; the spreading models (VAL/UGAL/ANCA) put every
+   flow on essentially every bottleneck, for which water-filling
+   degenerates to the uniform throttle ``min(1, capacity/peak)``.
+4. **Latency.**  Zero-load latency is ``hop_latency x hops +
+   packet_length`` (the cycle engine's unloaded pipeline), plus an
+   M/M/1-style queueing term per traversed channel,
+   ``rho/(1 - rho)`` packet-service times.  Saturated points report
+   no latency (open-loop queues diverge), matching the cycle rows.
+
+Determinism contract (weaker than the cycle engine's bit-exactness,
+stronger than "roughly reproducible"): results are a pure
+single-process function of (topology, routing class + params, traffic,
+loads, config) — no RNG is consumed, no scheduling enters the
+computation — so campaign rows are byte-identical across worker counts
+and reruns.  The cross-fidelity suite (``tests/test_cross_fidelity.py``)
+pins how far flow-level saturation may drift from the cycle engine's
+on small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.dragonfly_routing import DragonflyMinimal, DragonflyUGAL
+from repro.routing.fattree_routing import ANCARouting
+from repro.routing.minimal import MinimalRouting
+from repro.routing.tables import RoutingTables
+from repro.routing.ugal import UGALRouting
+from repro.routing.valiant import ValiantRouting
+from repro.sim.config import SimConfig
+from repro.sim.stats import LoadPoint, SimResult
+from repro.traffic.patterns import FixedPermutation, UniformRandom
+from repro.traffic.permutations import ShiftPattern, _BitPattern
+
+#: Channel capacity in flits/cycle (the simulator's wire rate).
+CAPACITY = 1.0
+#: Saturation criterion, matching the cycle engine: a point saturates
+#: when accepted falls below this fraction of the injected rate.
+SATURATION_RATIO = 0.95
+#: Utilisation clip for the queueing term (rho/(1-rho) diverges; the
+#: clip keeps unsaturated-point latencies finite and monotone).
+UTIL_CLIP = 0.995
+#: Water-filling round cap.  Each round freezes at least one flow or
+#: channel, so structured patterns converge in a handful of rounds;
+#: the cap only bounds adversarially unstructured demand.
+MAX_FILL_ROUNDS = 500
+#: UGAL blend grid: candidate fractions of traffic diverted to the
+#: Valiant path set (fixed grid => deterministic blend choice).
+UGAL_BLEND_GRID = 101
+
+
+# -- demand aggregation -------------------------------------------------------
+
+
+def router_demands(traffic, topology) -> tuple[np.ndarray, float, int]:
+    """Router-level demand at unit offered load per active endpoint.
+
+    Returns ``(D, intra, n_active)``: ``D[u, v]`` is the aggregate
+    flits/cycle routers ``u -> v`` exchange when every active endpoint
+    offers 1 flit/cycle, ``intra`` the total same-router demand (never
+    enters the fabric, always delivered), and ``n_active`` the
+    pattern's active-endpoint count (the normalisation the cycle
+    engine's ``accepted_load`` uses).
+
+    Supported patterns: uniform random, fixed permutations (including
+    every worst-case generator) and the §V-B bit/shift patterns.
+    Stochastic destinations aggregate to their expectation, which is
+    exact for a fluid model.
+    """
+    n = topology.num_routers
+    emap = np.asarray(topology.endpoint_map)
+    if isinstance(traffic, UniformRandom):
+        counts = np.bincount(emap, minlength=n).astype(float)
+        total = topology.num_endpoints
+        D = np.outer(counts, counts) / (total - 1)
+        intra = float(np.sum(counts * (counts - 1)) / (total - 1))
+        np.fill_diagonal(D, 0.0)
+        return D, intra, total
+    if isinstance(traffic, FixedPermutation):
+        srcs = np.asarray(sorted(traffic.mapping), dtype=np.int64)
+        dsts = np.asarray([traffic.mapping[int(s)] for s in srcs], dtype=np.int64)
+        rates = np.ones(len(srcs))
+        return _pairs_to_matrix(emap, n, srcs, dsts, rates) + (len(srcs),)
+    if isinstance(traffic, ShiftPattern):
+        size, half = traffic.size, traffic.size // 2
+        srcs = np.arange(size, dtype=np.int64)
+        base = srcs % half
+        pair_srcs = np.concatenate([srcs, srcs])
+        pair_dsts = np.concatenate([base, base + half])
+        rates = np.full(2 * size, 0.5)
+        keep = pair_dsts != pair_srcs  # self-directed coin outcomes idle
+        D, intra = _pairs_to_matrix(
+            emap, n, pair_srcs[keep], pair_dsts[keep], rates[keep]
+        )
+        return D, intra, size
+    if isinstance(traffic, _BitPattern):
+        srcs = np.arange(traffic.size, dtype=np.int64)
+        dsts = np.asarray([traffic._map(int(s)) for s in srcs], dtype=np.int64)
+        keep = dsts != srcs  # fixed points of the bit map stay idle
+        D, intra = _pairs_to_matrix(
+            emap, n, srcs[keep], dsts[keep], np.ones(int(keep.sum()))
+        )
+        return D, intra, traffic.size
+    raise ValueError(
+        f"flow backend has no demand model for traffic "
+        f"{type(traffic).__name__!r}; supported: uniform, fixed "
+        f"permutations (worst-case included), bit/shift patterns"
+    )
+
+
+def _pairs_to_matrix(emap, n, srcs, dsts, rates) -> tuple[np.ndarray, float]:
+    """Accumulate endpoint (src, dst, rate) triples into router demand."""
+    ru, rv = emap[srcs], emap[dsts]
+    inter = ru != rv
+    D = np.zeros((n, n))
+    np.add.at(D, (ru[inter], rv[inter]), rates[inter])
+    return D, float(rates[~inter].sum())
+
+
+# -- flat channel map ---------------------------------------------------------
+
+
+class _ChannelMap:
+    """Directed router channels on flat ids, adjacency order.
+
+    Channel ``port_base[u] + j`` carries ``u -> adjacency[u][j]`` —
+    the same numbering :class:`repro.sim.network.SimNetwork` uses, so
+    flow-level channel rates are directly comparable to cycle-engine
+    channel traces.
+    """
+
+    def __init__(self, topology):
+        adjacency = topology.adjacency
+        n = len(adjacency)
+        degrees = np.fromiter((len(a) for a in adjacency), dtype=np.int64, count=n)
+        self.port_base = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self.port_base[1:])
+        self.num_channels = int(self.port_base[-1])
+        #: Flattened adjacency: entry e is the channel with id e.
+        self.flat_src = np.repeat(np.arange(n, dtype=np.int32), degrees)
+        self.flat_dst = np.fromiter(
+            (v for nbrs in adjacency for v in nbrs),
+            dtype=np.int32,
+            count=self.num_channels,
+        )
+        #: Dense (u, v) -> channel id lookup (-1 where no edge).
+        self.chan_of = np.full((n, n), -1, dtype=np.int32)
+        self.chan_of[self.flat_src, self.flat_dst] = np.arange(
+            self.num_channels, dtype=np.int32
+        )
+
+
+# -- max-min fair allocation --------------------------------------------------
+
+
+def waterfill(
+    demands: np.ndarray,
+    ent_flow: np.ndarray,
+    ent_chan: np.ndarray,
+    num_channels: int,
+    capacity: float = CAPACITY,
+) -> np.ndarray:
+    """Max-min fair flow rates by iterated water-filling.
+
+    ``demands`` caps each flow; ``(ent_flow, ent_chan)`` list every
+    (flow, channel) incidence (a flow appears once per traversed
+    channel).  All active rates rise together until a channel
+    saturates — freezing every flow crossing it — or a flow reaches
+    its demand; repeat until nothing can grow.  Deterministic: pure
+    array arithmetic in fixed order, no tie-breaking randomness.
+    """
+    rate = np.zeros(len(demands))
+    active = demands > 0
+    for _ in range(MAX_FILL_ROUNDS):
+        if not active.any():
+            break
+        act_entries = active[ent_flow]
+        load = np.bincount(
+            ent_chan, weights=rate[ent_flow], minlength=num_channels
+        )
+        cnt = np.bincount(ent_chan[act_entries], minlength=num_channels)
+        used = cnt > 0
+        headroom = capacity - load
+        t_link = (
+            float(np.min(headroom[used] / cnt[used])) if used.any() else np.inf
+        )
+        t_demand = float(np.min(demands[active] - rate[active]))
+        t = max(0.0, min(t_link, t_demand))
+        rate[active] += t
+        # Freeze order matters for nothing: both criteria are applied
+        # to the post-increment state within the same round.
+        saturated = used & (headroom - t * cnt <= 1e-12)
+        if saturated.any():
+            blocked = np.unique(ent_flow[act_entries & saturated[ent_chan]])
+            active[blocked] = False
+        active &= demands - rate > 1e-12
+    return rate
+
+
+# -- the model ----------------------------------------------------------------
+
+
+class FlowModel:
+    """Load-independent fluid state for one (topology, routing, traffic).
+
+    Channel loads are linear in the offered load, so everything
+    expensive — demand aggregation, path routing, per-channel unit
+    loads — happens once here; :meth:`simulate` then solves each load
+    point in milliseconds.
+    """
+
+    #: Routing classes mapped to their fluid path-set model.
+    _KINDS = (
+        (MinimalRouting, "min"),
+        (DragonflyMinimal, "df-min"),
+        (ValiantRouting, "val"),
+        (UGALRouting, "ugal"),
+        (DragonflyUGAL, "df-ugal"),
+        (ANCARouting, "spread"),
+    )
+
+    def __init__(self, topology, routing, traffic):
+        self.topology = topology
+        self.kind = self._model_kind(routing)
+        tables = getattr(routing, "tables", None)
+        self.tables = tables if tables is not None else RoutingTables(
+            topology.adjacency
+        )
+        self.cmap = _ChannelMap(topology)
+        self.n = topology.num_routers
+        self.D, self.intra, self.n_active = router_demands(traffic, topology)
+        #: Total inter-router demand at unit offered load.
+        self.total_demand = float(self.D.sum())
+
+        if self.kind == "min":
+            self._build_min_flows()
+            self.unit_loads = np.bincount(
+                self.ent_chan,
+                weights=self.flow_demand[self.ent_flow],
+                minlength=self.cmap.num_channels,
+            )
+        elif self.kind == "val":
+            self.unit_loads = self._val_unit_loads()
+            self._build_flow_list()
+        elif self.kind == "ugal":
+            self.min_loads = self._det_min_loads(self.D)
+            self.val_loads = self._val_unit_loads()
+            self._build_flow_list()
+        elif self.kind == "df-min":
+            self.unit_loads = self._df_canonical_loads(self.D)
+            self._build_flow_list()
+        elif self.kind == "df-ugal":
+            self.min_loads = self._df_canonical_loads(self.D)
+            self.val_loads = self._df_group_val_loads()
+            self._build_flow_list()
+        else:  # spread (ANCA): ECMP over all minimal next hops
+            self.unit_loads = self._ecmp_loads(self.D)
+            self._build_flow_list()
+
+    @classmethod
+    def _model_kind(cls, routing) -> str:
+        for klass, kind in cls._KINDS:
+            if isinstance(routing, klass):
+                return kind
+        raise ValueError(
+            f"flow backend has no path-set model for routing "
+            f"{type(routing).__name__!r}; supported: MIN, Valiant, "
+            f"UGAL (SF/DF) and FT-ANCA"
+        )
+
+    # -- path-set -> unit channel loads -----------------------------------
+
+    def _build_flow_list(self) -> None:
+        """Flow (src, dst, demand, hops) arrays for the spread models."""
+        fs, fd = np.nonzero(self.D)
+        self.flow_src, self.flow_dst = fs, fd
+        self.flow_demand = self.D[fs, fd]
+        self.flow_hops = self.tables.dist[fs, fd].astype(np.float64)
+        if self.kind in ("val", "ugal", "df-ugal"):
+            # Expected Valiant hops per flow: mean over intermediates
+            # of d(s,w) + d(w,d).  The 1/(n-2) exclusion correction is
+            # O(1/n) and dropped.
+            dist = self.tables.dist
+            row_mean = dist.mean(axis=1)
+            col_mean = dist.mean(axis=0)
+            self.flow_hops_val = row_mean[fs] + col_mean[fd]
+
+    def _build_min_flows(self) -> None:
+        """Per-flow deterministic MIN paths as (flow, channel) entries."""
+        fs, fd = np.nonzero(self.D)
+        self.flow_src, self.flow_dst = fs, fd
+        self.flow_demand = self.D[fs, fd]
+        self.flow_hops = self.tables.dist[fs, fd].astype(np.float64)
+        nh = self.tables.next_hop_matrix()
+        chan_of = self.cmap.chan_of
+        flows, chans = [], []
+        idx = np.arange(len(fs))
+        cur = fs.copy()
+        dst = fd
+        while len(idx):
+            nxt = nh[cur, dst[idx]]
+            flows.append(idx)
+            chans.append(chan_of[cur, nxt])
+            alive = nxt != dst[idx]
+            idx, cur = idx[alive], nxt[alive]
+        self.ent_flow = (
+            np.concatenate(flows) if flows else np.empty(0, dtype=np.int64)
+        )
+        self.ent_chan = (
+            np.concatenate(chans) if chans else np.empty(0, dtype=np.int32)
+        )
+
+    def _det_min_loads(self, D: np.ndarray) -> np.ndarray:
+        """Channel loads of deterministic next-hop routing (loads only).
+
+        Propagates the whole demand matrix one hop per round — no
+        per-flow bookkeeping, so it stays cheap for the dense matrices
+        the UGAL blend routes (n^2 flows at paper scale).
+        """
+        n = self.n
+        nh = self.tables.next_hop_matrix()
+        chan_of = self.cmap.chan_of
+        loads = np.zeros(self.cmap.num_channels)
+        T = D.copy()
+        for _ in range(int(self.tables.dist.max())):
+            uu, dd = np.nonzero(T)
+            if not len(uu):
+                break
+            rates = T[uu, dd]
+            nxt = nh[uu, dd]
+            loads += np.bincount(
+                chan_of[uu, nxt], weights=rates, minlength=self.cmap.num_channels
+            )
+            moved = nxt != dd
+            T = np.zeros((n, n))
+            np.add.at(T, (nxt[moved], dd[moved]), rates[moved])
+        return loads
+
+    def _ecmp_loads(self, D: np.ndarray) -> np.ndarray:
+        """Channel loads under even splitting over minimal next hops.
+
+        The fluid ECMP model of :mod:`repro.analysis.channel_load`,
+        vectorised per destination over the flat edge list: at each
+        distance level, a router's through-traffic divides equally
+        among its neighbours one hop closer to the destination.
+        """
+        n = self.n
+        dist = self.tables.dist
+        flat_src, flat_dst = self.cmap.flat_src, self.cmap.flat_dst
+        loads = np.zeros(self.cmap.num_channels)
+        for d in range(n):
+            x = D[:, d]
+            if not x.any():
+                continue
+            dcol = dist[:, d]
+            src_level = dcol[flat_src]
+            dst_level = dcol[flat_dst]
+            x = x.astype(np.float64, copy=True)
+            for k in range(int(dcol[x > 0].max()), 0, -1):
+                edges = np.nonzero((src_level == k) & (dst_level == k - 1))[0]
+                if not edges.size:
+                    continue
+                srcs = flat_src[edges]
+                cnt = np.bincount(srcs, minlength=n)
+                contrib = (x / np.maximum(cnt, 1))[srcs]
+                loads[edges] += contrib
+                x = x + np.bincount(
+                    flat_dst[edges], weights=contrib, minlength=n
+                )
+        return loads
+
+    # -- Dragonfly canonical (gateway) path set ----------------------------
+
+    def _df_structure(self):
+        """Group membership and the (g x g) gateway-router matrix."""
+        topo = self.topology
+        if not hasattr(topo, "gateway_router"):
+            raise ValueError(
+                "Dragonfly routing given a non-Dragonfly topology "
+                f"({type(topo).__name__}); the flow model needs its "
+                "gateway structure"
+            )
+        if not hasattr(self, "_df_groups"):
+            g = topo.g
+            group_of = np.fromiter(
+                (topo.group_of(r) for r in range(self.n)),
+                dtype=np.int64,
+                count=self.n,
+            )
+            gateways = np.zeros((g, g), dtype=np.int64)
+            for g1 in range(g):
+                for g2 in range(g):
+                    if g1 != g2:
+                        gateways[g1, g2] = topo.gateway_router(g1, g2)
+            #: (n x g) one-hot membership, for group aggregation matmuls.
+            member = np.zeros((self.n, g))
+            member[np.arange(self.n), group_of] = 1.0
+            self._df_groups = (group_of, gateways, member)
+        return self._df_groups
+
+    def _df_canonical_loads(self, D: np.ndarray) -> np.ndarray:
+        """Channel loads of canonical local-global-local DF routing.
+
+        Every inter-group flow funnels through the single designated
+        gateway pair of its (source group, destination group) cable —
+        the structure that produces the Dragonfly worst case.  Four
+        contributions: intra-group direct hops, the local up-hop to
+        the source gateway, the global cable, and the local down-hop
+        from the destination gateway.
+        """
+        group_of, gateways, member = self._df_structure()
+        n, g = self.n, member.shape[1]
+        chan_of = self.cmap.chan_of
+        loads = np.zeros(self.cmap.num_channels)
+
+        # Intra-group pairs: groups are cliques, one direct local hop.
+        uu, vv = np.nonzero(D)
+        same = group_of[uu] == group_of[vv]
+        if same.any():
+            np.add.at(loads, chan_of[uu[same], vv[same]], D[uu[same], vv[same]])
+
+        # Router -> destination-group aggregate demand (n x g).
+        M = D @ member
+        rows = np.repeat(np.arange(n), g)
+        dst_groups = np.tile(np.arange(g), n)
+        inter = group_of[rows] != dst_groups
+        rows, dst_groups = rows[inter], dst_groups[inter]
+        rates = M[rows, dst_groups]
+        nz = rates > 0
+        rows, dst_groups, rates = rows[nz], dst_groups[nz], rates[nz]
+        gw_src = gateways[group_of[rows], dst_groups]
+        up = gw_src != rows  # the gateway itself skips the local hop
+        np.add.at(loads, chan_of[rows[up], gw_src[up]], rates[up])
+
+        # Global cables: group-pair totals over the single gateway pair.
+        G = member.T @ M
+        g1, g2 = np.nonzero(G)
+        off = g1 != g2
+        g1, g2 = g1[off], g2[off]
+        np.add.at(
+            loads, chan_of[gateways[g1, g2], gateways[g2, g1]], G[g1, g2]
+        )
+
+        # Source-group -> router aggregate demand (g x n), down-hops.
+        T = member.T @ D
+        src_groups = np.repeat(np.arange(g), n)
+        cols = np.tile(np.arange(n), g)
+        inter = src_groups != group_of[cols]
+        src_groups, cols = src_groups[inter], cols[inter]
+        rates = T[src_groups, cols]
+        nz = rates > 0
+        src_groups, cols, rates = src_groups[nz], cols[nz], rates[nz]
+        gw_dst = gateways[group_of[cols], src_groups]
+        down = gw_dst != cols
+        np.add.at(loads, chan_of[gw_dst[down], cols[down]], rates[down])
+        return loads
+
+    def _df_group_val_loads(self) -> np.ndarray:
+        """Unit channel loads of DF group-Valiant misrouting.
+
+        A diverted packet goes canonically to a uniform random router
+        of a random intermediate group, then canonically on — so both
+        legs are canonical-path demand matrices again.  Exclusion of
+        the endpoint groups is an O(1/g) correction and dropped; leg
+        demand spreads mass-preservingly over all other groups.
+        """
+        group_of, gateways, member = self._df_structure()
+        D, n = self.D, self.n
+        g = member.shape[1]
+        a = n // g  # routers per group (canonical DF is uniform)
+        spread = np.full((n, n), 1.0 / max(1, (g - 1) * a))
+        # Zero the same-group block: intermediates live in other groups.
+        same = group_of[:, None] == group_of[None, :]
+        spread[same] = 0.0
+        D1 = D.sum(axis=1)[:, None] * spread
+        D2 = spread * D.sum(axis=0)[None, :]
+        return self._df_canonical_loads(D1) + self._df_canonical_loads(D2)
+
+    def _val_unit_loads(self) -> np.ndarray:
+        """Unit channel loads of the Valiant path set.
+
+        Phase demands: leg 1 carries ``D1[s, w] = (sum_d D[s, d] -
+        D[s, w]) / (n - 2)`` (every flow from ``s`` spread over its
+        admissible intermediates), leg 2 symmetrically into each
+        destination; both legs route as ECMP fluid (the expectation of
+        per-hop uniform path sampling).
+        """
+        D, n = self.D, self.n
+        denominator = max(1, n - 2)
+        D1 = (D.sum(axis=1)[:, None] - D) / denominator
+        np.fill_diagonal(D1, 0.0)
+        D2 = (D.sum(axis=0)[None, :] - D) / denominator
+        np.fill_diagonal(D2, 0.0)
+        return self._ecmp_loads(D1) + self._ecmp_loads(D2)
+
+    # -- per-load solution -------------------------------------------------
+
+    def _ugal_blend(self, load: float) -> tuple[float, np.ndarray]:
+        """Smallest feasible Valiant fraction at ``load`` (else argmin).
+
+        Peak utilisation is convex in the blend fraction (a max of
+        lines), so scanning a fixed grid from 0 finds the least
+        diversion that fits — UGAL's "minimal unless congested" —
+        deterministically; when no fraction fits, the peak-minimising
+        blend is used and the point throttles.  The per-fraction peaks
+        are load-independent (loads scale linearly), so the grid is
+        computed once and cached across the sweep's load points.
+        """
+        if not hasattr(self, "_blend_peaks"):
+            xs = np.linspace(0.0, 1.0, UGAL_BLEND_GRID)
+            self._blend_peaks = xs, np.array(
+                [
+                    np.max((1.0 - x) * self.min_loads + x * self.val_loads)
+                    for x in xs
+                ]
+            )
+        xs, peaks = self._blend_peaks
+        feasible = np.nonzero(load * peaks <= CAPACITY)[0]
+        best = int(feasible[0]) if feasible.size else int(np.argmin(peaks))
+        x = float(xs[best])
+        return x, (1.0 - x) * self.min_loads + x * self.val_loads
+
+    def simulate(self, offered_load: float, config: SimConfig | None = None) -> SimResult:
+        """Solve one load point; returns a cycle-compatible SimResult.
+
+        ``delivered``/``injected`` count *flows* (the fluid analogue of
+        packets): a saturated point reports ``delivered=0`` so the
+        sweep layer nulls its latency exactly like a collapsed cycle
+        run.  ``cycles`` is 0 — nothing was ticked.
+        """
+        config = config or SimConfig()
+        load = float(offered_load)
+        n_flows = len(self.flow_demand)
+        offered_total = load * self.total_demand
+
+        if self.kind == "min":
+            demands = load * self.flow_demand
+            rates = waterfill(
+                demands, self.ent_flow, self.ent_chan, self.cmap.num_channels
+            )
+            accepted_total = float(rates.sum())
+            channel_loads = np.bincount(
+                self.ent_chan,
+                weights=rates[self.ent_flow],
+                minlength=self.cmap.num_channels,
+            )
+            hops = self.flow_hops
+            weights = rates
+            per_flow_wait = np.zeros(n_flows)
+            util = np.minimum(channel_loads / CAPACITY, UTIL_CLIP)
+            wait = util / (1.0 - util)
+            np.add.at(per_flow_wait, self.ent_flow, wait[self.ent_chan])
+        else:
+            if self.kind in ("ugal", "df-ugal"):
+                blend, unit_loads = self._ugal_blend(load)
+                hops = (1.0 - blend) * self.flow_hops + blend * self.flow_hops_val
+            else:
+                unit_loads = self.unit_loads
+                hops = (
+                    self.flow_hops_val if self.kind == "val" else self.flow_hops
+                )
+            peak = float(unit_loads.max()) if unit_loads.size else 0.0
+            throttle = (
+                min(1.0, CAPACITY / (load * peak)) if load * peak > 0 else 1.0
+            )
+            rates = load * throttle * self.flow_demand
+            accepted_total = float(rates.sum())
+            channel_loads = load * throttle * unit_loads
+            weights = rates
+            util = np.minimum(channel_loads / CAPACITY, UTIL_CLIP)
+            load_mass = float(channel_loads.sum())
+            mean_wait = (
+                float((channel_loads * (util / (1.0 - util))).sum()) / load_mass
+                if load_mass > 0
+                else 0.0
+            )
+            per_flow_wait = hops * mean_wait
+
+        saturated = (
+            offered_total > 0
+            and accepted_total < SATURATION_RATIO * offered_total
+        )
+        pl = config.packet_length
+        base = config.hop_latency * hops + pl
+        latency = base + pl * per_flow_wait
+        total_weight = float(weights.sum())
+        if saturated or total_weight <= 0:
+            avg_latency = p99 = float("nan")
+            queue_latency = float("nan")
+        else:
+            avg_latency = float((weights * latency).sum()) / total_weight
+            p99 = _weighted_percentile(latency, weights, 99.0)
+            queue_latency = (
+                pl * float((weights * per_flow_wait).sum()) / total_weight
+            )
+
+        n_active = max(1, self.n_active)
+        accepted = (accepted_total + load * self.intra) / n_active
+        return SimResult(
+            offered_load=load,
+            accepted_load=accepted,
+            avg_latency=avg_latency,
+            p99_latency=p99,
+            delivered=0 if saturated else n_flows,
+            injected=n_flows,
+            saturated=bool(saturated),
+            cycles=0,
+            avg_queue_latency=queue_latency,
+        )
+
+    def sweep(
+        self,
+        loads,
+        config: SimConfig | None = None,
+        stop_after_saturation: int = 1,
+    ) -> list[LoadPoint]:
+        """Ascending-load walk with the cycle sweep's fill semantics.
+
+        Points past ``stop_after_saturation`` consecutive saturated
+        loads are marked (latency ``None``, last measured accepted) —
+        byte-compatible with :func:`repro.sim.sweep.latency_vs_load`
+        rows, so cycle and flow curves overlay in the same figures.
+        """
+        # Lazy import: parallel's counter is shared across backends,
+        # and parallel itself only imports this module on demand.
+        from repro.sim.parallel import _count_simulations
+
+        points: list[LoadPoint] = []
+        run = 0
+        last_accepted: float | None = None
+        for load in loads:
+            if run >= stop_after_saturation:
+                points.append(
+                    LoadPoint(
+                        load=load, latency=None, accepted=last_accepted,
+                        saturated=True,
+                    )
+                )
+                continue
+            _count_simulations(1)
+            result = self.simulate(load, config)
+            latency = (
+                None
+                if result.saturated and result.delivered == 0
+                else result.avg_latency
+            )
+            points.append(
+                LoadPoint(
+                    load=load,
+                    latency=latency,
+                    accepted=result.accepted_load,
+                    saturated=result.saturated,
+                )
+            )
+            run = run + 1 if result.saturated else 0
+            last_accepted = result.accepted_load
+        return points
+
+    def saturation_load(
+        self, loads, config: SimConfig | None = None
+    ) -> float | None:
+        """First offered load of the schedule marked saturated."""
+        for pt in self.sweep(loads, config):
+            if pt.saturated:
+                return pt.load
+        return None
+
+
+def _weighted_percentile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
+    """Weighted percentile (lowest value covering q% of the mass)."""
+    order = np.argsort(values, kind="stable")
+    cum = np.cumsum(weights[order])
+    total = cum[-1]
+    if total <= 0:
+        return float("nan")
+    idx = int(np.searchsorted(cum, (q / 100.0) * total, side="left"))
+    return float(values[order[min(idx, len(order) - 1)]])
+
+
+# -- engine-style entry points ------------------------------------------------
+
+
+def flow_simulate(
+    topology, routing, traffic, offered_load: float, config: SimConfig | None = None
+) -> SimResult:
+    """One-shot flow-level solution of a single load point.
+
+    Signature-compatible with :func:`repro.sim.engine.simulate`; for
+    sweeps build one :class:`FlowModel` and reuse it — the model setup
+    dominates and the per-load solve is cheap.
+    """
+    return FlowModel(topology, routing, traffic).simulate(offered_load, config)
+
+
+def flow_sweep(
+    topology,
+    routing_factory,
+    traffic,
+    loads,
+    config: SimConfig | None = None,
+    stop_after_saturation: int = 1,
+) -> list[LoadPoint]:
+    """Latency-vs-load curve under the flow-level model.
+
+    Signature-compatible with the cycle sweeps (the backend registry's
+    dispatch target).  The model is deterministic and in-process, so
+    rows are byte-identical for any worker count by construction.
+    """
+    model = FlowModel(topology, routing_factory(), traffic)
+    return model.sweep(loads, config, stop_after_saturation)

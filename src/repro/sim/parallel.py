@@ -174,6 +174,7 @@ def parallel_latency_vs_load(
     workers: int | None = None,
     replicas: int = 1,
     stop_after_saturation: int = 1,
+    backend: str = "cycle",
 ) -> list[LoadPoint]:
     """Latency-vs-load curve, fanned across processes.
 
@@ -181,11 +182,29 @@ def parallel_latency_vs_load(
     (identical rows for ``replicas=1``, any ``workers``), plus seed
     replication.  ``workers=None`` or ``0`` auto-sizes to the CPU
     count; ``workers=1`` runs in-process.
+
+    ``backend`` selects the engine fidelity through the
+    :mod:`repro.sim.backends` registry; non-cycle backends (``"flow"``)
+    solve the sweep through their own dispatcher — the fork pool below
+    only drives cycle-accurate simulations.
     """
-    loads = list(loads) if loads is not None else default_loads()
-    config = config or SimConfig()
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
+    if backend != "cycle":
+        from repro.sim.backends import get_backend
+
+        return get_backend(backend).sweep(
+            topology,
+            routing_factory,
+            traffic,
+            loads if loads is not None else default_loads(),
+            config=config,
+            workers=workers,
+            replicas=replicas,
+            stop_after_saturation=stop_after_saturation,
+        )
+    loads = list(loads) if loads is not None else default_loads()
+    config = config or SimConfig()
     workers = resolve_workers(workers, len(loads) * replicas)
     ctx = _fork_context()
     if workers <= 1 or ctx is None or not loads:

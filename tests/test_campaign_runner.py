@@ -98,6 +98,53 @@ class TestDispatch:
         with pytest.raises(ValueError, match="resume"):
             run_campaign(mixed_campaign(), resume=True)
 
+    def test_rows_carry_fidelity(self):
+        report = run_campaign(
+            Campaign("fid", [open_scenario(), closed_scenario()])
+        )
+        assert {r["fidelity"] for r in report.rows} == {"cycle"}
+
+    def test_flow_backend_dispatch_and_fidelity_tag(self, tmp_path):
+        flow = open_scenario("flow-sweep")
+        flow.backend = "flow"
+        flow.revalidate()
+        campaign = Campaign("fid-mixed", [open_scenario("cycle-sweep"), flow])
+        report = run_campaign(campaign, out=tmp_path / "rows.jsonl")
+        fidelity = {r["label"]: r["fidelity"] for r in report.rows}
+        assert fidelity == {"cycle-sweep": "cycle", "flow-sweep": "flow"}
+        # Flow rows are real measurements with the open-loop schema.
+        flow_rows = [r for r in report.rows if r["fidelity"] == "flow"]
+        assert len(flow_rows) == 2
+        assert all(r["spec"]["backend"] == "flow" for r in flow_rows)
+        assert all(r["accepted"] is not None for r in flow_rows)
+
+    def test_flow_campaign_worker_count_byte_identity(self, tmp_path):
+        """The flow determinism contract at the campaign level: output
+        files are byte-identical for any worker count."""
+        def flow_campaign():
+            s = open_scenario("flow", loads=(0.2, 0.5, 0.8))
+            s.backend = "flow"
+            s.revalidate()
+            return Campaign("flow-only", [s])
+
+        run_campaign(flow_campaign(), workers=1, out=tmp_path / "w1.jsonl")
+        run_campaign(flow_campaign(), workers=4, out=tmp_path / "w4.jsonl")
+        assert (tmp_path / "w1.jsonl").read_bytes() == (
+            tmp_path / "w4.jsonl"
+        ).read_bytes()
+
+    def test_flow_campaign_resumes_with_zero_simulations(self, tmp_path):
+        s = open_scenario("flow", loads=(0.2, 0.5))
+        s.backend = "flow"
+        s.revalidate()
+        campaign = Campaign("flow-resume", [s])
+        out = tmp_path / "rows.jsonl"
+        run_campaign(campaign, out=out)
+        before = simulations_started()
+        report = run_campaign(campaign, out=out, resume=True)
+        assert simulations_started() == before
+        assert report.simulated == 0 and report.skipped == 1
+
 
 class TestResume:
     def test_complete_file_resumes_with_zero_simulations(self, tmp_path):

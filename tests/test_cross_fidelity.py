@@ -1,0 +1,108 @@
+"""Cross-fidelity validation: flow-level vs cycle-accurate saturation.
+
+The flow backend trades flit-level detail for speed; this suite pins
+how much.  On small MMS instances (q=5, q=7) the flow-level saturation
+load must fall within one load-grid step (0.1) of the cycle-accurate
+saturation point for MIN and VAL across uniform and worst-case
+traffic — the contract that makes paper-scale flow sweeps credible.
+
+Both engines are deterministic (the cycle engine per seed, the flow
+solver unconditionally), so these are exact regression pins, not
+statistical checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing import MinimalRouting, RoutingTables
+from repro.routing.valiant import ValiantRouting
+from repro.sim import SimConfig
+from repro.sim.flowlevel import FlowModel
+from repro.sim.sweep import find_saturation_load, latency_vs_load
+from repro.topologies import SlimFly
+from repro.traffic import UniformRandom
+from repro.traffic.adversarial import worst_case_for
+
+#: The shared load schedule; tolerance is one grid step.
+LOADS = [round(0.1 * i, 4) for i in range(1, 11)]
+TOLERANCE = 0.1 + 1e-9
+CFG = SimConfig(warmup_cycles=150, measure_cycles=350, drain_cycles=1200)
+
+_STATE: dict[int, tuple] = {}
+
+
+def _instance(q: int):
+    if q not in _STATE:
+        sf = SlimFly.from_q(q)
+        tables = RoutingTables(sf.adjacency)
+        _STATE[q] = (sf, tables)
+    return _STATE[q]
+
+
+def _routing_factory(name: str, tables):
+    if name == "min":
+        return lambda: MinimalRouting(tables)
+    return lambda: ValiantRouting(tables, seed=0)
+
+
+def _pattern(name: str, sf, tables):
+    if name == "uniform":
+        return UniformRandom(sf.num_endpoints)
+    return worst_case_for(sf, tables=tables, seed=0)
+
+
+def _effective(sat: float | None) -> float:
+    """Saturation load capped at the schedule end (None = never)."""
+    return sat if sat is not None else LOADS[-1]
+
+
+@pytest.mark.parametrize("q", [5, 7])
+@pytest.mark.parametrize("routing", ["min", "val"])
+@pytest.mark.parametrize("pattern", ["uniform", "worstcase"])
+def test_flow_saturation_within_tolerance(q, routing, pattern):
+    sf, tables = _instance(q)
+    factory = _routing_factory(routing, tables)
+    traffic = _pattern(pattern, sf, tables)
+
+    flow_sat = _effective(
+        FlowModel(sf, factory(), traffic).saturation_load(LOADS, CFG)
+    )
+    cycle_sat = _effective(
+        find_saturation_load(latency_vs_load(sf, factory, traffic, LOADS, CFG))
+    )
+    assert abs(flow_sat - cycle_sat) <= TOLERANCE, (
+        f"q={q} {routing}/{pattern}: flow saturates at {flow_sat}, "
+        f"cycle at {cycle_sat} — beyond the pinned one-step tolerance"
+    )
+
+
+def test_worstcase_collapse_ordering_matches():
+    """Both fidelities agree on the headline Fig 6d shape: worst-case
+    MIN collapses far below uniform MIN, and VAL rescues it."""
+    sf, tables = _instance(5)
+    wc = worst_case_for(sf, tables=tables, seed=0)
+    uni = UniformRandom(sf.num_endpoints)
+
+    def flow_sat(routing, traffic):
+        return _effective(
+            FlowModel(sf, routing, traffic).saturation_load(LOADS, CFG)
+        )
+
+    def cycle_sat(factory, traffic):
+        return _effective(
+            find_saturation_load(latency_vs_load(sf, factory, traffic, LOADS, CFG))
+        )
+
+    for backend_sat in (
+        lambda r, t: flow_sat(
+            MinimalRouting(tables) if r == "min" else ValiantRouting(
+                tables, seed=0), t
+        ),
+        lambda r, t: cycle_sat(_routing_factory(r, tables), t),
+    ):
+        min_wc = backend_sat("min", wc)
+        min_uni = backend_sat("min", uni)
+        val_wc = backend_sat("val", wc)
+        assert min_wc < 0.5 * min_uni
+        assert val_wc > 2 * min_wc

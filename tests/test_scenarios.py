@@ -191,6 +191,73 @@ class TestValidation:
         assert scenario_hash(a) == scenario_hash(b)
 
 
+class TestBackendAxis:
+    """The engine-fidelity axis: back-compat serialization, validation."""
+
+    def base(self, **overrides) -> Scenario:
+        kw = dict(
+            topology=TopologySpec("SF", params={"q": 5}),
+            routing=RoutingSpec("min"),
+            sim=SimConfig(),
+            traffic=TrafficSpec("uniform"),
+            loads=[0.5],
+        )
+        kw.update(overrides)
+        return Scenario(**kw)
+
+    def test_default_backend_is_cycle_and_not_serialized(self):
+        s = self.base()
+        assert s.backend == "cycle"
+        assert "backend" not in s.to_dict()
+
+    def test_pre_backend_json_loads_and_hashes_identically(self):
+        # A spec dict written before the backend axis existed (no
+        # "backend" key) must load as a cycle scenario and keep its
+        # pinned hash — the resume identity of existing result files.
+        legacy = self.base().to_dict()
+        assert "backend" not in legacy
+        s = Scenario.from_dict(legacy)
+        assert s.backend == "cycle"
+        assert s == self.base()
+        assert scenario_hash(s) == "80269c90cd7f1773"
+
+    def test_flow_backend_round_trips_and_changes_hash(self):
+        flow = self.base(backend="flow")
+        assert flow.to_dict()["backend"] == "flow"
+        assert Scenario.from_dict(flow.to_dict()) == flow
+        assert scenario_hash(flow) != scenario_hash(self.base())
+        # Pinned literal: the flow-spec serialized form must not
+        # drift either, or flow result files would stop resuming.
+        assert scenario_hash(flow) == "2a6a978c4eaae106"
+
+    def test_explicit_cycle_equals_default(self):
+        assert scenario_hash(self.base(backend="cycle")) == scenario_hash(
+            self.base()
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            self.base(backend="warp")
+
+    def test_flow_backend_is_open_loop_only(self):
+        with pytest.raises(ValueError, match="open-loop only"):
+            closed_scenario(backend="flow")
+
+    def test_backend_grid_axis(self):
+        campaign = Campaign.from_grid(
+            "fidelity",
+            self.base(),
+            {"backend": ["cycle", "flow"]},
+            label=lambda s: s.backend,
+        )
+        assert [s.backend for s in campaign] == ["cycle", "flow"]
+        assert len({scenario_hash(s) for s in campaign}) == 2
+
+    def test_backend_grid_revalidates(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            Campaign.from_grid("bad", self.base(), {"backend": ["warp"]})
+
+
 class TestGrid:
     def test_product_expansion(self):
         campaign = Campaign.from_grid(
