@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""One Slim Fly, three fidelities: cycle vs cycle-vec vs flow.
+
+Sweeps a single MMS instance through every engine backend behind the
+Layer-2 contract (`repro.sim.backends`) and prints, per backend, the
+wall-clock throughput and the resulting curve — demonstrating:
+
+1. `cycle-vec` reproduces the `cycle` rows *bit for bit* while running
+   the same flit-level semantics as batched numpy phases (the speedup
+   grows with q: ~2x at the q=5 of this demo, ~7x at q=11),
+2. `flow` lands the same saturation story orders of magnitude faster,
+   at steady-state fidelity,
+3. all three agree on where the network saturates — the cross-check
+   that lets campaigns mix fidelities.
+
+Run:  python examples/vectorized_engine.py
+"""
+
+import time
+
+from repro.routing import MinimalRouting, RoutingTables
+from repro.sim import SimConfig, get_backend
+from repro.topologies import SlimFly
+from repro.traffic import UniformRandom
+from repro.util.tables import ascii_table
+
+CFG = SimConfig(warmup_cycles=150, measure_cycles=350, drain_cycles=1200, seed=1)
+LOADS = [0.1, 0.3, 0.5, 0.7, 0.9]
+BACKENDS = ("cycle", "cycle-vec", "flow")
+
+
+def sweep_all_backends(sf, tables, traffic):
+    """Run the same sweep through each backend, timing it."""
+    curves = {}
+    for name in BACKENDS:
+        backend = get_backend(name)
+        t0 = time.time()
+        rows = backend.sweep(
+            sf, lambda: MinimalRouting(tables), traffic, LOADS,
+            config=CFG, workers=1,
+        )
+        elapsed = time.time() - t0
+        # Flits simulated during the measurement windows of the
+        # non-short-circuited points (flow solves rates, not flits, so
+        # its "throughput" is rows/s).
+        curves[name] = (rows, elapsed)
+    return curves
+
+
+def print_throughput(curves) -> None:
+    rows = []
+    for name, (points, elapsed) in curves.items():
+        solved = sum(1 for p in points if p.latency is not None)
+        rows.append([name, f"{elapsed:.2f}s", f"{solved}/{len(points)}"])
+    print(ascii_table(["backend", "sweep time", "rows solved"], rows))
+    cyc = curves["cycle"][1]
+    vec = curves["cycle-vec"][1]
+    print(f"\ncycle-vec ran the identical flit-level sweep "
+          f"{cyc / vec:.1f}x faster (advantage grows with q).\n")
+
+
+def print_agreement(curves) -> None:
+    cycle_rows, _ = curves["cycle"]
+    vec_rows, _ = curves["cycle-vec"]
+    flow_rows, _ = curves["flow"]
+    print(f"cycle-vec rows identical to cycle: {vec_rows == cycle_rows}")
+
+    def sat_load(rows):
+        for p in rows:
+            if p.saturated:
+                return p.load
+        return None
+
+    table = []
+    for load, c, v, f in zip(LOADS, cycle_rows, vec_rows, flow_rows):
+        fmt = lambda p: "saturated" if p.latency is None else f"{p.latency:.1f}"
+        table.append([load, fmt(c), fmt(v), fmt(f)])
+    print(ascii_table(["load", "cycle", "cycle-vec", "flow"], table))
+    print(f"\nsaturation point per backend: "
+          f"cycle={sat_load(cycle_rows)}, cycle-vec={sat_load(vec_rows)}, "
+          f"flow={sat_load(flow_rows)}")
+
+
+def main() -> None:
+    sf = SlimFly.from_q(5)
+    tables = RoutingTables(sf.adjacency)
+    traffic = UniformRandom(sf.num_endpoints)
+    print(f"SlimFly MMS(q=5): {sf.num_routers} routers, "
+          f"{sf.num_endpoints} endpoints — MIN routing, uniform traffic\n")
+    curves = sweep_all_backends(sf, tables, traffic)
+    print_throughput(curves)
+    print_agreement(curves)
+
+
+if __name__ == "__main__":
+    main()

@@ -34,10 +34,12 @@ from repro.sim.backends import (
     BACKEND_KINDS,
     ENGINE_BACKENDS,
     CycleBackend,
+    CycleVecBackend,
     EngineBackend,
     FlowBackend,
     get_backend,
 )
+from repro.sim.engine_vec import VecEngine, vec_simulate
 from repro.sim.config import SimConfig
 from repro.sim.flowlevel import FlowModel, flow_simulate, flow_sweep
 from repro.sim.packet import Packet
@@ -62,8 +64,11 @@ __all__ = [
     "BACKEND_KINDS",
     "ENGINE_BACKENDS",
     "CycleBackend",
+    "CycleVecBackend",
     "EngineBackend",
     "FlowBackend",
+    "VecEngine",
+    "vec_simulate",
     "FlowModel",
     "flow_simulate",
     "flow_sweep",

@@ -381,7 +381,9 @@ class SimEngine:
                 pkt.hop += 1
                 if trace:
                     key = (router, nxt)
-                    self.channel_flits[key] = self.channel_flits.get(key, 0) + 1
+                    self.channel_flits[key] = (
+                        self.channel_flits.get(key, 0) + length
+                    )
                 push((b_dst, nxt, pkt))
                 sent += 1
             stage_mask[router] = remaining

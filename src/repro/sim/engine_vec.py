@@ -1,0 +1,861 @@
+"""The cycle loop, batched-numpy edition (the ``cycle-vec`` backend).
+
+Same four phases per cycle as :mod:`repro.sim.engine` — arrivals,
+injection, switch allocation, transmission (credit return rides the
+arrival phase) — but every phase operates as batched numpy operations
+over preallocated flat arrays instead of per-flit Python loops:
+
+- **Packet state** lives in struct-of-arrays form: one ``(pool, 4)``
+  int64 array holding (dst endpoint, dst router, hop, inject time) per
+  pool id, recycled through a free-list stack.  No ``Packet`` objects
+  are ever built.
+- **FIFOs** (input VC buffers, injection queues, output stages) are
+  2-D ring buffers: a ``(queues, capacity)`` id array plus head/length
+  vectors, so pushes and pops across all queues are fancy-indexed
+  scatters/gathers.
+- **Event wheels** (flit arrivals, credit returns) are fixed index
+  arrays over the modulo horizon — one slice assignment schedules a
+  whole cycle's events, one gather applies them.
+- **Switch allocation** packs each head-flit request into a single
+  int64 key ``(resource group, rank, seq)`` — group is the output
+  channel for forwarding or the destination endpoint for ejection,
+  rank/seq exactly the flat engine's tie-break.  Output resources are
+  independent (credits belong to one port's buffers, ejection to one
+  endpoint), so groups never interact: a request in a group holding no
+  more requests than its capacity is granted outright, and only the
+  *contested* groups (found with one ``bincount``) are sorted — the
+  first ``speedup`` (or 1, for ejection) of each win.  When some
+  requested buffer runs low on credits the decision is no longer
+  positional; a wave loop then replays the per-group scan order with
+  explicit credit accounting (rare below saturation).
+- **MIN next-hops** resolve by fancy indexing a precomputed
+  ``(router, destination) -> output channel`` matrix whose diagonal
+  (-1) doubles as the ejection test.
+
+Determinism: the engine replays the flat engine's RNG draw sequence
+(one Bernoulli batch per cycle, one batched destination draw, source-
+routed plans in source order) and its switch-allocation tie-break
+(rank, then buffer first-use sequence, then endpoint order).  Event
+ordering normally reduces to canonical ascending-channel order, with
+one subtlety at cold start: the flat engine iterates a Python *set* of
+active routers, whose order deviates from ascending while the set's
+hash table is still small.  The engine mirrors that set exactly
+(same add/discard traffic) and sorts transmissions by its iteration
+order until the mirror provably turns ascending-forever, at which
+point it is dropped.  The differential suite
+(``tests/test_vec_equivalence.py``) pins ``cycle-vec`` against
+``cycle`` bit-for-bit across the contract matrix, with the pinned
+saturation/latency tolerance as the documented fallback contract.
+
+Supported: open-loop traffic, table-driven (MIN) and source-routed
+(VAL/UGAL) algorithms, single- and multi-flit packets.  Closed-loop
+workloads and per-hop adaptive routing stay on the ``cycle`` backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.base import RoutingAlgorithm
+from repro.sim.config import SimConfig
+from repro.sim.network import channel_layout
+from repro.sim.stats import SimResult
+from repro.topologies.base import Topology
+from repro.util.rng import make_rng
+
+#: Hops a stored source-routed path may span (2x diameter covers VAL's
+#: two stitched minimal legs on every topology this repo builds).
+_PATH_SLOTS = 8
+
+
+class _QueueView:
+    """The ``queue_length`` view adaptive planners (UGAL) read.
+
+    Exposes the same congestion signal as
+    :meth:`repro.sim.network.SimNetwork.queue_length`, backed by the
+    vectorised engine's arrays, so UGAL's per-packet cost comparison
+    sees bit-identical state and plans identical paths.
+    """
+
+    __slots__ = ("_pb", "_pi", "_stage_len", "_credits", "_V", "_cap")
+
+    def __init__(self, pb, pi, stage_len, credits, V, cap):
+        self._pb = pb
+        self._pi = pi
+        self._stage_len = stage_len
+        self._credits = credits
+        self._V = V
+        self._cap = cap
+
+    def queue_length(self, router: int, neighbor: int) -> int:
+        c = self._pb[router] + self._pi[router][neighbor]
+        V = self._V
+        s = c * V
+        down = self._cap * V - int(self._credits[s : s + V].sum())
+        return int(self._stage_len[c]) + down
+
+
+class VecEngine:
+    """Drives one batched-numpy simulation run (open loop only)."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingAlgorithm,
+        traffic,
+        offered_load: float,
+        config: SimConfig | None = None,
+        trace_channels: bool = False,
+    ):
+        self.topology = topology
+        self.routing = routing
+        self.traffic = traffic
+        self.offered_load = float(offered_load)
+        self.config = config or SimConfig()
+        if self.config.num_vcs < routing.num_vcs:
+            self.config = self.config.with_vcs(routing.num_vcs)
+        cfg = self.config
+        self.trace_channels = trace_channels
+
+        table_driven = getattr(routing, "table_driven", False)
+        if not table_driven and not getattr(routing, "source_routed", False):
+            raise ValueError(
+                f"cycle-vec supports table-driven and source-routed routing; "
+                f"{routing.name!r} adapts per hop — use backend='cycle'"
+            )
+
+        nr = topology.num_routers
+        adjacency = topology.adjacency
+        _, port_base, chan_src, chan_dst = channel_layout(topology)
+        C = int(port_base[-1])
+        V = cfg.num_vcs
+        cap = cfg.buffer_per_vc
+        n_ep = topology.num_endpoints
+        self.num_routers = nr
+        self.num_channels = C
+        self.num_vcs = V
+        self._cap = cap
+        self._n_ep = n_ep
+        self._pb = port_base
+        self._chan_src = chan_src
+        self._chan_dst = chan_dst
+        self._speedup = cfg.speedup
+        self._L = cfg.packet_length
+
+        #: Flat channel id of every ordered router pair (-1 = no link;
+        #: the diagonal's -1 is the vectorised "eject here" test).
+        chan_of = np.full((nr, nr), -1, dtype=np.int64)
+        chan_of[chan_src, chan_dst] = np.arange(C, dtype=np.int64)
+
+        self._next_chan_flat: np.ndarray | None = None
+        self._plan = None
+        self._chan_of_list: list[list[int]] | None = None
+        self._view: _QueueView | None = None
+        if table_driven:
+            nh = np.asarray(routing.next_hop_table(), dtype=np.int64)
+            self._next_chan_flat = chan_of[
+                np.arange(nr, dtype=np.int64)[:, None], nh
+            ].ravel()
+        else:
+            self._plan = routing.plan
+            self._chan_of_list = chan_of.tolist()
+            pi = [{v: i for i, v in enumerate(nbrs)} for nbrs in adjacency]
+            self._pi = pi
+
+        # -- flow-control state (all preallocated) -------------------------
+        NB = C * V
+        self._NB = NB
+        self.credits = np.full(NB, cap, dtype=np.int64)
+        #: Router at which buffer b resides (= chan_dst of its channel).
+        self._buf_router = np.repeat(chan_dst, V)
+        self._buf_router_list = self._buf_router.tolist()
+        #: Source router of buffer b's channel (credit-return target).
+        self._buf_src = np.repeat(chan_src, V)
+        #: ``buf_router * nr``, pre-scaled for next-hop matrix lookups.
+        self._buf_rnr = self._buf_router * nr
+        # Input-buffer rings: credits bound occupancy by `cap` packets.
+        self._buf_store = np.zeros((NB, cap), dtype=np.int64)
+        self._buf_head = np.zeros(NB, dtype=np.int64)
+        self._buf_len = np.zeros(NB, dtype=np.int64)
+        #: First-use sequence per buffer (the flat engine's in_order
+        #: tie-break), assigned from per-router counters on first
+        #: arrival; -1 = never used.
+        self._in_seq = np.full(NB, -1, dtype=np.int64)
+        self._rseq = [0] * nr
+        self._unseen = True
+        #: Injection-FIFO sequence: after every possible input FIFO.
+        inj_seq = np.zeros(n_ep, dtype=np.int64)
+        ep_router = np.zeros(n_ep, dtype=np.int64)
+        for r, eps in enumerate(topology.endpoints_of_router):
+            for i, ep in enumerate(eps):
+                inj_seq[ep] = NB + 1 + i
+                ep_router[ep] = r
+        self._inj_seq = inj_seq
+        self._ep_router = ep_router
+        self._ep_rnr = ep_router * nr
+        # Output stages: one (packet, downstream buffer) slot ring per
+        # channel; staged packets hold downstream credits, bounding
+        # occupancy.
+        scap = V * cap + 1
+        self._scap = scap
+        self._stage_sb = np.zeros((C, scap, 2), dtype=np.int64)
+        self._stage_head = np.zeros(C, dtype=np.int64)
+        self._stage_len = np.zeros(C, dtype=np.int64)
+        # Injection rings (unbounded: grown by doubling past saturation).
+        self._icap = 16
+        self._inj_store = np.zeros((n_ep, self._icap), dtype=np.int64)
+        self._inj_head = np.zeros(n_ep, dtype=np.int64)
+        self._inj_len = np.zeros(n_ep, dtype=np.int64)
+        #: Conservative upper bound on max(_inj_len): bumped by one per
+        #: injecting cycle, trued up against the real max only when it
+        #: nears the ring capacity (saves a 200-element reduction per
+        #: cycle on the hot path).
+        self._inj_maxbound = 0
+        # Busy-until state (multi-flit serialisation).
+        self._chan_busy = np.zeros(C, dtype=np.int64)
+        self._eject_busy = np.zeros(n_ep, dtype=np.int64)
+
+        # -- packet pool (struct of arrays + free-list) --------------------
+        pool = max(4096, 4 * n_ep)
+        self._pool = pool
+        #: Columns: dst endpoint, dst router, hop, inject time.
+        self._ps = np.zeros((pool, 4), dtype=np.int64)
+        self._p_start = np.zeros(pool, dtype=np.int64)
+        self._p_path = (
+            np.zeros((pool, _PATH_SLOTS), dtype=np.int64)
+            if self._plan is not None
+            else None
+        )
+        self._free = np.arange(pool, dtype=np.int64)
+        self._free_top = pool
+
+        # -- event wheels --------------------------------------------------
+        H = cfg.hop_latency + cfg.packet_length
+        self._arr_horizon = H
+        #: Per slot: up to C (packet, destination buffer) pairs.
+        self._arr_ev = np.zeros((H, C, 2), dtype=np.int64)
+        self._arr_n = [0] * H
+        Hc = cfg.credit_delay + 1
+        self._credit_horizon = Hc
+        self._cw = np.zeros((Hc, 2 * C + n_ep), dtype=np.int64)
+        self._cw_n = [0] * Hc
+
+        # -- tie-break key packing -----------------------------------------
+        # key = grp * (RANK_SPAN * SEQ_SPAN) + inject_time * (2 * SEQ_SPAN)
+        #       + injection_bit * SEQ_SPAN + seq
+        # == ((grp * RANK_SPAN) + rank) * SEQ_SPAN + seq with the flat
+        # engine's rank = inject_time << 1 | is_injection.
+        deadline = cfg.warmup_cycles + cfg.measure_cycles + cfg.drain_cycles
+        seq_span = NB + 2 + max(
+            (len(eps) for eps in topology.endpoints_of_router), default=1
+        )
+        rank_span = 2 * (deadline + 2)
+        n_groups = C + n_ep
+        self._n_groups = n_groups
+        if n_groups * rank_span * seq_span >= 2**62:
+            raise ValueError("simulation too large for packed int64 sort keys")
+        self._k_grp = rank_span * seq_span
+        self._k_inj = 2 * seq_span
+        #: Buffered / injection seq term with the injection bit folded in.
+        self._in_seqk = self._in_seq  # seq, assigned on first use
+        self._inj_seqk = inj_seq + seq_span
+        #: Per-group grant capacity: `speedup` per output channel, one
+        #: per ejection port.
+        self._gcap_g = np.concatenate(
+            [
+                np.full(C, cfg.speedup, dtype=np.int64),
+                np.ones(n_ep, dtype=np.int64),
+            ]
+        )
+        self._gcnt = np.zeros(n_groups, dtype=np.int64)
+
+        # -- scratch (sized for the worst-case request count) --------------
+        nmax = NB + n_ep
+        self._s_pk = np.empty(nmax, dtype=np.int64)
+        self._s_seqk = np.empty(nmax, dtype=np.int64)
+        self._idx = np.arange(nmax, dtype=np.int64)
+
+        self.rng = make_rng(cfg.seed)
+        self.active_endpoints = list(traffic.active_endpoints(topology))
+        self._active_eps_arr = (
+            np.asarray(self.active_endpoints, dtype=np.int64)
+            if self.active_endpoints
+            else None
+        )
+        self._emap = np.asarray(topology.endpoint_map, dtype=np.int64)
+        self._excludes_self = bool(getattr(traffic, "excludes_self", False))
+        if self._plan is not None:
+            self._view = _QueueView(
+                self._pb.tolist(), self._pi, self._stage_len, self.credits,
+                V, cap,
+            )
+
+        #: Mirror of the flat engine's ``active_routers`` set.  Its
+        #: CPython iteration order is the flat engine's transmit order,
+        #: which fixes the first-use sequence of input buffers (the
+        #: allocation tie-break).  For small-int router ids the order
+        #: is ascending — the canonical order this engine transmits in
+        #: — except while the set's hash table is still small (cold
+        #: start).  We replay the same add/discard traffic on a real
+        #: set and sort transmits by its iteration order until it holds
+        #: every router ascending: from then on re-adds hit their home
+        #: slots and the order is ascending forever, so the mirror is
+        #: dropped.
+        self._mirror: set[int] | None = set()
+        self._router_range = list(range(nr))
+
+        self.now = 0
+        self.measured_injected = 0
+        self.measured_delivered = 0
+        self.window_ejections = 0
+        self._lat_chunks: list[np.ndarray] = []
+        self._qlat_chunks: list[np.ndarray] = []
+        self._pending = 0
+        self._n_buffered = 0
+        self._n_staged = 0
+        self._n_injq = 0
+        self._trace = np.zeros(C, dtype=np.int64) if trace_channels else None
+
+    # -- pool / ring growth ----------------------------------------------------
+
+    def _grow_pool(self, need: int) -> None:
+        old = self._pool
+        new = old
+        while new - old + self._free_top < need:
+            new *= 2
+        grow = new - old
+        self._ps = np.concatenate([self._ps, np.zeros((grow, 4), dtype=np.int64)])
+        self._p_start = np.concatenate(
+            [self._p_start, np.zeros(grow, dtype=np.int64)]
+        )
+        if self._p_path is not None:
+            self._p_path = np.concatenate(
+                [self._p_path, np.zeros((grow, _PATH_SLOTS), dtype=np.int64)]
+            )
+        free = np.empty(new, dtype=np.int64)
+        free[: self._free_top] = self._free[: self._free_top]
+        free[self._free_top : self._free_top + grow] = np.arange(
+            old, new, dtype=np.int64
+        )
+        self._free = free
+        self._free_top += grow
+        self._pool = new
+
+    def _grow_inj(self) -> None:
+        old = self._icap
+        new = old * 2
+        store = np.zeros((self._n_ep, new), dtype=np.int64)
+        # Re-anchor every ring at offset 0 (rare: doubling schedule).
+        heads = self._inj_head.tolist()
+        lens = self._inj_len.tolist()
+        for ep in range(self._n_ep):
+            ln = lens[ep]
+            if ln:
+                h = heads[ep]
+                idx = (h + np.arange(ln)) % old
+                store[ep, :ln] = self._inj_store[ep, idx]
+        self._inj_store = store
+        self._inj_head[:] = 0
+        self._icap = new
+
+    # -- cycle phases ----------------------------------------------------------
+
+    def _phase_arrivals(self) -> None:
+        now = self.now
+        mirror = self._mirror
+        slot = now % self._arr_horizon
+        k = self._arr_n[slot]
+        if k:
+            self._arr_n[slot] = 0
+            self._pending -= k
+            ev = self._arr_ev[slot, :k]
+            p = ev[:, 0]
+            b = ev[:, 1]
+            if mirror is not None:
+                mirror.update(self._buf_router[b].tolist())
+            if self._unseen:
+                seqs = self._in_seq[b]
+                if (seqs < 0).any():
+                    in_seq = self._in_seq
+                    rseq = self._rseq
+                    brl = self._buf_router_list
+                    for bb in b[seqs < 0].tolist():
+                        r = brl[bb]
+                        in_seq[bb] = rseq[r]
+                        rseq[r] += 1
+            pos = self._buf_head[b] + self._buf_len[b]
+            cap = self._cap
+            pos[pos >= cap] -= cap
+            self._buf_store[b, pos] = p
+            self._buf_len[b] += 1
+            self._n_buffered += k
+        cslot = now % self._credit_horizon
+        m = self._cw_n[cslot]
+        if m:
+            self._cw_n[cslot] = 0
+            # One key per freed packet slot group; keys are distinct
+            # (a FIFO pops at most one head per cycle), so a fancy add
+            # is safe.  Multi-flit packets return all L credits at once.
+            keys = self._cw[cslot, :m]
+            self.credits[keys] += self._L
+            if mirror is not None:
+                mirror.update(self._buf_src[keys].tolist())
+
+    def _phase_injection(self, measuring: bool) -> None:
+        load = self.offered_load / self._L
+        if load <= 0.0 or self._active_eps_arr is None:
+            return
+        coins = self.rng.random(len(self.active_endpoints)) < load
+        if not coins.any():
+            return
+        srcs = self._active_eps_arr[coins]
+        dsts = self.traffic.destinations(srcs, self.rng)
+        now = self.now
+        if isinstance(dsts, np.ndarray):
+            if not self._excludes_self:
+                keep = dsts != srcs
+                if not keep.all():
+                    srcs = srcs[keep]
+                    dsts = dsts[keep]
+        else:
+            pairs = [
+                (s, d)
+                for s, d in zip(srcs.tolist(), dsts)
+                if d is not None and d != s
+            ]
+            if not pairs:
+                return
+            srcs = np.array([s for s, _ in pairs], dtype=np.int64)
+            dsts = np.array([d for _, d in pairs], dtype=np.int64)
+        k = len(srcs)
+        if k == 0:
+            return
+        if self._mirror is not None:
+            self._mirror.update(self._emap[srcs].tolist())
+        if self._free_top < k:
+            self._grow_pool(k)
+        self._free_top -= k
+        ids = self._free[self._free_top : self._free_top + k].copy()
+        dst_rt = self._emap[dsts]
+        ps = self._ps
+        ps[ids, 0] = dsts
+        ps[ids, 1] = dst_rt
+        ps[ids, 2] = 0
+        ps[ids, 3] = now
+        self._p_start[ids] = now
+        if self._plan is not None:
+            # Source-routed plans, drawn in source order: the identical
+            # RNG consumption (and, for UGAL, the identical queue view)
+            # as the flat engine's injection loop.
+            src_rt = self._emap[srcs]
+            plan = self._plan
+            view = self._view
+            chan_of = self._chan_of_list
+            path_rows = self._p_path
+            for pid, sr, dr in zip(ids.tolist(), src_rt.tolist(), dst_rt.tolist()):
+                path = plan(sr, dr, view)
+                row = path_rows[pid]
+                for h in range(len(path) - 1):
+                    row[h] = chan_of[path[h]][path[h + 1]]
+        self._inj_maxbound += 1
+        if self._inj_maxbound >= self._icap - 1:
+            true_max = int(self._inj_len.max())
+            if true_max >= self._icap - 1:
+                self._grow_inj()
+            self._inj_maxbound = true_max + 1
+        pos = self._inj_head[srcs] + self._inj_len[srcs]
+        icap = self._icap
+        pos[pos >= icap] -= icap
+        self._inj_store[srcs, pos] = ids
+        self._inj_len[srcs] += 1
+        self._n_injq += k
+        if measuring:
+            self.measured_injected += k
+
+    def _phase_switch_allocation(self) -> None:
+        ob = self._buf_len.nonzero()[0]
+        oe = self._inj_len.nonzero()[0]
+        nb = ob.size
+        ne = oe.size
+        n = nb + ne
+        if self._mirror is not None:
+            # The flat engine drops idle routers from its active set
+            # here; membership after allocation is exactly the routers
+            # with head requests or staged output.
+            busy = set(
+                self._chan_src[self._stage_len.nonzero()[0]].tolist()
+            )
+            if nb:
+                busy.update(self._buf_router[ob].tolist())
+            if ne:
+                busy.update(self._ep_router[oe].tolist())
+            # Discard in place (never intersection_update: that
+            # rebuilds the hash table and loses the iteration order
+            # the flat engine's per-element discards preserve).
+            mirror = self._mirror
+            stale = [r for r in mirror if r not in busy]
+            for r in stale:
+                mirror.discard(r)
+        if n == 0:
+            return
+        now = self.now
+        L = self._L
+        speedup = self._speedup
+        V = self.num_vcs
+        C = self.num_channels
+
+        # -- assemble head-flit requests (buffered first, then inject) -----
+        pk = self._s_pk[:n]
+        seqk = self._s_seqk[:n]
+        if nb:
+            pk[:nb] = self._buf_store[ob, self._buf_head[ob]]
+            seqk[:nb] = self._in_seq[ob]
+        if ne:
+            pk[nb:] = self._inj_store[oe, self._inj_head[oe]]
+            seqk[nb:] = self._inj_seqk[oe]
+        ps = self._ps[pk]
+        dst_rt = ps[:, 1]
+        if self._next_chan_flat is not None:
+            cidx = dst_rt.copy()
+            if nb:
+                cidx[:nb] += self._buf_rnr[ob]
+            if ne:
+                cidx[nb:] += self._ep_rnr[oe]
+            cout = self._next_chan_flat[cidx]
+            ej = cout < 0  # the next-hop matrix diagonal
+        else:
+            rtr = np.empty(n, dtype=np.int64)
+            if nb:
+                rtr[:nb] = self._buf_router[ob]
+            if ne:
+                rtr[nb:] = self._ep_router[oe]
+            ej = dst_rt == rtr
+            hops = ps[:, 2]
+            # Clip for ejection rows whose packet traversed a full
+            # maximum-length path (the gathered value is unused there).
+            cout = self._p_path[pk, np.minimum(hops, _PATH_SLOTS - 1)]
+        bout = cout * V + np.minimum(ps[:, 2], V - 1)
+        grp = np.where(ej, C + ps[:, 0], cout)
+        key = grp * self._k_grp + ps[:, 3] * self._k_inj + seqk
+
+        # -- grant decision ------------------------------------------------
+        # Credit screen: when every downstream buffer can absorb a full
+        # allocation round, grants are purely positional.
+        credits = self.credits
+        fast = int(credits.min()) >= speedup * L
+        if not fast:
+            fwd = (~ej).nonzero()[0]
+            fast = (
+                fwd.size == 0
+                or int(credits[bout[fwd]].min()) >= speedup * L
+            )
+        if fast:
+            grant = self._grant_positional(n, grp, key, ej)
+            if L > 1:
+                gem = (grant & ej).nonzero()[0]
+                if gem.size:
+                    busy_g = self._eject_busy[ps[gem, 0]] > now
+                    if busy_g.any():
+                        grant[gem[busy_g]] = False
+        else:
+            grant = self._grant_waves(n, grp, key, ej, bout, now)
+
+        gi = grant.nonzero()[0]
+        if gi.size == 0:
+            return
+
+        # -- pop granted heads; buffered pops return their credits ---------
+        split = int(np.searchsorted(gi, nb))
+        bsel = gi[:split]
+        if bsel.size:
+            bb = ob[bsel]
+            h = self._buf_head[bb] + 1
+            h[h >= self._cap] = 0
+            self._buf_head[bb] = h
+            self._buf_len[bb] -= 1
+            self._n_buffered -= bsel.size
+            cslot = (now + self.config.credit_delay) % self._credit_horizon
+            m = self._cw_n[cslot]
+            self._cw[cslot, m : m + bb.size] = bb
+            self._cw_n[cslot] = m + bb.size
+        esel = gi[split:]
+        if esel.size:
+            ee = oe[esel - nb]
+            h = self._inj_head[ee] + 1
+            h[h >= self._icap] = 0
+            self._inj_head[ee] = h
+            self._inj_len[ee] -= 1
+            self._n_injq -= esel.size
+            self._p_start[pk[esel]] = now
+
+        # -- deliver granted ejections -------------------------------------
+        gej = ej[gi]
+        eji = gi[gej]
+        if eji.size:
+            epk = pk[eji]
+            if L > 1:
+                self._eject_busy[ps[eji, 0]] = now + L
+            inj_t = ps[eji, 3]
+            meas = (inj_t >= self._warmup) & (inj_t < self._end_measure)
+            nmeas = int(meas.sum())
+            if nmeas:
+                self.measured_delivered += nmeas
+                self._lat_chunks.append((now + L - inj_t)[meas])
+                self._qlat_chunks.append((self._p_start[epk] - inj_t)[meas])
+            if self._in_window:
+                self.window_ejections += L * eji.size
+            self._free[self._free_top : self._free_top + eji.size] = epk
+            self._free_top += eji.size
+
+        # -- stage granted forwards ----------------------------------------
+        fsel = gi[~gej]
+        if fsel.size:
+            # Stage rings must hold same-cycle pushes in grant (= key)
+            # order; for forwarding rows the packed key is
+            # channel-major already, so one small argsort yields both
+            # the per-channel ordering and the duplicate offsets.
+            so = np.argsort(key[fsel])
+            fsel = fsel[so]
+            fc = cout[fsel]
+            fbuf = bout[fsel]
+            np.subtract.at(credits, fbuf, L)
+            i2 = self._idx[: fc.size]
+            boundary = np.empty(fc.size, dtype=bool)
+            boundary[0] = True
+            if fc.size > 1:
+                np.not_equal(fc[1:], fc[:-1], out=boundary[1:])
+            off = i2 - np.maximum.accumulate(i2 * boundary)
+            spos = self._stage_head[fc] + self._stage_len[fc] + off
+            spos %= self._scap
+            self._stage_sb[fc, spos, 0] = pk[fsel]
+            self._stage_sb[fc, spos, 1] = fbuf
+            # Boundary rows carry their channel's full push count.
+            last = np.empty(fc.size, dtype=bool)
+            last[-1] = True
+            if fc.size > 1:
+                last[:-1] = boundary[1:]
+            self._stage_len[fc[last]] += off[last] + 1
+            self._n_staged += fsel.size
+
+    def _grant_positional(self, n, grp, key, ej):
+        """Grant when credits are plentiful: capacity is per group, so
+        uncontested groups (no more requests than capacity) grant
+        outright and only contested ones need their key order."""
+        cnt = np.bincount(grp, minlength=self._n_groups)
+        over = cnt > self._gcap_g
+        if not over.any():
+            return np.ones(n, dtype=bool)
+        contested = over[grp]
+        grant = ~contested
+        ci = contested.nonzero()[0]
+        so = np.argsort(key[ci])
+        cg = grp[ci[so]]
+        i2 = self._idx[: ci.size]
+        boundary = np.empty(ci.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(cg[1:], cg[:-1], out=boundary[1:])
+        pos = i2 - np.maximum.accumulate(i2 * boundary)
+        win = pos < self._gcap_g[cg]
+        grant[ci[so[win]]] = True
+        return grant
+
+    def _grant_waves(self, n, grp, key, ej, bout, now):
+        """Credit-scarce fallback: replay per-group scan order exactly.
+
+        Ejection groups resolve in one shot (capacity 1, busy-gated);
+        forwarding groups grant in waves — each wave decides the first
+        undecided request of every group, port counters and a working
+        credit copy carrying the outcome forward, with a bulk deny once
+        a port exhausts its ``speedup`` grants.
+        """
+        order = np.argsort(key)
+        g = grp[order]
+        eo = ej[order]
+        bo = bout[order]
+        idx = self._idx[:n]
+        new = np.empty(n, dtype=bool)
+        new[0] = True
+        np.not_equal(g[1:], g[:-1], out=new[1:])
+        pos = idx - np.maximum.accumulate(idx * new)
+
+        grant = np.zeros(n, dtype=bool)
+        decided = eo.copy()
+        em = eo & (pos == 0)
+        if em.any():
+            if self._L > 1:
+                pk_em = self._s_pk[:n][order[em]]
+                free = self._eject_busy[self._ps[pk_em, 0]] <= now
+                gem = em.nonzero()[0]
+                grant[gem[free]] = True
+            else:
+                grant[em] = True
+        credits = self.credits.copy()
+        gcnt = self._gcnt
+        gcnt[:] = 0
+        speedup = self._speedup
+        L = self._L
+        while True:
+            und = (~decided).nonzero()[0]
+            if und.size == 0:
+                break
+            gu = g[und]
+            first = np.empty(und.size, dtype=bool)
+            first[0] = True
+            np.not_equal(gu[1:], gu[:-1], out=first[1:])
+            cidx = und[first]
+            cg = g[cidx]
+            cb = bo[cidx]
+            ok = (gcnt[cg] < speedup) & (credits[cb] >= L)
+            decided[cidx] = True
+            grant[cidx] = ok
+            if ok.any():
+                np.add.at(gcnt, cg[ok], 1)
+                np.subtract.at(credits, cb[ok], L)
+            und = (~decided).nonzero()[0]
+            if und.size:
+                dead = gcnt[g[und]] >= speedup
+                if dead.any():
+                    decided[und[dead]] = True
+        out = np.empty(n, dtype=bool)
+        out[order] = grant
+        return out
+
+    def _phase_transmit(self) -> None:
+        tc = self._stage_len.nonzero()[0]
+        mirror = self._mirror
+        if mirror is not None:
+            if (
+                len(mirror) == self.num_routers
+                and list(mirror) == self._router_range
+            ):
+                # Full and ascending: CPython keeps a grown small-int
+                # table canonical forever, so the flat engine's
+                # transmit order is ascending from here on.
+                self._mirror = None
+            elif tc.size > 1:
+                # Replay the flat engine's router iteration order
+                # (ports stay ascending within a router).
+                pos = {r: i for i, r in enumerate(mirror)}
+                src = self._chan_src
+                C = self.num_channels
+                okey = [pos[src[c]] * C + c for c in tc.tolist()]
+                tc = tc[np.argsort(okey)]
+        if tc.size == 0:
+            return
+        now = self.now
+        L = self._L
+        if L > 1:
+            tc = tc[self._chan_busy[tc] <= now]
+            if tc.size == 0:
+                return
+            self._chan_busy[tc] = now + L
+        k = tc.size
+        heads = self._stage_head[tc]
+        pairs = self._stage_sb[tc, heads]
+        heads = heads + 1
+        heads[heads >= self._scap] = 0
+        self._stage_head[tc] = heads
+        self._stage_len[tc] -= 1
+        self._n_staged -= k
+        self._ps[pairs[:, 0], 2] += 1
+        if self._trace is not None:
+            self._trace[tc] += L
+        slot = (now + self.config.hop_latency + L - 1) % self._arr_horizon
+        self._arr_ev[slot, :k] = pairs
+        self._arr_n[slot] = k
+        self._pending += k
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        cfg = self.config
+        warmup, measure = cfg.warmup_cycles, cfg.measure_cycles
+        end_measure = warmup + measure
+        deadline = end_measure + cfg.drain_cycles
+        self._warmup = warmup
+        self._end_measure = end_measure
+        self._in_window = False
+
+        while True:
+            t = self.now
+            measuring = warmup <= t < end_measure
+            self._in_window = measuring
+            self._phase_arrivals()
+            if t < end_measure:
+                self._phase_injection(measuring)
+            self._phase_switch_allocation()
+            self._phase_transmit()
+            self.now += 1
+            if self.now >= end_measure:
+                drained = self.measured_delivered >= self.measured_injected
+                if (
+                    drained
+                    and not self._pending
+                    and not self._n_buffered
+                    and not self._n_staged
+                    and not self._n_injq
+                ):
+                    break
+                if drained and self.now >= end_measure + 8:
+                    break
+                if self.now >= deadline:
+                    break
+
+        n_active = max(1, len(self.active_endpoints))
+        accepted = self.window_ejections / (n_active * measure) if measure else 0.0
+        drained = self.measured_delivered >= self.measured_injected
+        injected_rate = (
+            self.measured_injected * cfg.packet_length / (n_active * measure)
+            if measure
+            else 0.0
+        )
+        saturated = (not drained) or (
+            injected_rate > 0 and accepted < 0.95 * injected_rate
+        )
+        lats = (
+            np.concatenate(self._lat_chunks)
+            if self._lat_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        qlats = (
+            np.concatenate(self._qlat_chunks)
+            if self._qlat_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        return SimResult(
+            offered_load=self.offered_load,
+            accepted_load=accepted,
+            avg_latency=float(np.mean(lats)) if lats.size else float("nan"),
+            p99_latency=float(np.percentile(lats, 99)) if lats.size else float("nan"),
+            delivered=self.measured_delivered,
+            injected=self.measured_injected,
+            saturated=saturated,
+            cycles=self.now,
+            avg_queue_latency=float(np.mean(qlats)) if qlats.size else float("nan"),
+        )
+
+    # -- tracing ---------------------------------------------------------------
+
+    @property
+    def channel_flits(self) -> dict[tuple[int, int], int]:
+        """Per-channel flit counts, ``(src router, dst router) -> flits``,
+        matching :attr:`repro.sim.engine.SimEngine.channel_flits`."""
+        if self._trace is None:
+            return {}
+        out: dict[tuple[int, int], int] = {}
+        src = self._chan_src
+        dst = self._chan_dst
+        for c in np.flatnonzero(self._trace):
+            out[(int(src[c]), int(dst[c]))] = int(self._trace[c])
+        return out
+
+
+def vec_simulate(
+    topology: Topology,
+    routing: RoutingAlgorithm,
+    traffic,
+    offered_load: float,
+    config: SimConfig | None = None,
+) -> SimResult:
+    """One-shot convenience wrapper around :class:`VecEngine`."""
+    return VecEngine(topology, routing, traffic, offered_load, config).run()

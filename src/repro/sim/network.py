@@ -46,6 +46,30 @@ from repro.sim.config import SimConfig
 from repro.topologies.base import Topology
 
 
+def channel_layout(topology: Topology):
+    """Flat channel arrays of a topology: ``(degrees, port_base, chan_src,
+    chan_dst)``.
+
+    The shared numbering both cycle engines index flow-control state
+    with: channel ``c = port_base[r] + p`` is network port ``p`` of
+    router ``r`` and carries flits ``r -> chan_dst[c]``.  Factored out
+    of :class:`SimNetwork` so the vectorised engine
+    (:mod:`repro.sim.engine_vec`) can build its preallocated arrays
+    without instantiating the per-channel deques it never uses.
+    """
+    nr = topology.num_routers
+    adjacency = topology.adjacency
+    degrees = np.fromiter((len(n) for n in adjacency), dtype=np.int64, count=nr)
+    port_base = np.zeros(nr + 1, dtype=np.int64)
+    np.cumsum(degrees, out=port_base[1:])
+    C = int(port_base[-1])
+    chan_src = np.repeat(np.arange(nr, dtype=np.int64), degrees)
+    chan_dst = np.fromiter(
+        (v for nbrs in adjacency for v in nbrs), dtype=np.int64, count=C
+    )
+    return degrees, port_base, chan_src, chan_dst
+
+
 class SimNetwork:
     """Mutable flow-control state of a simulated network, flat layout."""
 
@@ -61,18 +85,12 @@ class SimNetwork:
         self.port_index: list[dict[int, int]] = [
             {v: i for i, v in enumerate(nbrs)} for nbrs in adjacency
         ]
-        degrees = np.fromiter((len(n) for n in adjacency), dtype=np.int64, count=nr)
         #: (router, port) -> flat channel id: ``port_base[r] + port``.
-        self.port_base = np.zeros(nr + 1, dtype=np.int64)
-        np.cumsum(degrees, out=self.port_base[1:])
+        degrees, self.port_base, self.chan_src, self.chan_dst = channel_layout(
+            topology
+        )
         C = int(self.port_base[-1])
         self.num_channels = C
-        #: Endpoints of each directed channel (numpy + plain-list mirrors;
-        #: the lists are what the engine's per-flit loops index).
-        self.chan_src = np.repeat(np.arange(nr, dtype=np.int64), degrees)
-        self.chan_dst = np.fromiter(
-            (v for nbrs in adjacency for v in nbrs), dtype=np.int64, count=C
-        )
         self.port_base_list: list[int] = self.port_base.tolist()
         self.chan_src_list: list[int] = self.chan_src.tolist()
         self.chan_dst_list: list[int] = self.chan_dst.tolist()

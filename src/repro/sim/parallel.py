@@ -87,10 +87,11 @@ def _simulate_task(task: tuple[int, int, float]) -> tuple[int, int, SimResult]:
     routing_factory = _WORK["routing_factory"]
     traffic = _WORK["traffic"]
     config: SimConfig = _WORK["config"]
+    sim_fn = _WORK.get("sim_fn", simulate)
     seed = replica_seed(config.seed, replica)
     if seed != config.seed:
         config = replace(config, seed=seed)
-    result = simulate(topology, routing_factory(), traffic, load, config)
+    result = sim_fn(topology, routing_factory(), traffic, load, config)
     return index, replica, result
 
 
@@ -184,13 +185,14 @@ def parallel_latency_vs_load(
     count; ``workers=1`` runs in-process.
 
     ``backend`` selects the engine fidelity through the
-    :mod:`repro.sim.backends` registry; non-cycle backends (``"flow"``)
-    solve the sweep through their own dispatcher — the fork pool below
-    only drives cycle-accurate simulations.
+    :mod:`repro.sim.backends` registry; the fork pool below drives the
+    cycle-accurate engines (``"cycle"``, ``"cycle-vec"`` — both consume
+    per-replica RNG streams), while other backends (``"flow"``) solve
+    the sweep through their own dispatcher.
     """
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
-    if backend != "cycle":
+    if backend not in ("cycle", "cycle-vec"):
         from repro.sim.backends import get_backend
 
         return get_backend(backend).sweep(
@@ -203,6 +205,10 @@ def parallel_latency_vs_load(
             replicas=replicas,
             stop_after_saturation=stop_after_saturation,
         )
+    if backend == "cycle-vec":
+        from repro.sim.engine_vec import vec_simulate as sim_fn
+    else:
+        sim_fn = simulate
     loads = list(loads) if loads is not None else default_loads()
     config = config or SimConfig()
     workers = resolve_workers(workers, len(loads) * replicas)
@@ -210,7 +216,7 @@ def parallel_latency_vs_load(
     if workers <= 1 or ctx is None or not loads:
         return _serial_sweep(
             topology, routing_factory, traffic, loads, config, replicas,
-            stop_after_saturation,
+            stop_after_saturation, sim_fn,
         )
 
     global _WORK
@@ -221,6 +227,7 @@ def parallel_latency_vs_load(
         routing_factory=routing_factory,
         traffic=traffic,
         config=config,
+        sim_fn=sim_fn,
     )
     try:
         with ctx.Pool(processes=workers) as pool:
@@ -325,7 +332,7 @@ def parallel_workload_completion(
 
 def _serial_sweep(
     topology, routing_factory, traffic, loads, config, replicas,
-    stop_after_saturation,
+    stop_after_saturation, sim_fn=simulate,
 ) -> list[LoadPoint]:
     """In-process path: identical semantics, no pool."""
     points: list[LoadPoint] = []
@@ -344,7 +351,7 @@ def _serial_sweep(
             seed = replica_seed(config.seed, rep)
             cfg = config if seed == config.seed else replace(config, seed=seed)
             _count_simulations(1)
-            results.append(simulate(topology, routing_factory(), traffic, load, cfg))
+            results.append(sim_fn(topology, routing_factory(), traffic, load, cfg))
         pt = _aggregate(load, results)
         points.append(pt)
         run = run + 1 if pt.saturated else 0

@@ -292,7 +292,9 @@ class ReferenceEngine:
                 pkt.hop += 1
                 if self.trace_channels:
                     key = (router, nxt)
-                    self.channel_flits[key] = self.channel_flits.get(key, 0) + 1
+                    self.channel_flits[key] = (
+                        self.channel_flits.get(key, 0) + length
+                    )
                 in_port = net.port_index[nxt][router]
                 self._schedule_arrival(self.now + latency, nxt, in_port, vc, pkt)
 

@@ -240,8 +240,9 @@ class TestFlowModel:
 
 class TestBackendRegistry:
     def test_registry_contents(self):
-        assert BACKEND_KINDS == ("cycle", "flow")
+        assert BACKEND_KINDS == ("cycle", "cycle-vec", "flow")
         assert ENGINE_BACKENDS["cycle"].supports_closed_loop
+        assert not ENGINE_BACKENDS["cycle-vec"].supports_closed_loop
         assert not ENGINE_BACKENDS["flow"].supports_closed_loop
         for backend in ENGINE_BACKENDS.values():
             assert backend.fidelity and backend.determinism
@@ -249,6 +250,24 @@ class TestBackendRegistry:
     def test_unknown_backend_rejected(self):
         with pytest.raises(KeyError, match="unknown engine backend"):
             get_backend("warp")
+
+    def test_unknown_backend_error_lists_choices(self):
+        """The error text enumerates every registered backend."""
+        with pytest.raises(KeyError) as exc:
+            get_backend("warp")
+        message = str(exc.value)
+        for name in ("cycle", "cycle-vec", "flow"):
+            assert name in message
+
+    def test_cycle_vec_backend_matches_cycle(self, sf, tables):
+        from repro.sim.engine import simulate
+
+        uni = UniformRandom(sf.num_endpoints)
+        direct = simulate(sf, MinimalRouting(tables), uni, 0.4, CFG)
+        via = get_backend("cycle-vec").simulate(
+            sf, MinimalRouting(tables), uni, 0.4, CFG
+        )
+        assert direct == via
 
     def test_cycle_backend_matches_direct_engine(self, sf, tables):
         from repro.sim.engine import simulate

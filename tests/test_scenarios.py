@@ -230,6 +230,15 @@ class TestBackendAxis:
         # drift either, or flow result files would stop resuming.
         assert scenario_hash(flow) == "2a6a978c4eaae106"
 
+    def test_cycle_vec_backend_round_trips_and_changes_hash(self):
+        vec = self.base(backend="cycle-vec")
+        assert vec.to_dict()["backend"] == "cycle-vec"
+        assert Scenario.from_dict(vec.to_dict()) == vec
+        assert scenario_hash(vec) != scenario_hash(self.base())
+        assert scenario_hash(vec) != scenario_hash(self.base(backend="flow"))
+        # Pinned literal: cycle-vec result files must keep resuming.
+        assert scenario_hash(vec) == "54668d495c521c1a"
+
     def test_explicit_cycle_equals_default(self):
         assert scenario_hash(self.base(backend="cycle")) == scenario_hash(
             self.base()

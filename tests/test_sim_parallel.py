@@ -58,6 +58,44 @@ class TestSerialParallelEquivalence:
         assert not points[0].saturated
 
 
+class TestCycleVecDispatch:
+    """backend='cycle-vec' rides the same fork pool as 'cycle': rows
+    must be identical across worker counts and equal to the cycle rows
+    (the vectorised engine's bit-exactness carried to sweep level)."""
+
+    def test_rows_identical_across_worker_counts(self, sf5, sf5_tables, uniform):
+        rows = [
+            parallel_latency_vs_load(
+                sf5, lambda: MinimalRouting(sf5_tables), uniform, loads=LOADS,
+                config=CFG, workers=w, backend="cycle-vec",
+            )
+            for w in (1, 2, 4)
+        ]
+        assert rows[0] == rows[1] == rows[2]
+
+    def test_rows_equal_cycle_backend(self, sf5, sf5_tables, uniform):
+        vec = parallel_latency_vs_load(
+            sf5, lambda: MinimalRouting(sf5_tables), uniform, loads=LOADS,
+            config=CFG, workers=2, backend="cycle-vec",
+        )
+        cyc = parallel_latency_vs_load(
+            sf5, lambda: MinimalRouting(sf5_tables), uniform, loads=LOADS,
+            config=CFG, workers=2, backend="cycle",
+        )
+        assert vec == cyc
+
+    def test_replicated_rows_deterministic(self, sf5, sf5_tables, uniform):
+        rows = [
+            parallel_latency_vs_load(
+                sf5, lambda: ValiantRouting(sf5_tables, seed=3), uniform,
+                loads=[0.2, 0.5], config=CFG, workers=w, replicas=2,
+                backend="cycle-vec",
+            )
+            for w in (1, 4)
+        ]
+        assert rows[0] == rows[1]
+
+
 class TestSaturationShortCircuit:
     def test_tail_marked_not_simulated(self, sf5, sf5_tables, uniform):
         """VAL saturates near 0.5; later loads must come back marked

@@ -3,10 +3,68 @@
 import pytest
 
 from repro.routing import MinimalRouting, UGALRouting
-from repro.sim import SimConfig, SimEngine
-from repro.traffic import SlimFlyWorstCase, UniformRandom
+from repro.sim import SimConfig, SimEngine, VecEngine
+from repro.sim.reference import ReferenceEngine
+from repro.traffic import ShufflePattern, SlimFlyWorstCase, UniformRandom
 
 CFG = SimConfig(warmup_cycles=100, measure_cycles=300, drain_cycles=1500, seed=3)
+
+
+def _trace(engine_cls, *args, **kwargs):
+    eng = engine_cls(*args, trace_channels=True, **kwargs)
+    eng.run()
+    return eng.channel_flits
+
+
+class TestTraceParity:
+    """channel_flits is engine-independent: the flat engine's batched
+    injection fast path (ndarray-returning patterns), its scalar path
+    and the vectorised engine must all reproduce the reference trace."""
+
+    @pytest.mark.parametrize("make_pattern", [
+        lambda n: UniformRandom(n),
+        lambda n: ShufflePattern(n),
+    ], ids=["scalar-path", "batched-path"])
+    def test_flat_matches_reference(self, sf5, sf5_tables, make_pattern):
+        pat = make_pattern(sf5.num_endpoints)
+        flat = _trace(SimEngine, sf5, MinimalRouting(sf5_tables), pat, 0.3, CFG)
+        ref = _trace(ReferenceEngine, sf5, MinimalRouting(sf5_tables), pat, 0.3, CFG)
+        assert flat == ref
+        assert flat  # non-trivial trace, not vacuous equality
+
+    def test_multiflit_counts_flits_not_packets(self, sf5, sf5_tables):
+        """With L-flit packets every channel traversal carries L flits;
+        the trace accumulates flits (Fig 9's flit-hop shares), so each
+        count is a multiple of L — identically in all engines."""
+        cfg = SimConfig(
+            packet_length=4, warmup_cycles=100, measure_cycles=300,
+            drain_cycles=2500, seed=3,
+        )
+        traffic = UniformRandom(sf5.num_endpoints)
+        flat = _trace(SimEngine, sf5, MinimalRouting(sf5_tables), traffic, 0.3, cfg)
+        ref = _trace(ReferenceEngine, sf5, MinimalRouting(sf5_tables), traffic, 0.3, cfg)
+        vec = _trace(VecEngine, sf5, MinimalRouting(sf5_tables), traffic, 0.3, cfg)
+        assert flat == ref == vec
+        assert all(count % 4 == 0 for count in flat.values())
+
+    @pytest.mark.parametrize("make_routing", [
+        lambda t: MinimalRouting(t),
+        lambda t: UGALRouting(t, "local", seed=3),
+    ], ids=["MIN", "UGAL-L"])
+    def test_vec_engine_traces_identically(self, sf5, sf5_tables, make_routing):
+        wc = SlimFlyWorstCase(sf5, sf5_tables, seed=0)
+        flat = _trace(SimEngine, sf5, make_routing(sf5_tables), wc, 0.15, CFG)
+        vec = _trace(VecEngine, sf5, make_routing(sf5_tables), wc, 0.15, CFG)
+        assert flat == vec
+        assert flat
+
+    def test_vec_trace_disabled_by_default(self, sf5, sf5_tables):
+        eng = VecEngine(
+            sf5, MinimalRouting(sf5_tables), UniformRandom(sf5.num_endpoints),
+            0.2, CFG,
+        )
+        eng.run()
+        assert eng.channel_flits == {}
 
 
 class TestChannelTracing:
