@@ -21,12 +21,19 @@ and ``tests/test_vec_equivalence``), the flat engine must deliver
 >= 3x the seed's flits/sec, and the vectorised engine >= 5x the flat
 engine's at q=11 — each floor tracked via pytest-benchmark.
 
+``test_telemetry_overhead_gates`` holds the probe plane
+(:mod:`repro.sim.telemetry`) to its overhead contract at the same
+q=11 cycle-vec point: an all-off ``TelemetrySpec`` must cost < 3%
+(it normalises to no probes at all), and the full probe set < 25%,
+with results unperturbed either way.
+
 ``test_bench_trajectory_json`` additionally times the **flow-level
 backend** (a full paper-scale-shaped sweep at MMS(q=11)) and writes
 ``BENCH_sim.json`` at the repository root — flits/sec for ``cycle``
 and ``cycle-vec`` (with speedup ratios, at q=5 and q=11), sweep
-rows/sec for ``flow``, plus an append-only ``history`` list — so the
-performance trajectory of every fidelity is tracked across PRs.
+rows/sec for ``flow``, telemetry overhead ratios, plus an append-only
+``history`` list — so the performance trajectory of every fidelity is
+tracked across PRs.
 
 Run standalone with ``--profile`` for a cProfile top-20 of both cycle
 tick loops::
@@ -39,7 +46,7 @@ import time
 from pathlib import Path
 
 from repro.routing import MinimalRouting, RoutingTables
-from repro.sim import SimConfig, flow_sweep, simulate, vec_simulate
+from repro.sim import SimConfig, TelemetrySpec, flow_sweep, simulate, vec_simulate
 from repro.sim.reference import ReferenceMinimalRouting, reference_simulate
 from repro.topologies import SlimFly
 from repro.traffic import UniformRandom
@@ -53,6 +60,13 @@ SPEEDUP_FLOOR = 3.0
 #: q=17); the CI floor leaves margin for noisy shared runners.
 VEC_SPEEDUP_FLOOR = 5.0
 VEC_Q = 11
+#: Telemetry overhead ceilings, measured at the q=11 cycle-vec point
+#: campaigns actually run.  Off-mode is free by construction (an
+#: all-off spec normalises to ``None`` before the tick loop starts),
+#: so its ceiling is pure measurement-noise margin; the full probe set
+#: adds per-delivery histogram updates and per-tick channel counters.
+TELEMETRY_OFF_CEILING = 1.03
+TELEMETRY_ON_CEILING = 1.25
 #: Flow-backend benchmark: one 10-point sweep, MMS(q=11) = 1,452
 #: endpoints (cycle-prohibitive territory), model build included.
 FLOW_Q = 11
@@ -174,6 +188,61 @@ def test_vec_speedup_over_cycle_at_scale():
     )
 
 
+def _telemetry_overheads(pairs=3):
+    """Off- and full-probe overhead ratios at the q=11 cycle-vec point.
+
+    Each ratio is probed-time / plain-time (``_median_pair_ratio`` with
+    the plain run as ``run_a``), so 1.0 means the probes were free.
+    Returns ``(off_ratio, on_ratio)`` after asserting the
+    zero-perturbation contract on both modes.
+    """
+    sf, tables, traffic = _scale_setup(VEC_Q)
+    plain = lambda: vec_simulate(  # noqa: E731
+        sf, MinimalRouting(tables), traffic, LOAD, CONFIG
+    )
+    off_ratio, _, plain_res, off_res = _median_pair_ratio(
+        plain,
+        lambda: vec_simulate(
+            sf, MinimalRouting(tables), traffic, LOAD, CONFIG,
+            telemetry=TelemetrySpec(),
+        ),
+        pairs=pairs,
+    )
+    assert off_res == plain_res, "all-off telemetry perturbed the results"
+    assert off_res.telemetry is None
+    on_ratio, _, plain_res, on_res = _median_pair_ratio(
+        plain,
+        lambda: vec_simulate(
+            sf, MinimalRouting(tables), traffic, LOAD, CONFIG,
+            telemetry=TelemetrySpec.full(),
+        ),
+        pairs=pairs,
+    )
+    assert on_res.telemetry is not None
+    assert on_res.avg_latency == plain_res.avg_latency
+    assert on_res.delivered == plain_res.delivered
+    assert on_res.accepted_load == plain_res.accepted_load
+    return off_ratio, on_ratio
+
+
+def test_telemetry_overhead_gates():
+    """The probe plane's overhead contract (DESIGN.md, telemetry)."""
+    off_ratio, on_ratio = _telemetry_overheads()
+    print(
+        f"\ntelemetry overhead at q={VEC_Q} cycle-vec: "
+        f"off {off_ratio:.3f}x (ceiling {TELEMETRY_OFF_CEILING}x), "
+        f"full probes {on_ratio:.3f}x (ceiling {TELEMETRY_ON_CEILING}x)"
+    )
+    assert off_ratio < TELEMETRY_OFF_CEILING, (
+        f"telemetry-off costs {off_ratio:.3f}x "
+        f"(ceiling {TELEMETRY_OFF_CEILING}x): the off path must be free"
+    )
+    assert on_ratio < TELEMETRY_ON_CEILING, (
+        f"full probe set costs {on_ratio:.3f}x "
+        f"(ceiling {TELEMETRY_ON_CEILING}x)"
+    )
+
+
 def _flow_setup():
     return _scale_setup(FLOW_Q)
 
@@ -237,6 +306,8 @@ def test_bench_trajectory_json():
     )
     assert vec_q11_res == cyc_q11_res, "cycle-vec diverged from cycle at q=11"
 
+    tele_off, tele_on = _telemetry_overheads()
+
     fsf, ftables, ftraffic = _flow_setup()
     points, flow_time = _best_of(
         lambda: flow_sweep(
@@ -263,6 +334,8 @@ def test_bench_trajectory_json():
             "cycle_vec_speedup_q5": round(vec_q5_speedup, 2),
             "cycle_vec_speedup_q11": round(vec_q11_speedup, 2),
             "flow_rows_per_sec": round(rows_per_sec, 2),
+            "telemetry_off_overhead_q11": round(tele_off, 3),
+            "telemetry_on_overhead_q11": round(tele_on, 3),
         }
     )
 
@@ -292,6 +365,14 @@ def test_bench_trajectory_json():
             "sweep_points": len(FLOW_LOADS),
             "rows_per_sec": round(rows_per_sec, 2),
         },
+        "telemetry": {
+            "network": f"SlimFly MMS(q={VEC_Q})",
+            "backend": "cycle-vec",
+            "off_overhead": round(tele_off, 3),
+            "on_overhead": round(tele_on, 3),
+            "off_ceiling": TELEMETRY_OFF_CEILING,
+            "on_ceiling": TELEMETRY_ON_CEILING,
+        },
         "history": history,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -299,7 +380,9 @@ def test_bench_trajectory_json():
         f"\ncycle {flits_per_sec / 1e3:.1f} kflit/s, "
         f"cycle-vec {vec_q5_rate / 1e3:.1f} kflit/s "
         f"({vec_q5_speedup:.2f}x q=5, {vec_q11_speedup:.2f}x q={VEC_Q}), "
-        f"flow {rows_per_sec:.1f} sweep rows/s -> {BENCH_PATH.name}"
+        f"flow {rows_per_sec:.1f} sweep rows/s, "
+        f"telemetry {tele_off:.3f}x off / {tele_on:.3f}x on -> "
+        f"{BENCH_PATH.name}"
     )
 
 
@@ -346,6 +429,7 @@ def main(argv=None):
         return
     test_speedup_over_seed_engine()
     test_vec_speedup_over_cycle_at_scale()
+    test_telemetry_overhead_gates()
     test_bench_trajectory_json()
 
 

@@ -531,7 +531,155 @@ class GroupedBarFigure:
         return _save_png(fig, path)
 
 
-Figure = LineFigure | BarFigure | GroupedBarFigure
+#: Fixed heat ramp for :class:`HeatmapFigure` (cool surface -> hot
+#: red), interpolated in RGB.  Stops are part of the byte-determinism
+#: contract, like :data:`PALETTE`.
+HEAT_STOPS = ("#f3f2ee", "#f5d066", "#eb6834", "#a01813")
+
+
+def heat_color(t: float) -> str:
+    """Deterministic color for ``t`` in [0, 1] on :data:`HEAT_STOPS`."""
+    t = min(1.0, max(0.0, t))
+    segs = len(HEAT_STOPS) - 1
+    i = min(int(t * segs), segs - 1)
+    f = t * segs - i
+    a = HEAT_STOPS[i].lstrip("#")
+    b = HEAT_STOPS[i + 1].lstrip("#")
+    rgb = (
+        round(int(a[k:k + 2], 16) * (1 - f) + int(b[k:k + 2], 16) * f)
+        for k in (0, 2, 4)
+    )
+    return "#" + "".join(f"{c:02x}" for c in rgb)
+
+
+@dataclass
+class HeatmapFigure:
+    """A row × column grid of scalar cells (Fig 9 channel-load maps).
+
+    ``values[row][col]`` may be ``None`` for a missing cell (renders
+    as the bare surface).  Color is normalised over the figure's own
+    finite cells unless ``vmax`` pins the scale; rows render top to
+    bottom in input order.  Like every figure here, ``render_svg`` is
+    byte-deterministic.
+    """
+
+    title: str
+    xlabel: str
+    ylabel: str
+    rows: list[str] = field(default_factory=list)
+    values: list[list[float | None]] = field(default_factory=list)
+    vmax: float | None = None
+    #: Label on the color scale (e.g. "flits/cycle").
+    scale_label: str = ""
+
+    def _vmax(self) -> float:
+        if self.vmax is not None:
+            return self.vmax or 1.0
+        flat = [v for row in self.values for v in row if v is not None]
+        return max(flat, default=1.0) or 1.0
+
+    def render_svg(self, width: float = 700, height: float = 400) -> str:
+        n_rows = max(1, len(self.rows))
+        n_cols = max(
+            1, max((len(row) for row in self.values), default=1)
+        )
+        # Tall enough for readable row bands, short enough that a
+        # couple of rows don't become giant slabs.
+        row_h = min(48.0, max(18.0, (height - 120) / n_rows))
+        height = 32 + row_h * n_rows + 88
+        label_w = 16 + 9 * max(
+            (len(r) for r in self.rows), default=4
+        )
+        label_w = min(170.0, max(64.0, label_w))
+        svg = _SVG(width, height)
+        frame = _Frame(
+            x0=label_w, y0=32, w=width - label_w - 16,
+            h=row_h * n_rows,
+            xlo=0.0, xhi=float(n_cols), ylo=0.0, yhi=float(n_rows),
+        )
+        svg.text(frame.x0, 20, self.title, size=13, fill=_TEXT, bold=True)
+        hi = self._vmax()
+        cell_w = frame.w / n_cols
+        for r, name in enumerate(self.rows):
+            y = frame.y0 + r * row_h
+            row = self.values[r] if r < len(self.values) else []
+            for c in range(n_cols):
+                v = row[c] if c < len(row) else None
+                if v is None:
+                    continue
+                svg.parts.append(
+                    f'<rect x="{_fmt(frame.x0 + c * cell_w)}" '
+                    f'y="{_fmt(y)}" '
+                    # Cells overlap by a hair so antialiased seams
+                    # never show between columns.
+                    f'width="{_fmt(cell_w + 0.35)}" height="{_fmt(row_h)}" '
+                    f'fill="{heat_color(v / hi)}"/>'
+                )
+            svg.text(frame.x0 - 8, y + row_h / 2 + 3.5, name, size=10,
+                     anchor="end")
+        for t in nice_ticks(0.0, float(n_cols)):
+            if t > n_cols:
+                continue
+            x = frame.px(t)
+            svg.line(x, frame.y0 + frame.h, x, frame.y0 + frame.h + 4, _AXIS)
+            svg.text(x, frame.y0 + frame.h + 16, _fmt_tick(t), size=10,
+                     anchor="middle")
+        svg.line(frame.x0, frame.y0, frame.x0, frame.y0 + frame.h, _AXIS)
+        svg.line(frame.x0, frame.y0 + frame.h, frame.x0 + frame.w,
+                 frame.y0 + frame.h, _AXIS)
+        svg.text(frame.x0 + frame.w / 2, frame.y0 + frame.h + 34,
+                 self.xlabel, anchor="middle")
+        svg.text(16, frame.y0 + frame.h / 2, self.ylabel, anchor="middle",
+                 rotate=-90)
+        # Horizontal color scale: 48 discrete strips + end labels.
+        bar_y = frame.y0 + frame.h + 48
+        bar_w = min(220.0, frame.w * 0.5)
+        strips = 48
+        for i in range(strips):
+            svg.parts.append(
+                f'<rect x="{_fmt(frame.x0 + i * bar_w / strips)}" '
+                f'y="{_fmt(bar_y)}" '
+                f'width="{_fmt(bar_w / strips + 0.35)}" height="10" '
+                f'fill="{heat_color((i + 0.5) / strips)}"/>'
+            )
+        svg.text(frame.x0, bar_y + 22, "0", size=10)
+        svg.text(frame.x0 + bar_w, bar_y + 22, _fmt_tick(hi), size=10,
+                 anchor="end")
+        if self.scale_label:
+            svg.text(frame.x0 + bar_w + 12, bar_y + 9, self.scale_label,
+                     size=10)
+        return svg.render()
+
+    def render_png(self, path) -> Path:
+        _require_matplotlib()
+        import matplotlib.pyplot as plt
+        from matplotlib.colors import LinearSegmentedColormap
+
+        n_cols = max(
+            1, max((len(row) for row in self.values), default=1)
+        )
+        grid = [
+            [
+                (row[c] if c < len(row) and row[c] is not None else float("nan"))
+                for c in range(n_cols)
+            ]
+            for row in self.values
+        ]
+        fig, ax = plt.subplots(figsize=(7.0, 4.0), dpi=100)
+        cmap = LinearSegmentedColormap.from_list("repro-heat", HEAT_STOPS)
+        im = ax.imshow(grid, aspect="auto", cmap=cmap, vmin=0.0,
+                       vmax=self._vmax(), interpolation="nearest")
+        ax.set_yticks(range(len(self.rows)))
+        ax.set_yticklabels(self.rows)
+        cbar = fig.colorbar(im, ax=ax)
+        if self.scale_label:
+            cbar.set_label(self.scale_label)
+        _style_axes(ax, self.title, self.xlabel, self.ylabel, legend=False)
+        ax.grid(False)
+        return _save_png(fig, path)
+
+
+Figure = LineFigure | BarFigure | GroupedBarFigure | HeatmapFigure
 
 
 def _require_matplotlib() -> None:

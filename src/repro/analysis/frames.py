@@ -41,6 +41,10 @@ CLOSED_FIELDS = (
     "makespan", "cycles", "delivered_flits", "avg_message_latency",
     "p99_message_latency", "avg_packet_latency", "flits_per_cycle",
 )
+#: Fields every telemetry metrics row carries (the campaign runner's
+#: ``<out>.metrics.jsonl`` sidecar; probe payloads beyond these are
+#: optional — a row holds only what its scenario's probes recorded).
+METRICS_FIELDS = ("campaign", "scenario", "label", "row", "rows", "load")
 
 
 def _is_number(value) -> bool:
@@ -314,6 +318,131 @@ class RowTable:
                 )
             )
         return curves
+
+
+# -- telemetry metrics sidecar ---------------------------------------------
+
+
+def metrics_sidecar(path) -> Path:
+    """The telemetry metrics sidecar sitting next to a rows file.
+
+    Mirrors the write side's ``metrics_path_for``: the campaign runner
+    emits ``<out>.metrics.jsonl`` only when at least one probe fired,
+    so the returned path may legitimately not exist.
+    """
+    path = Path(path)
+    return path.with_name(path.name + ".metrics.jsonl")
+
+
+def _metrics_row_error(row) -> str | None:
+    """Schema check for one decoded metrics row; None when valid."""
+    if not isinstance(row, dict):
+        return "not a JSON object"
+    missing = [k for k in METRICS_FIELDS if k not in row]
+    if missing:
+        return f"missing fields {missing}"
+    if not isinstance(row["row"], int) or not isinstance(row["rows"], int):
+        return "row/rows positions must be integers"
+    if not 0 <= row["row"] < row["rows"]:
+        return f"row index {row['row']} outside 0..{row['rows'] - 1}"
+    if not _is_number(row["load"]):
+        return "load must be a number"
+    for key in ("latency_hist", "channel_flits", "channel_load", "max_queue"):
+        if key in row and not isinstance(row[key], list):
+            return f"{key} must be an array"
+    return None
+
+
+@dataclass
+class MetricsTable:
+    """Validated telemetry metrics rows, same tolerance as RowTable.
+
+    One row per telemetry-carrying load point, in file order; the
+    payload fields are exactly what
+    :meth:`repro.sim.telemetry.TelemetryResult.to_dict` serialized.
+    Torn and schema-invalid lines are quarantined, never fatal — a
+    damaged sidecar degrades the channel-load figures, it must not
+    sink the whole report.
+    """
+
+    rows: list[dict] = field(default_factory=list)
+    source: str | None = None
+    invalid: list[tuple[int, str]] = field(default_factory=list)
+    torn_lines: int = 0
+
+    @classmethod
+    def from_jsonl(cls, path, campaign: str | None = None) -> "MetricsTable":
+        """Load one metrics sidecar (missing file -> empty table)."""
+        path = Path(path)
+        table = cls(source=str(path))
+        if not path.exists():
+            return table
+        text = path.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                table.torn_lines += 1
+                continue
+            error = _metrics_row_error(row)
+            if error is not None:
+                table.invalid.append((lineno, error))
+                continue
+            if campaign is None or row["campaign"] == campaign:
+                table.rows.append(row)
+        return table
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.rows)
+
+    def filter(self, **field_values) -> "MetricsTable":
+        """Rows whose fields equal every given value (row order kept)."""
+        return MetricsTable(
+            rows=[
+                r
+                for r in self.rows
+                if all(r.get(k) == v for k, v in field_values.items())
+            ],
+            source=self.source,
+            invalid=list(self.invalid),
+            torn_lines=self.torn_lines,
+        )
+
+    def campaigns(self) -> list[str]:
+        """Campaign names present, in first-seen order."""
+        return list(dict.fromkeys(r["campaign"] for r in self.rows))
+
+    def labels(self) -> list[str]:
+        """Scenario labels present, in first-seen order."""
+        return list(dict.fromkeys(r["label"] for r in self.rows))
+
+    def channel_loads(self) -> dict[str, list[float]]:
+        """Per-label channel-load vector at the highest measured load.
+
+        The Fig 9 selection rule: each label contributes the
+        ``channel_load`` array of its highest-``load`` row (ties keep
+        the later row, matching resume semantics).  Labels whose rows
+        carry no ``channel_load`` probe are omitted.
+        """
+        best: dict[str, dict] = {}
+        for r in self.rows:
+            if "channel_load" not in r:
+                continue
+            cur = best.get(r["label"])
+            if cur is None or r["load"] >= cur["load"]:
+                best[r["label"]] = r
+        return {
+            label: [float(v) for v in row["channel_load"]]
+            for label, row in best.items()
+        }
 
 
 # -- aggregation -----------------------------------------------------------

@@ -9,9 +9,13 @@ paper-vs-reproduction commentary.
 
 Figure families are recognised by campaign-name prefix — ``fig6-*``
 (latency/throughput curves), ``fig8a-*`` (buffer panels),
-``fig8-oversub-*`` (oversubscription), ``workload-completion-*``
-(completion-time bars) — with a generic fallback for any other
-campaign, so arbitrary user grids still produce figures.
+``fig8-oversub-*`` (oversubscription), ``fig9-*`` (channel-load
+distributions), ``workload-completion-*`` (completion-time bars) —
+with a generic fallback for any other campaign, so arbitrary user
+grids still produce figures.  A rows file whose campaign armed
+telemetry probes brings its ``.metrics.jsonl`` sidecar along
+implicitly: the per-channel load vectors render as a CDF + heatmap
+pair regardless of family.
 
 Determinism: figures are pure functions of the row data and the SVG
 backend is byte-deterministic, so rebuilding a report from the same
@@ -30,11 +34,18 @@ from repro._version import __version__
 from repro.analysis.figures import (
     BarFigure,
     GroupedBarFigure,
+    HeatmapFigure,
     LineFigure,
     LineSeries,
     save_figure,
 )
-from repro.analysis.frames import RowTable, provenance, saturation_point
+from repro.analysis.frames import (
+    MetricsTable,
+    RowTable,
+    metrics_sidecar,
+    provenance,
+    saturation_point,
+)
 
 #: Paper-vs-reproduction commentary hooks, keyed by figure family.
 PAPER_EXPECTATIONS = {
@@ -54,6 +65,12 @@ PAPER_EXPECTATIONS = {
         "Paper (Fig 8b-e): oversubscribed Slim Flies degrade gracefully - "
         "the q=19 network accepts ~87.5% (balanced), ~80%, ~75% of uniform "
         "traffic as concentration grows."
+    ),
+    "fig9": (
+        "Paper (Fig 9): under the worst-case pattern minimal routing "
+        "funnels all traffic through a handful of saturated channels while "
+        "the rest sit idle; adaptive UGAL flattens the distribution, "
+        "spreading the same traffic over many moderately-loaded channels."
     ),
     "workload": (
         "Deployment follow-up (Blach et al., 2023): diameter-2 Slim Fly "
@@ -155,6 +172,8 @@ def _unique_name(base: str, used_names: set) -> str:
 def _family(campaign: str, engine: str) -> str:
     if campaign.startswith("fig6"):
         return "fig6"
+    if campaign.startswith("fig9"):
+        return "fig9"
     if campaign.startswith("fig8a"):
         return "buffers"
     if campaign.startswith("fig8-oversub"):
@@ -309,6 +328,60 @@ def _closed_loop_figures(campaign: str, table: RowTable):
     return [(f"{_slug(campaign)}-completion", fig)], observed
 
 
+def _channel_load_figures(campaign: str, loads_by_label: dict):
+    """Fig 9-style channel-load CDF + heatmap from telemetry rows.
+
+    ``loads_by_label`` maps scenario label -> per-channel load vector
+    (:meth:`MetricsTable.channel_loads`).  The CDF plots the sorted
+    loads against the cumulative channel fraction; the heatmap ranks
+    channels hottest-first per label, padding ragged rows (different
+    topologies have different channel counts) with blank cells.
+    """
+    sorted_loads = {
+        label: sorted(loads) for label, loads in loads_by_label.items()
+    }
+    cdf = LineFigure(
+        title=f"{campaign}: channel-load distribution (CDF)",
+        xlabel="channel load [flits/cycle]",
+        ylabel="fraction of channels",
+        series=[
+            LineSeries(
+                label,
+                loads,
+                [(i + 1) / len(loads) for i in range(len(loads))],
+            )
+            for label, loads in sorted_loads.items()
+            if loads
+        ],
+    )
+    width = max((len(v) for v in sorted_loads.values()), default=0)
+    heat = HeatmapFigure(
+        title=f"{campaign}: per-channel load, hottest first",
+        xlabel="channel rank",
+        ylabel="protocol",
+        rows=list(sorted_loads),
+        values=[
+            list(reversed(loads)) + [None] * (width - len(loads))
+            for loads in sorted_loads.values()
+        ],
+        scale_label="flits/cycle",
+    )
+    observed = []
+    for label, loads in sorted_loads.items():
+        if not loads:
+            continue
+        n = len(loads)
+        idle = sum(1 for v in loads if v == 0.0)
+        observed.append(
+            f"{label}: hottest channel {loads[-1]:.3f} flits/cycle, mean "
+            f"{sum(loads) / n:.3f} over {n} channels ({idle} idle)"
+        )
+    figures = [(f"{_slug(campaign)}-channel-cdf", cdf)]
+    if heat.rows:
+        figures.append((f"{_slug(campaign)}-channel-heatmap", heat))
+    return figures, observed
+
+
 def _campaign_artifacts(
     table: RowTable,
     figures_dir: Path,
@@ -316,6 +389,7 @@ def _campaign_artifacts(
     workers_by_campaign: dict,
     sources_by_campaign: dict,
     used_names: set,
+    metrics: MetricsTable | None = None,
 ) -> list[FigureArtifact]:
     artifacts = []
     for campaign in table.campaigns():
@@ -334,6 +408,19 @@ def _campaign_artifacts(
             parts.append(
                 ("workload", figures, observed, provenance(sub.closed_rows()))
             )
+        loads_by_label = (
+            metrics.filter(campaign=campaign).channel_loads()
+            if metrics is not None
+            else {}
+        )
+        if loads_by_label:
+            figures, observed = _channel_load_figures(campaign, loads_by_label)
+            prov = [
+                p
+                for p in provenance(sub.open_rows())
+                if p["label"] in loads_by_label
+            ]
+            parts.append(("fig9", figures, observed, prov))
         for family, figures, observed, prov in parts:
             for name, fig in figures:
                 # Distinct campaign names can slugify identically
@@ -493,12 +580,14 @@ def default_campaigns(scale, seed: int = 0):
     """The report's standard figure-set campaigns at ``scale``.
 
     One panel per simulated figure family: Fig 6 uniform traffic, the
-    Fig 8a buffer study, the Fig 8 oversubscription study, and the
-    all-to-all workload-completion comparison.
+    Fig 8a buffer study, the Fig 8 oversubscription study, the Fig 9
+    channel-load snapshot (telemetry probes armed), and the all-to-all
+    workload-completion comparison.
     """
     from repro.experiments import (
         fig6_performance,
         fig8_buffers_oversub,
+        fig9_channel_load,
         workload_completion,
     )
 
@@ -506,6 +595,7 @@ def default_campaigns(scale, seed: int = 0):
         fig6_performance.campaign(scale, seed=seed, pattern="uniform"),
         fig8_buffers_oversub.campaign_buffers(scale, seed=seed),
         fig8_buffers_oversub.campaign_oversub(scale, seed=seed),
+        fig9_channel_load.campaign(scale, seed=seed),
         workload_completion.campaign(scale, seed=seed, workload="alltoall"),
     ]
 
@@ -642,6 +732,7 @@ def build_report(
     # one figure set instead of the last file silently overwriting
     # the earlier ones.
     tables = []
+    metrics = MetricsTable()
     for p in inputs:
         if p.suffix != ".jsonl":
             continue
@@ -660,6 +751,17 @@ def build_report(
                 f"{table.torn_lines} unparseable line(s)"
             )
         tables.append(table)
+        # The telemetry sidecar rides along implicitly: rows files
+        # from probe-armed campaigns grow channel-load figures, plain
+        # ones render exactly as before.
+        mt = MetricsTable.from_jsonl(metrics_sidecar(p))
+        if mt.invalid or mt.torn_lines:
+            result.warnings.append(
+                f"`{metrics_sidecar(p)}`: skipped {len(mt.invalid)} "
+                f"schema-invalid and {mt.torn_lines} unparseable "
+                f"metrics line(s)"
+            )
+        metrics.rows.extend(mt.rows)
     # Parse/validate every .json input BEFORE rendering anything, so a
     # malformed input cannot leave a half-updated output directory.
     parsed_json = [
@@ -687,6 +789,7 @@ def build_report(
                     for c, s in sources_by_campaign.items()
                 },
                 used_names,
+                metrics=metrics,
             )
         )
     for path, results in parsed_json:

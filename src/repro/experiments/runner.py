@@ -75,6 +75,10 @@ EXPERIMENTS = {
         _lazy("fig8_buffers_oversub", "run_buffers"),
         "Fig 8a: buffer-size study",
     ),
+    "fig9": (
+        _lazy("fig9_channel_load"),
+        "Fig 9: channel-load distribution (telemetry probes)",
+    ),
     "fig8-oversub": (
         _lazy("fig8_buffers_oversub", "run_oversub"),
         "Fig 8b-e: oversubscribed Slim Fly",
@@ -116,7 +120,7 @@ EXPERIMENTS = {
 #: in-process; rows are identical at any worker count).
 PARALLEL_SWEEPS = {
     "fig6", "fig6a", "fig6b", "fig6c", "fig6d", "fig6-paper", "fig8a",
-    "fig8-oversub", "workload_completion",
+    "fig9", "fig8-oversub", "workload_completion",
 }
 #: Of those, the ones that also accept --replicas (per-point seed averaging).
 REPLICATED_SWEEPS = {"fig6", "fig6a", "fig6b", "fig6c", "fig6d"}
@@ -125,7 +129,7 @@ REPLICATED_SWEEPS = {"fig6", "fig6a", "fig6b", "fig6c", "fig6d"}
 ALL_ORDER = [
     "fig1", "fig5a", "fig5b", "fig5c", "table2", "table3",
     "res-diameter", "res-pathlen", "fig6a", "fig6b", "fig6c", "fig6d",
-    "fig8a", "fig8-oversub", "workload_completion", "table4", "costmodel",
+    "fig8a", "fig9", "fig8-oversub", "workload_completion", "table4", "costmodel",
     "fig11-cost", "fig11-power", "vc-counts", "ablate-ugal", "ablate-val",
     "ablate-xi",
 ]
@@ -210,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse completed scenarios already present in the campaign output",
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="campaign: stream heartbeat events (scenario start/finish, "
+        "wall-clock, sims/sec) to stderr as JSON lines",
+    )
+    parser.add_argument(
         "--no-analytics",
         action="store_true",
         help="report: skip the analytic cost/power figures",
@@ -281,7 +291,8 @@ def _run_campaign_cli(args) -> int:
     out = args.out or str(path.with_suffix("")) + ".results.jsonl"
     start = time.time()
     report = run_campaign(
-        campaign, workers=args.workers, out=out, resume=args.resume
+        campaign, workers=args.workers, out=out, resume=args.resume,
+        progress=args.progress,
     )
     print(report.summary())
     print(f"[campaign finished in {time.time() - start:.1f}s]")
@@ -314,6 +325,7 @@ def _run_report_cli(args) -> int:
         for flag, value, default in (
             ("--json", args.json, None),
             ("--resume", args.resume, False),
+            ("--progress", args.progress, False),
             ("--pattern", args.pattern, "uniform"),
             ("--workload", args.workload, "alltoall"),
             ("--replicas", args.replicas, 1),
@@ -404,6 +416,10 @@ def main(argv=None) -> int:
             "--out/--resume apply to the 'campaign' and 'report' subcommands only",
             file=sys.stderr,
         )
+        return 2
+    if args.progress:
+        print("--progress applies to the 'campaign' subcommand only",
+              file=sys.stderr)
         return 2
     if args.no_analytics or args.png:
         print("--no-analytics/--png apply to the 'report' subcommand only",

@@ -87,6 +87,9 @@ class ResolvedScenario:
     traffic: object | None = None
     workload: object | None = None
     backend: str = "cycle"
+    #: Armed probe plane (:class:`repro.sim.telemetry.TelemetrySpec`)
+    #: or None — passed straight through to the engine dispatch.
+    telemetry: object | None = None
 
 
 def resolve(scenario: Scenario) -> ResolvedScenario:
@@ -136,4 +139,5 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
         traffic=traffic,
         workload=workload,
         backend=scenario.backend,
+        telemetry=scenario.telemetry,
     )

@@ -22,15 +22,24 @@ Next to the JSONL, the runner writes a provenance sidecar
 (``<out>.meta.json``): the campaign name, package version, worker
 count, and the scenario index (hash, label, engine, row count).  The
 analysis layer (:mod:`repro.analysis.frames`) reads it to stamp
-per-figure provenance into reproduction reports.  The sidecar is
-deliberately free of timestamps and run counters, so a rerun with the
-same inputs rewrites it byte-identically.
+per-figure provenance into reproduction reports.  Apart from the
+heartbeat section (wall-clock/sims-per-sec of the run that produced
+the rows, preserved across no-op resumes), the sidecar is free of
+timestamps and run counters, so a no-op resume rewrites it
+byte-identically.
+
+Scenarios that arm telemetry probes stream their measurements to a
+*third* file, ``<out>.metrics.jsonl`` (one canonical-JSON row per
+telemetry-carrying load point), which resumes byte-for-byte alongside
+the main rows and is absent when no probe ever fired.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Sequence
@@ -42,6 +51,7 @@ from repro.sim.parallel import (
     CompletionTask,
     parallel_latency_vs_load,
     parallel_workload_completion,
+    simulations_started,
 )
 from repro.sim.stats import LoadPoint, WorkloadResult
 
@@ -107,6 +117,93 @@ def _closed_rows(
     ]
 
 
+def metrics_path_for(out_path: Path) -> Path:
+    """The telemetry sidecar path for a campaign output file."""
+    return out_path.with_name(out_path.name + ".metrics.jsonl")
+
+
+def _metrics_rows(
+    campaign: str, scenario: Scenario, points: Sequence[LoadPoint]
+) -> list[dict]:
+    """Telemetry sidecar rows for one open-loop scenario.
+
+    One row per load point that actually carries telemetry; fill
+    points past the saturation short-circuit (and every point of a
+    telemetry-off scenario) contribute nothing.  ``row``/``rows``
+    mirror the main result rows, so a sidecar row joins its result
+    row on (scenario, row).
+    """
+    h = scenario_hash(scenario)
+    rows = []
+    for i, pt in enumerate(points):
+        if pt.telemetry is None:
+            continue
+        row = {
+            "campaign": campaign,
+            "scenario": h,
+            "label": scenario.label,
+            "row": i,
+            "rows": len(points),
+            "load": pt.load,
+        }
+        row.update(pt.telemetry.to_dict())
+        rows.append(row)
+    return rows
+
+
+def _load_metrics_cache(path: Path, campaign_name: str) -> dict[str, list[str]]:
+    """Raw metrics-sidecar lines grouped by scenario hash, in order.
+
+    Unlike the main cache there is no per-scenario completeness check
+    (a telemetry row count is not knowable up front — short-circuited
+    points write nothing), so callers must only replay hashes whose
+    *main* rows were complete: main-row completeness implies the
+    scenario finished, and the runner writes a scenario metrics lines
+    before its result rows.
+    """
+    by_hash: dict[str, list[str]] = {}
+    for line in path.read_text().splitlines():
+        try:
+            row = json.loads(line)
+            h = row["scenario"]
+            name = row["campaign"]
+        except (ValueError, KeyError, TypeError):
+            continue
+        if name != campaign_name or not isinstance(h, str):
+            continue
+        by_hash.setdefault(h, []).append(line)
+    return by_hash
+
+
+class _LazyStream:
+    """A text stream that creates its file on first write only.
+
+    Campaigns without telemetry must not leave an empty sidecar
+    behind (its absence is the signal that no probes were armed).
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = None
+        #: True once any line was written (survives close()).
+        self.wrote = False
+
+    def emit(self, lines) -> None:
+        if self.path is None or not lines:
+            return
+        if self._fh is None:
+            self._fh = open(self.path, "w")
+            self.wrote = True
+        for line in lines:
+            self._fh.write(line + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
 def _load_cache(
     path: Path, campaign_name: str, scenarios: Sequence[Scenario]
 ) -> dict[str, list[str]]:
@@ -150,25 +247,48 @@ class CampaignReport:
     #: Scenarios whose rows were reused from the resume cache.
     skipped: int = 0
     out: str | None = None
+    #: Telemetry sidecar rows (parsed), in campaign order.
+    metrics_rows: list[dict] = field(default_factory=list)
+    #: Heartbeat event stream: scenario_start / scenario_finish /
+    #: campaign_finish dicts with wall-clock and simulation counts.
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def heartbeat(self) -> dict | None:
+        """The campaign_finish event, or None for an empty run."""
+        for event in reversed(self.events):
+            if event.get("event") == "campaign_finish":
+                return event
+        return None
 
     def summary(self) -> str:
-        return (
+        text = (
             f"campaign {self.campaign}: {self.simulated + self.skipped} scenarios "
             f"(simulated={self.simulated} skipped={self.skipped}), "
             f"{len(self.rows)} rows"
-            + (f" -> {self.out}" if self.out else "")
         )
+        hb = self.heartbeat
+        if hb is not None:
+            text += f", {hb['wall_s']:.2f}s wall"
+            if hb["sims"]:
+                text += f" ({hb['sims_per_s']:.1f} sims/s)"
+        if self.metrics_rows:
+            text += f", {len(self.metrics_rows)} telemetry rows"
+        return text + (f" -> {self.out}" if self.out else "")
 
 
 def _write_meta(
-    out_path: Path, campaign: Campaign, workers: int, simulated: int
+    out_path: Path, campaign: Campaign, workers: int, simulated: int,
+    heartbeat: dict | None = None,
 ) -> None:
     """Provenance sidecar for an output file (see module docstring).
 
-    ``workers`` records how the rows were *produced*: a resume that
-    simulated nothing keeps the previous sidecar's worker count — the
-    rows in the file are still the old run's — instead of stamping a
-    worker count that never ran a simulation.
+    ``workers`` and ``heartbeat`` record how the rows were *produced*:
+    a resume that simulated nothing keeps the previous sidecar's
+    worker count and heartbeat — the rows in the file are still the
+    old run's — instead of stamping numbers from a run that never
+    simulated anything (which also keeps the sidecar byte-stable
+    across no-op resumes).
     """
     from repro import __version__
 
@@ -181,6 +301,7 @@ def _write_meta(
             if isinstance(previous, dict) and \
                     previous.get("campaign") == campaign.name:
                 workers = previous.get("workers", workers)
+                heartbeat = previous.get("heartbeat", heartbeat)
         except ValueError:
             pass
     meta = {
@@ -198,6 +319,8 @@ def _write_meta(
             for s in campaign.scenarios
         ],
     }
+    if heartbeat is not None:
+        meta["heartbeat"] = heartbeat
     meta_path.write_text(
         json.dumps(meta, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
@@ -225,7 +348,19 @@ def _run_open(resolved, workers: int) -> list[LoadPoint]:
         replicas=s.replicas,
         stop_after_saturation=s.stop_after_saturation,
         backend=resolved.backend,
+        telemetry=resolved.telemetry,
     )
+
+
+def _heartbeat(report: CampaignReport, progress: bool, **fields) -> None:
+    """Record one heartbeat event; echo it to stderr under --progress.
+
+    Events go to stderr (one canonical-JSON object per line) so a
+    campaign's stdout/file outputs stay untouched by observability.
+    """
+    report.events.append(fields)
+    if progress:
+        print(canonical_json(fields), file=sys.stderr, flush=True)
 
 
 def run_campaign(
@@ -233,6 +368,7 @@ def run_campaign(
     workers: int = 1,
     out=None,
     resume: bool = False,
+    progress: bool = False,
 ) -> CampaignReport:
     """Execute a campaign, streaming rows to ``out`` (JSONL).
 
@@ -242,6 +378,15 @@ def run_campaign(
     reuses the complete scenarios already present in ``out`` and
     simulates only the rest; the finished file is byte-identical to a
     clean run.  Duplicate scenarios are dropped before execution.
+
+    Scenarios with an armed :class:`~repro.sim.telemetry.TelemetrySpec`
+    stream their probe measurements to a second sidecar,
+    ``<out>.metrics.jsonl`` — created only when at least one telemetry
+    row exists, resumed/replayed byte-for-byte exactly like the main
+    file.  ``progress=True`` echoes the heartbeat event stream
+    (scenario start/finish, wall-clock, sims/sec) to stderr as
+    canonical-JSON lines; the same events land on
+    :attr:`CampaignReport.events` either way.
     """
     campaign = campaign.dedup()
     scenarios = campaign.scenarios
@@ -250,8 +395,15 @@ def run_campaign(
     out_path = Path(out) if out is not None else None
 
     cache: dict[str, list[str]] = {}
+    metrics_cache: dict[str, list[str]] = {}
     tmp_path = (
         out_path.with_name(out_path.name + ".tmp") if out_path is not None else None
+    )
+    metrics_out = metrics_path_for(out_path) if out_path is not None else None
+    metrics_tmp = (
+        metrics_out.with_name(metrics_out.name + ".tmp")
+        if metrics_out is not None
+        else None
     )
     if resume and out_path is not None:
         if out_path.exists():
@@ -262,18 +414,38 @@ def run_campaign(
         if tmp_path.exists():
             for h, lines in _load_cache(tmp_path, campaign.name, scenarios).items():
                 cache.setdefault(h, lines)
+        # Telemetry sidecar lines follow their main rows: only hashes
+        # in the (complete-scenario) main cache are ever replayed.
+        if metrics_out.exists():
+            metrics_cache = _load_metrics_cache(metrics_out, campaign.name)
+        if metrics_tmp.exists():
+            for h, lines in _load_metrics_cache(
+                metrics_tmp, campaign.name
+            ).items():
+                metrics_cache.setdefault(h, lines)
 
     # Resumed runs rewrite through a temp file so an interruption never
     # destroys the cache the next attempt resumes from.
     write_path = out_path
+    metrics_write_path = metrics_out
     if out_path is not None and cache:
         write_path = tmp_path
+        metrics_write_path = metrics_tmp
 
     report = CampaignReport(campaign=campaign.name, out=str(out_path) if out_path else None)
     hashes = [scenario_hash(s) for s in scenarios]
     pending = [h not in cache for h in hashes]
+    t_campaign = time.perf_counter()
+    sims_at_start = simulations_started()
+
+    def _metrics_emit(mrows: list[dict], raw: list[str] | None) -> None:
+        metrics_stream.emit(
+            raw if raw is not None else [canonical_json(r) for r in mrows]
+        )
+        report.metrics_rows.extend(mrows)
 
     stream = open(write_path, "w") if write_path is not None else None
+    metrics_stream = _LazyStream(metrics_write_path)
     try:
         i = 0
         while i < len(scenarios):
@@ -283,13 +455,41 @@ def run_campaign(
                 rows = [json.loads(line) for line in raw]
                 report.rows.extend(rows)
                 report.skipped += 1
+                mraw = metrics_cache.get(hashes[i], [])
+                _metrics_emit([json.loads(line) for line in mraw], mraw)
                 _emit(stream, rows, raw)
+                _heartbeat(
+                    report, progress, event="scenario_cached",
+                    campaign=campaign.name, scenario=hashes[i], label=s.label,
+                    index=i, of=len(scenarios),
+                )
                 i += 1
             elif s.engine == "open":
-                rows = _open_rows(campaign.name, s, _run_open(resolve(s), workers))
+                _heartbeat(
+                    report, progress, event="scenario_start",
+                    campaign=campaign.name, scenario=hashes[i], label=s.label,
+                    index=i, of=len(scenarios), workers=workers,
+                )
+                t0 = time.perf_counter()
+                sims0 = simulations_started()
+                points = _run_open(resolve(s), workers)
+                wall = time.perf_counter() - t0
+                sims = simulations_started() - sims0
+                rows = _open_rows(campaign.name, s, points)
                 report.rows.extend(rows)
                 report.simulated += 1
+                # Metrics lines land before the result rows so a kill
+                # between the two writes leaves the scenario pending
+                # (incomplete main rows), never with lost telemetry.
+                _metrics_emit(_metrics_rows(campaign.name, s, points), None)
                 _emit(stream, rows, None)
+                _heartbeat(
+                    report, progress, event="scenario_finish",
+                    campaign=campaign.name, scenario=hashes[i], label=s.label,
+                    index=i, of=len(scenarios), workers=workers,
+                    wall_s=round(wall, 3), sims=sims,
+                    sims_per_s=round(sims / wall, 2) if wall > 0 else 0.0,
+                )
                 i += 1
             else:
                 # Batch the pending closed-loop scenarios of the window
@@ -316,9 +516,28 @@ def run_campaign(
                             label=scenarios[k].label,
                         )
                     )
+                if batch:
+                    _heartbeat(
+                        report, progress, event="batch_start",
+                        campaign=campaign.name, engine="closed",
+                        scenarios=len(batch), index=i, of=len(scenarios),
+                        workers=workers,
+                    )
+                t0 = time.perf_counter()
+                sims0 = simulations_started()
                 results = dict(
                     zip(batch, parallel_workload_completion(tasks, workers=workers))
                 )
+                wall = time.perf_counter() - t0
+                sims = simulations_started() - sims0
+                if batch:
+                    _heartbeat(
+                        report, progress, event="batch_finish",
+                        campaign=campaign.name, engine="closed",
+                        scenarios=len(batch), index=i, of=len(scenarios),
+                        workers=workers, wall_s=round(wall, 3), sims=sims,
+                        sims_per_s=round(sims / wall, 2) if wall > 0 else 0.0,
+                    )
                 for k in range(i, j):
                     if k in results:
                         rows = _closed_rows(campaign.name, scenarios[k], results[k])
@@ -331,14 +550,51 @@ def run_campaign(
                         report.rows.extend(rows)
                         report.skipped += 1
                         _emit(stream, rows, raw)
+                        _heartbeat(
+                            report, progress, event="scenario_cached",
+                            campaign=campaign.name, scenario=hashes[k],
+                            label=scenarios[k].label, index=k,
+                            of=len(scenarios),
+                        )
                 i = j
     finally:
         if stream is not None:
             stream.close()
+        metrics_stream.close()
+    wall = time.perf_counter() - t_campaign
+    sims = simulations_started() - sims_at_start
+    _heartbeat(
+        report, progress, event="campaign_finish", campaign=campaign.name,
+        workers=workers, wall_s=round(wall, 3), sims=sims,
+        sims_per_s=round(sims / wall, 2) if wall > 0 else 0.0,
+        simulated=report.simulated, skipped=report.skipped,
+        rows=len(report.rows),
+    )
     if write_path is not None and write_path != out_path:
         os.replace(write_path, out_path)
+    if metrics_out is not None:
+        if metrics_stream.wrote and metrics_write_path != metrics_out:
+            os.replace(metrics_write_path, metrics_out)
+        elif not metrics_stream.wrote:
+            # No telemetry row this run: a sidecar from an earlier
+            # (differently-configured) run would be stale — remove it.
+            metrics_out.unlink(missing_ok=True)
+        if metrics_tmp.exists() and metrics_write_path != metrics_tmp:
+            metrics_tmp.unlink()
     if out_path is not None:
-        _write_meta(out_path, campaign, workers, report.simulated)
+        hb = report.heartbeat
+        _write_meta(
+            out_path, campaign, workers, report.simulated,
+            heartbeat=(
+                {
+                    "wall_s": hb["wall_s"],
+                    "sims": hb["sims"],
+                    "sims_per_s": hb["sims_per_s"],
+                }
+                if hb is not None and hb["sims"]
+                else None
+            ),
+        )
     return report
 
 

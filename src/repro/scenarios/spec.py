@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass, field
 from repro.routing.registry import ROUTING_BUILDERS, SEEDED
 from repro.sim.backends import ENGINE_BACKENDS
 from repro.sim.config import SimConfig
+from repro.sim.telemetry import TelemetrySpec
 from repro.topologies.registry import TOPOLOGY_BUILDERS, validate_shape_params
 from repro.traffic.registry import PATTERN_KINDS
 from repro.workloads.registry import PLACEMENT_KINDS, WORKLOAD_KINDS
@@ -219,6 +220,13 @@ class Scenario:
     The default is omitted from the serialized form, so pre-backend
     JSON specs load unchanged and every existing scenario hash — the
     resume/dedup identity of published result files — is preserved.
+
+    ``telemetry`` arms the opt-in probe plane
+    (:class:`repro.sim.telemetry.TelemetrySpec`): armed probes flow
+    into the campaign's ``.metrics.jsonl`` sidecar.  Like ``backend``,
+    the off state (``None`` *or* an all-off spec) is omitted from the
+    serialized form, so telemetry-free scenarios keep their pre-
+    telemetry hashes.
     """
 
     topology: TopologySpec
@@ -232,6 +240,7 @@ class Scenario:
     max_cycles: int | None = None
     label: str = ""
     backend: str = "cycle"
+    telemetry: TelemetrySpec | None = None
 
     def __post_init__(self):
         if self.backend not in ENGINE_BACKENDS:
@@ -267,6 +276,13 @@ class Scenario:
         if self.traffic is not None and self.max_cycles is not None:
             raise ValueError("max_cycles is a closed-loop axis (open loop uses sim "
                              "warmup/measure/drain cycles)")
+        # An all-off spec is normalised to None so the two off states
+        # serialize (and hash) identically.
+        if self.telemetry is not None and not self.telemetry.enabled:
+            self.telemetry = None
+        if self.workload is not None and self.telemetry is not None:
+            raise ValueError("telemetry is an open-loop axis (closed-loop "
+                             "workload runs have no probe plane yet)")
         self.loads = [float(x) for x in self.loads]
 
     def revalidate(self) -> None:
@@ -313,6 +329,10 @@ class Scenario:
         # resume identities of existing result files depend on it.
         if self.backend != "cycle":
             data["backend"] = self.backend
+        # Same omit-default rule for telemetry: off (None or all-off)
+        # writes nothing, so pre-telemetry scenario hashes survive.
+        if self.telemetry is not None and self.telemetry.enabled:
+            data["telemetry"] = self.telemetry.to_dict()
         return data
 
     @classmethod
@@ -335,6 +355,11 @@ class Scenario:
             max_cycles=data.get("max_cycles"),
             label=data.get("label", ""),
             backend=data.get("backend", "cycle"),
+            telemetry=(
+                TelemetrySpec.from_dict(data["telemetry"])
+                if data.get("telemetry")
+                else None
+            ),
         )
 
     def hash(self) -> str:

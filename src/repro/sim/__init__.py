@@ -23,6 +23,9 @@ Modules
   and ``flow`` fidelities behind one sweep/simulate contract).
 - :mod:`repro.sim.flowlevel` — the flow-level fluid solver (steady-
   state link rates; paper-scale sweeps).
+- :mod:`repro.sim.telemetry` — the opt-in probe plane (latency
+  histograms, channel loads, queue occupancy, routing decisions)
+  shared by all backends; zero cost when off.
 - :mod:`repro.sim.reference` — the frozen seed engine (differential
   oracle and benchmark baseline; not for production use).
 
@@ -52,6 +55,13 @@ from repro.sim.engine import (
 )
 from repro.sim.stats import SimResult, LoadPoint, WorkloadResult
 from repro.sim.sweep import latency_vs_load, find_saturation_load
+from repro.sim.telemetry import (
+    LATENCY_BIN_EDGES,
+    TelemetryResult,
+    TelemetrySpec,
+    latency_histogram,
+    merge_telemetry,
+)
 from repro.sim.parallel import (
     CompletionTask,
     parallel_latency_vs_load,
@@ -90,4 +100,9 @@ __all__ = [
     "replica_seed",
     "simulations_started",
     "find_saturation_load",
+    "LATENCY_BIN_EDGES",
+    "TelemetrySpec",
+    "TelemetryResult",
+    "latency_histogram",
+    "merge_telemetry",
 ]

@@ -44,6 +44,7 @@ from typing import Callable, Sequence
 
 from repro.sim.config import SimConfig
 from repro.sim.stats import LoadPoint, SimResult
+from repro.sim.telemetry import TelemetrySpec
 
 
 class EngineBackend(ABC):
@@ -74,8 +75,15 @@ class EngineBackend(ABC):
         traffic,
         offered_load: float,
         config: SimConfig | None = None,
+        telemetry: TelemetrySpec | None = None,
     ) -> SimResult:
-        """Solve a single (topology, routing, traffic, load) point."""
+        """Solve a single (topology, routing, traffic, load) point.
+
+        ``telemetry`` arms the opt-in probe plane
+        (:mod:`repro.sim.telemetry`); ``None`` — the default — is the
+        zero-cost path with bit-identical results to a probe-free
+        build.
+        """
 
     @abstractmethod
     def sweep(
@@ -88,6 +96,7 @@ class EngineBackend(ABC):
         workers: int | None = 1,
         replicas: int = 1,
         stop_after_saturation: int = 1,
+        telemetry: TelemetrySpec | None = None,
     ) -> list[LoadPoint]:
         """Latency-vs-load curve with the shared sweep semantics.
 
@@ -108,10 +117,16 @@ class CycleBackend(EngineBackend):
     )
     supports_closed_loop = True
 
-    def simulate(self, topology, routing, traffic, offered_load, config=None):
+    def simulate(
+        self, topology, routing, traffic, offered_load, config=None,
+        telemetry=None,
+    ):
         from repro.sim.engine import simulate
 
-        return simulate(topology, routing, traffic, offered_load, config)
+        return simulate(
+            topology, routing, traffic, offered_load, config,
+            telemetry=telemetry,
+        )
 
     def sweep(
         self,
@@ -123,6 +138,7 @@ class CycleBackend(EngineBackend):
         workers=1,
         replicas=1,
         stop_after_saturation=1,
+        telemetry=None,
     ):
         from repro.sim.parallel import parallel_latency_vs_load
 
@@ -136,6 +152,7 @@ class CycleBackend(EngineBackend):
             replicas=replicas,
             stop_after_saturation=stop_after_saturation,
             backend="cycle",
+            telemetry=telemetry,
         )
 
 
@@ -157,10 +174,16 @@ class CycleVecBackend(EngineBackend):
     )
     supports_closed_loop = False
 
-    def simulate(self, topology, routing, traffic, offered_load, config=None):
+    def simulate(
+        self, topology, routing, traffic, offered_load, config=None,
+        telemetry=None,
+    ):
         from repro.sim.engine_vec import vec_simulate
 
-        return vec_simulate(topology, routing, traffic, offered_load, config)
+        return vec_simulate(
+            topology, routing, traffic, offered_load, config,
+            telemetry=telemetry,
+        )
 
     def sweep(
         self,
@@ -172,6 +195,7 @@ class CycleVecBackend(EngineBackend):
         workers=1,
         replicas=1,
         stop_after_saturation=1,
+        telemetry=None,
     ):
         from repro.sim.parallel import parallel_latency_vs_load
 
@@ -185,6 +209,7 @@ class CycleVecBackend(EngineBackend):
             replicas=replicas,
             stop_after_saturation=stop_after_saturation,
             backend="cycle-vec",
+            telemetry=telemetry,
         )
 
 
@@ -207,10 +232,16 @@ class FlowBackend(EngineBackend):
     )
     supports_closed_loop = False
 
-    def simulate(self, topology, routing, traffic, offered_load, config=None):
+    def simulate(
+        self, topology, routing, traffic, offered_load, config=None,
+        telemetry=None,
+    ):
         from repro.sim.flowlevel import flow_simulate
 
-        return flow_simulate(topology, routing, traffic, offered_load, config)
+        return flow_simulate(
+            topology, routing, traffic, offered_load, config,
+            telemetry=telemetry,
+        )
 
     def sweep(
         self,
@@ -222,6 +253,7 @@ class FlowBackend(EngineBackend):
         workers=1,
         replicas=1,
         stop_after_saturation=1,
+        telemetry=None,
     ):
         from repro.sim.flowlevel import flow_sweep
 
@@ -235,6 +267,7 @@ class FlowBackend(EngineBackend):
             loads,
             config=config,
             stop_after_saturation=stop_after_saturation,
+            telemetry=telemetry,
         )
 
 

@@ -48,6 +48,7 @@ from repro.sim.config import SimConfig
 from repro.sim.network import SimNetwork
 from repro.sim.packet import Packet
 from repro.sim.stats import LatencyAccumulator, SimResult
+from repro.sim.telemetry import TelemetryResult, TelemetrySpec, latency_histogram
 from repro.topologies.base import Topology
 from repro.util.rng import make_rng
 
@@ -63,16 +64,39 @@ class SimEngine:
         offered_load: float,
         config: SimConfig | None = None,
         trace_channels: bool = False,
+        telemetry: TelemetrySpec | None = None,
     ):
         self.topology = topology
         self.routing = routing
         self.traffic = traffic
         self.offered_load = float(offered_load)
         self.config = config or SimConfig()
+        #: Armed probe selection, or None (the zero-cost default).
+        self.telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
+        tele = self.telemetry
         #: Optional per-channel flit counters ((u, v) -> flits sent),
         #: for hot-link analyses like the Fig 9 worst-case diagnosis.
-        self.trace_channels = trace_channels
+        #: ``trace_channels`` survives as a thin alias for the
+        #: ``channel_flits`` telemetry probe.
+        self.trace_channels = bool(
+            trace_channels or (tele is not None and tele.channel_flits)
+        )
         self.channel_flits: dict[tuple[int, int], int] = {}
+        self._tele_occ = tele is not None and tele.queue_occupancy
+        self._tele_route = tele is not None and tele.routing_decisions
+        nr = topology.num_routers
+        self._occ: list[int] | None = [0] * nr if self._tele_occ else None
+        self._occ_max: list[int] | None = [0] * nr if self._tele_occ else None
+        self._route_total = 0
+        self._route_diverted = 0
+        #: Hop-distance matrix for the diversion check (probe-armed only).
+        self._tele_dist: list[list[int]] | None = None
+        if self._tele_route:
+            tables = getattr(routing, "tables", None)
+            if tables is not None:
+                self._tele_dist = tables.dist.tolist()
         if self.config.num_vcs < routing.num_vcs:
             # Honour the routing algorithm's deadlock-freedom demand.
             self.config = self.config.with_vcs(routing.num_vcs)
@@ -140,6 +164,17 @@ class SimEngine:
                     order.append((len(order), b, fifo))
                 fifo.append(pkt)
                 active.add(dst)
+            if self._tele_occ:
+                # Arrivals only increment occupancy, so the running max
+                # equals the post-batch value — the same quantity the
+                # vectorised engine takes with one np.maximum.
+                occ = self._occ
+                occ_max = self._occ_max
+                for _, dst, _ in bucket:
+                    o = occ[dst] + 1
+                    occ[dst] = o
+                    if o > occ_max[dst]:
+                        occ_max[dst] = o
         slot = self.now % self._credit_horizon
         bucket = self._credit_wheel[slot]
         if bucket:
@@ -167,6 +202,9 @@ class SimEngine:
             if routing.source_routed and self._next_hop is None
             else None
         )
+        counting_plans = plan is not None and self._tele_route
+        if counting_plans:
+            plan = self._counted_plan(plan)
         net = self.net
         inject = net.inject_queue
         active_add = net.active_routers.add
@@ -203,6 +241,18 @@ class SimEngine:
                 injected += 1
                 inject[src].append(pkt)
                 active_add(src_router)
+            if self._tele_occ and injected:
+                occ = self._occ
+                occ_max = self._occ_max
+                for src, dst, src_router in zip(
+                    srcs.tolist(), dsts.tolist(), src_routers
+                ):
+                    if skip_self and dst == src:
+                        continue
+                    o = occ[src_router] + 1
+                    occ[src_router] = o
+                    if o > occ_max[src_router]:
+                        occ_max[src_router] = o
         else:
             emap = self.topology.endpoint_map
             for src, dst in zip(srcs.tolist(), dsts):
@@ -215,8 +265,42 @@ class SimEngine:
                 injected += 1
                 inject[src].append(pkt)
                 active_add(src_router)
+            if self._tele_occ and injected:
+                occ = self._occ
+                occ_max = self._occ_max
+                for src, dst in zip(srcs.tolist(), dsts):
+                    if dst is None or dst == src:
+                        continue
+                    r = emap[src]
+                    o = occ[r] + 1
+                    occ[r] = o
+                    if o > occ_max[r]:
+                        occ_max[r] = o
+        if self._tele_route and not counting_plans:
+            # Table-driven protocols never call plan(); every injected
+            # packet follows the minimal next-hop table.
+            self._route_total += injected
         if measuring:
             self.measured_injected += injected
+
+    def _counted_plan(self, plan):
+        """Wrap ``plan()`` with the routing-decision counters.
+
+        Installed only when the probe is armed, so the telemetry-off
+        injection loop runs the bare planner.  A path is *diverted*
+        when it is longer than the hop-distance between its endpoint
+        routers; routings without distance tables count as minimal.
+        """
+        dist = self._tele_dist
+
+        def counted(src_router, dst_router, net):
+            path = plan(src_router, dst_router, net)
+            self._route_total += 1
+            if dist is not None and len(path) - 1 > dist[src_router][dst_router]:
+                self._route_diverted += 1
+            return path
+
+        return counted
 
     def _phase_switch_allocation(self) -> None:
         net = self.net
@@ -244,6 +328,7 @@ class SimEngine:
         qlat_push = self.queue_latencies.values.append
         deliver_hook = self._deliver_hook
         stage_mask = net.stage_mask
+        occ = self._occ  # None unless the queue-occupancy probe is armed
         delivered = 0
         ejected_flits = 0
         # Routers may become inactive; collect removals after the sweep.
@@ -286,6 +371,8 @@ class SimEngine:
                         continue
                     eject_busy[ep] = now + length
                     q.popleft()
+                    if occ is not None:
+                        occ[router] -= 1
                     if rank & 1:  # injection FIFO: no upstream credits
                         pkt.start_time = now
                     elif single:
@@ -324,6 +411,8 @@ class SimEngine:
                 credits[b_out] -= length
                 granted[port] = g + 1
                 q.popleft()
+                if occ is not None:
+                    occ[router] -= 1
                 if rank & 1:
                     pkt.start_time = now
                 elif single:
@@ -444,6 +533,48 @@ class SimEngine:
             saturated=saturated,
             cycles=self.now,
             avg_queue_latency=self.queue_latencies.mean(),
+            telemetry=self._telemetry_result(),
+        )
+
+    def _telemetry_result(self) -> TelemetryResult | None:
+        """Assemble armed-probe measurements (None when telemetry is off).
+
+        Everything here is defined identically in the vectorised
+        engine: same bin edges, same flat channel numbering, same
+        ``flits / cycles`` division — so telemetry-on results compare
+        equal across ``cycle`` and ``cycle-vec``.
+        """
+        tele = self.telemetry
+        if tele is None:
+            return None
+        cycles = self.now
+        hist = (
+            latency_histogram(self.latencies.values) if tele.latency_hist else None
+        )
+        channel_flits = channel_load = None
+        if tele.channel_flits:
+            net = self.net
+            pb = net.port_base_list
+            pi = net.port_index
+            flat = [0] * pb[-1]
+            for (u, v), f in self.channel_flits.items():
+                flat[pb[u] + pi[u][v]] = f
+            channel_flits = tuple(flat)
+            channel_load = tuple((f / cycles if cycles else 0.0) for f in flat)
+        route_packets = route_diverted = frac = None
+        if self._tele_route:
+            route_packets = self._route_total
+            route_diverted = self._route_diverted
+            frac = route_diverted / route_packets if route_packets else 0.0
+        return TelemetryResult(
+            cycles=cycles,
+            latency_hist=hist,
+            channel_flits=channel_flits,
+            channel_load=channel_load,
+            max_queue=tuple(self._occ_max) if self._tele_occ else None,
+            route_packets=route_packets,
+            route_diverted=route_diverted,
+            route_diverted_frac=frac,
         )
 
     def _all_idle(self) -> bool:
@@ -463,9 +594,12 @@ def simulate(
     traffic,
     offered_load: float,
     config: SimConfig | None = None,
+    telemetry: TelemetrySpec | None = None,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`SimEngine`."""
-    return SimEngine(topology, routing, traffic, offered_load, config).run()
+    return SimEngine(
+        topology, routing, traffic, offered_load, config, telemetry=telemetry
+    ).run()
 
 
 # -- closed-loop (workload) mode ---------------------------------------------

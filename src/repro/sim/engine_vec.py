@@ -60,6 +60,7 @@ from repro.routing.base import RoutingAlgorithm
 from repro.sim.config import SimConfig
 from repro.sim.network import channel_layout
 from repro.sim.stats import SimResult
+from repro.sim.telemetry import TelemetryResult, TelemetrySpec, latency_histogram
 from repro.topologies.base import Topology
 from repro.util.rng import make_rng
 
@@ -106,6 +107,7 @@ class VecEngine:
         offered_load: float,
         config: SimConfig | None = None,
         trace_channels: bool = False,
+        telemetry: TelemetrySpec | None = None,
     ):
         self.topology = topology
         self.routing = routing
@@ -115,7 +117,16 @@ class VecEngine:
         if self.config.num_vcs < routing.num_vcs:
             self.config = self.config.with_vcs(routing.num_vcs)
         cfg = self.config
-        self.trace_channels = trace_channels
+        #: Armed probe selection, or None (the zero-cost default).
+        self.telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
+        tele = self.telemetry
+        #: ``trace_channels`` survives as a thin alias for the
+        #: ``channel_flits`` telemetry probe (see the flat engine).
+        self.trace_channels = bool(
+            trace_channels or (tele is not None and tele.channel_flits)
+        )
 
         table_driven = getattr(routing, "table_driven", False)
         if not table_driven and not getattr(routing, "source_routed", False):
@@ -314,7 +325,20 @@ class VecEngine:
         self._n_buffered = 0
         self._n_staged = 0
         self._n_injq = 0
-        self._trace = np.zeros(C, dtype=np.int64) if trace_channels else None
+        self._trace = np.zeros(C, dtype=np.int64) if self.trace_channels else None
+        # Telemetry probe state (allocated only when armed; the hot
+        # phases pay one None check per batch when off).
+        self._tele_occ = tele is not None and tele.queue_occupancy
+        self._tele_route = tele is not None and tele.routing_decisions
+        self._occ = np.zeros(nr, dtype=np.int64) if self._tele_occ else None
+        self._occ_max = np.zeros(nr, dtype=np.int64) if self._tele_occ else None
+        self._route_total = 0
+        self._route_diverted = 0
+        self._tele_dist: list[list[int]] | None = None
+        if self._tele_route:
+            tables = getattr(routing, "tables", None)
+            if tables is not None:
+                self._tele_dist = tables.dist.tolist()
 
     # -- pool / ring growth ----------------------------------------------------
 
@@ -389,6 +413,11 @@ class VecEngine:
             self._buf_store[b, pos] = p
             self._buf_len[b] += 1
             self._n_buffered += k
+            if self._tele_occ:
+                # Arrivals only increment, so the post-batch maximum
+                # equals the flat engine's per-packet running max.
+                np.add.at(self._occ, self._buf_router[b], 1)
+                np.maximum(self._occ_max, self._occ, out=self._occ_max)
         cslot = now % self._credit_horizon
         m = self._cw_n[cslot]
         if m:
@@ -449,6 +478,8 @@ class VecEngine:
             # as the flat engine's injection loop.
             src_rt = self._emap[srcs]
             plan = self._plan
+            if self._tele_route:
+                plan = self._counted_plan(plan)
             view = self._view
             chan_of = self._chan_of_list
             path_rows = self._p_path
@@ -469,8 +500,29 @@ class VecEngine:
         self._inj_store[srcs, pos] = ids
         self._inj_len[srcs] += 1
         self._n_injq += k
+        if self._tele_occ:
+            np.add.at(self._occ, self._emap[srcs], 1)
+            np.maximum(self._occ_max, self._occ, out=self._occ_max)
+        if self._tele_route and self._plan is None:
+            # Table-driven protocols never call plan(); every injected
+            # packet follows the minimal next-hop table.
+            self._route_total += k
         if measuring:
             self.measured_injected += k
+
+    def _counted_plan(self, plan):
+        """Wrap ``plan()`` with the routing-decision counters — the
+        same definition as the flat engine's, so counters agree."""
+        dist = self._tele_dist
+
+        def counted(src_router, dst_router, view):
+            path = plan(src_router, dst_router, view)
+            self._route_total += 1
+            if dist is not None and len(path) - 1 > dist[src_router][dst_router]:
+                self._route_diverted += 1
+            return path
+
+        return counted
 
     def _phase_switch_allocation(self) -> None:
         ob = self._buf_len.nonzero()[0]
@@ -574,6 +626,8 @@ class VecEngine:
             self._buf_head[bb] = h
             self._buf_len[bb] -= 1
             self._n_buffered -= bsel.size
+            if self._tele_occ:
+                np.subtract.at(self._occ, self._buf_router[bb], 1)
             cslot = (now + self.config.credit_delay) % self._credit_horizon
             m = self._cw_n[cslot]
             self._cw[cslot, m : m + bb.size] = bb
@@ -587,6 +641,8 @@ class VecEngine:
             self._inj_len[ee] -= 1
             self._n_injq -= esel.size
             self._p_start[pk[esel]] = now
+            if self._tele_occ:
+                np.subtract.at(self._occ, self._ep_router[ee], 1)
 
         # -- deliver granted ejections -------------------------------------
         gej = ej[gi]
@@ -832,6 +888,46 @@ class VecEngine:
             saturated=saturated,
             cycles=self.now,
             avg_queue_latency=float(np.mean(qlats)) if qlats.size else float("nan"),
+            telemetry=self._telemetry_result(lats),
+        )
+
+    def _telemetry_result(self, lats: np.ndarray) -> TelemetryResult | None:
+        """Assemble armed-probe measurements (None when telemetry is off).
+
+        Mirrors :meth:`repro.sim.engine.SimEngine._telemetry_result`
+        value for value: identical bin edges, the same flat channel
+        numbering, and per-channel loads computed with the same Python
+        ``int / int`` division, so results compare equal bit for bit.
+        """
+        tele = self.telemetry
+        if tele is None:
+            return None
+        cycles = self.now
+        hist = latency_histogram(lats) if tele.latency_hist else None
+        channel_flits = channel_load = None
+        if tele.channel_flits:
+            channel_flits = tuple(int(f) for f in self._trace.tolist())
+            channel_load = tuple(
+                (f / cycles if cycles else 0.0) for f in channel_flits
+            )
+        route_packets = route_diverted = frac = None
+        if self._tele_route:
+            route_packets = self._route_total
+            route_diverted = self._route_diverted
+            frac = route_diverted / route_packets if route_packets else 0.0
+        return TelemetryResult(
+            cycles=cycles,
+            latency_hist=hist,
+            channel_flits=channel_flits,
+            channel_load=channel_load,
+            max_queue=(
+                tuple(int(x) for x in self._occ_max.tolist())
+                if self._tele_occ
+                else None
+            ),
+            route_packets=route_packets,
+            route_diverted=route_diverted,
+            route_diverted_frac=frac,
         )
 
     # -- tracing ---------------------------------------------------------------
@@ -856,6 +952,9 @@ def vec_simulate(
     traffic,
     offered_load: float,
     config: SimConfig | None = None,
+    telemetry: TelemetrySpec | None = None,
 ) -> SimResult:
     """One-shot convenience wrapper around :class:`VecEngine`."""
-    return VecEngine(topology, routing, traffic, offered_load, config).run()
+    return VecEngine(
+        topology, routing, traffic, offered_load, config, telemetry=telemetry
+    ).run()

@@ -70,6 +70,7 @@ from repro.routing.ugal import UGALRouting
 from repro.routing.valiant import ValiantRouting
 from repro.sim.config import SimConfig
 from repro.sim.stats import LoadPoint, SimResult
+from repro.sim.telemetry import TelemetryResult, TelemetrySpec
 from repro.traffic.patterns import FixedPermutation, UniformRandom
 from repro.traffic.permutations import ShiftPattern, _BitPattern
 
@@ -561,18 +562,30 @@ class FlowModel:
         x = float(xs[best])
         return x, (1.0 - x) * self.min_loads + x * self.val_loads
 
-    def simulate(self, offered_load: float, config: SimConfig | None = None) -> SimResult:
+    def simulate(
+        self,
+        offered_load: float,
+        config: SimConfig | None = None,
+        telemetry: TelemetrySpec | None = None,
+    ) -> SimResult:
         """Solve one load point; returns a cycle-compatible SimResult.
 
         ``delivered``/``injected`` count *flows* (the fluid analogue of
         packets): a saturated point reports ``delivered=0`` so the
         sweep layer nulls its latency exactly like a collapsed cycle
         run.  ``cycles`` is 0 — nothing was ticked.
+
+        With ``telemetry`` armed, the already-computed per-channel
+        steady-state rates (same flat channel numbering as the cycle
+        engines) and the routing-diversion fraction ride out on
+        ``result.telemetry``; packet-granular probes (histograms, queue
+        occupancy) stay ``None`` — a fluid model has no packets.
         """
         config = config or SimConfig()
         load = float(offered_load)
         n_flows = len(self.flow_demand)
         offered_total = load * self.total_demand
+        diverted_frac = 0.0
 
         if self.kind == "min":
             demands = load * self.flow_demand
@@ -595,11 +608,14 @@ class FlowModel:
             if self.kind in ("ugal", "df-ugal"):
                 blend, unit_loads = self._ugal_blend(load)
                 hops = (1.0 - blend) * self.flow_hops + blend * self.flow_hops_val
+                diverted_frac = blend
             else:
                 unit_loads = self.unit_loads
                 hops = (
                     self.flow_hops_val if self.kind == "val" else self.flow_hops
                 )
+                if self.kind == "val":
+                    diverted_frac = 1.0
             peak = float(unit_loads.max()) if unit_loads.size else 0.0
             throttle = (
                 min(1.0, CAPACITY / (load * peak)) if load * peak > 0 else 1.0
@@ -637,6 +653,19 @@ class FlowModel:
 
         n_active = max(1, self.n_active)
         accepted = (accepted_total + load * self.intra) / n_active
+        tele_result = None
+        if telemetry is not None and telemetry.enabled:
+            tele_result = TelemetryResult(
+                cycles=0,
+                channel_load=(
+                    tuple(float(x) for x in channel_loads.tolist())
+                    if telemetry.channel_flits
+                    else None
+                ),
+                route_diverted_frac=(
+                    diverted_frac if telemetry.routing_decisions else None
+                ),
+            )
         return SimResult(
             offered_load=load,
             accepted_load=accepted,
@@ -647,6 +676,7 @@ class FlowModel:
             saturated=bool(saturated),
             cycles=0,
             avg_queue_latency=queue_latency,
+            telemetry=tele_result,
         )
 
     def sweep(
@@ -654,6 +684,7 @@ class FlowModel:
         loads,
         config: SimConfig | None = None,
         stop_after_saturation: int = 1,
+        telemetry: TelemetrySpec | None = None,
     ) -> list[LoadPoint]:
         """Ascending-load walk with the cycle sweep's fill semantics.
 
@@ -679,7 +710,7 @@ class FlowModel:
                 )
                 continue
             _count_simulations(1)
-            result = self.simulate(load, config)
+            result = self.simulate(load, config, telemetry)
             latency = (
                 None
                 if result.saturated and result.delivered == 0
@@ -691,6 +722,7 @@ class FlowModel:
                     latency=latency,
                     accepted=result.accepted_load,
                     saturated=result.saturated,
+                    telemetry=result.telemetry,
                 )
             )
             run = run + 1 if result.saturated else 0
@@ -722,7 +754,12 @@ def _weighted_percentile(values: np.ndarray, weights: np.ndarray, q: float) -> f
 
 
 def flow_simulate(
-    topology, routing, traffic, offered_load: float, config: SimConfig | None = None
+    topology,
+    routing,
+    traffic,
+    offered_load: float,
+    config: SimConfig | None = None,
+    telemetry: TelemetrySpec | None = None,
 ) -> SimResult:
     """One-shot flow-level solution of a single load point.
 
@@ -730,7 +767,9 @@ def flow_simulate(
     sweeps build one :class:`FlowModel` and reuse it — the model setup
     dominates and the per-load solve is cheap.
     """
-    return FlowModel(topology, routing, traffic).simulate(offered_load, config)
+    return FlowModel(topology, routing, traffic).simulate(
+        offered_load, config, telemetry
+    )
 
 
 def flow_sweep(
@@ -740,6 +779,7 @@ def flow_sweep(
     loads,
     config: SimConfig | None = None,
     stop_after_saturation: int = 1,
+    telemetry: TelemetrySpec | None = None,
 ) -> list[LoadPoint]:
     """Latency-vs-load curve under the flow-level model.
 
@@ -748,4 +788,4 @@ def flow_sweep(
     rows are byte-identical for any worker count by construction.
     """
     model = FlowModel(topology, routing_factory(), traffic)
-    return model.sweep(loads, config, stop_after_saturation)
+    return model.sweep(loads, config, stop_after_saturation, telemetry)

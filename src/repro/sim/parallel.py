@@ -45,6 +45,7 @@ from repro.sim.config import SimConfig
 from repro.sim.engine import simulate, simulate_workload
 from repro.sim.stats import LoadPoint, SimResult, WorkloadResult
 from repro.sim.sweep import default_loads
+from repro.sim.telemetry import TelemetrySpec, merge_telemetry
 
 #: Simulation inputs published to forked workers (set per sweep).
 _WORK: dict = {}
@@ -88,10 +89,13 @@ def _simulate_task(task: tuple[int, int, float]) -> tuple[int, int, SimResult]:
     traffic = _WORK["traffic"]
     config: SimConfig = _WORK["config"]
     sim_fn = _WORK.get("sim_fn", simulate)
+    telemetry = _WORK.get("telemetry")
     seed = replica_seed(config.seed, replica)
     if seed != config.seed:
         config = replace(config, seed=seed)
-    result = sim_fn(topology, routing_factory(), traffic, load, config)
+    result = sim_fn(
+        topology, routing_factory(), traffic, load, config, telemetry=telemetry
+    )
     return index, replica, result
 
 
@@ -102,7 +106,7 @@ def _aggregate(load: float, results: Sequence[SimResult]) -> LoadPoint:
         latency = None if r.saturated and r.delivered == 0 else r.avg_latency
         return LoadPoint(
             load=load, latency=latency, accepted=r.accepted_load,
-            saturated=r.saturated,
+            saturated=r.saturated, telemetry=r.telemetry,
         )
     # Strict majority: a tie (e.g. 1 of 2 replicas) does not mark the
     # point saturated, so the sweep keeps simulating the tail.
@@ -115,7 +119,11 @@ def _aggregate(load: float, results: Sequence[SimResult]) -> LoadPoint:
     ]
     latency = sum(lats) / len(lats) if lats else None
     accepted = sum(r.accepted_load for r in results) / len(results)
-    return LoadPoint(load=load, latency=latency, accepted=accepted, saturated=saturated)
+    telemetry = merge_telemetry([r.telemetry for r in results])
+    return LoadPoint(
+        load=load, latency=latency, accepted=accepted, saturated=saturated,
+        telemetry=telemetry,
+    )
 
 
 def _apply_short_circuit(
@@ -176,6 +184,7 @@ def parallel_latency_vs_load(
     replicas: int = 1,
     stop_after_saturation: int = 1,
     backend: str = "cycle",
+    telemetry: TelemetrySpec | None = None,
 ) -> list[LoadPoint]:
     """Latency-vs-load curve, fanned across processes.
 
@@ -204,6 +213,7 @@ def parallel_latency_vs_load(
             workers=workers,
             replicas=replicas,
             stop_after_saturation=stop_after_saturation,
+            telemetry=telemetry,
         )
     if backend == "cycle-vec":
         from repro.sim.engine_vec import vec_simulate as sim_fn
@@ -216,7 +226,7 @@ def parallel_latency_vs_load(
     if workers <= 1 or ctx is None or not loads:
         return _serial_sweep(
             topology, routing_factory, traffic, loads, config, replicas,
-            stop_after_saturation, sim_fn,
+            stop_after_saturation, sim_fn, telemetry=telemetry,
         )
 
     global _WORK
@@ -228,6 +238,7 @@ def parallel_latency_vs_load(
         traffic=traffic,
         config=config,
         sim_fn=sim_fn,
+        telemetry=telemetry,
     )
     try:
         with ctx.Pool(processes=workers) as pool:
@@ -332,7 +343,7 @@ def parallel_workload_completion(
 
 def _serial_sweep(
     topology, routing_factory, traffic, loads, config, replicas,
-    stop_after_saturation, sim_fn=simulate,
+    stop_after_saturation, sim_fn=simulate, telemetry=None,
 ) -> list[LoadPoint]:
     """In-process path: identical semantics, no pool."""
     points: list[LoadPoint] = []
@@ -351,7 +362,12 @@ def _serial_sweep(
             seed = replica_seed(config.seed, rep)
             cfg = config if seed == config.seed else replace(config, seed=seed)
             _count_simulations(1)
-            results.append(sim_fn(topology, routing_factory(), traffic, load, cfg))
+            results.append(
+                sim_fn(
+                    topology, routing_factory(), traffic, load, cfg,
+                    telemetry=telemetry,
+                )
+            )
         pt = _aggregate(load, results)
         points.append(pt)
         run = run + 1 if pt.saturated else 0

@@ -30,6 +30,10 @@ class SimResult:
     #: remainder of ``avg_latency`` is in-network time.  Past
     #: saturation this term dominates (open-loop queues diverge).
     avg_queue_latency: float = float("nan")
+    #: Armed-probe measurements (:class:`repro.sim.telemetry.
+    #: TelemetryResult`), or None when telemetry was off — the default,
+    #: so telemetry-off results compare equal to pre-telemetry ones.
+    telemetry: object | None = None
 
     @property
     def delivery_ratio(self) -> float:
@@ -52,6 +56,9 @@ class LoadPoint:
     #: so downstream tables/plots never see a hole mid-curve.
     accepted: float
     saturated: bool
+    #: Merged telemetry for this point (replicas combined), or None
+    #: when telemetry was off or the point was short-circuit filled.
+    telemetry: object | None = None
 
 
 @dataclass(eq=False)

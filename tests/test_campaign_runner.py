@@ -248,6 +248,81 @@ class TestResume:
         assert report.simulated == 1 and report.skipped == 0
 
 
+class TestTelemetrySidecar:
+    """The metrics sidecar: worker-count byte-identity, resume replay,
+    and the no-probes-no-file contract."""
+
+    @staticmethod
+    def probed_scenario(label="probed", loads=(0.1, 0.3)):
+        from repro.sim.telemetry import TelemetrySpec
+
+        return Scenario(
+            topology=HC,
+            routing=RoutingSpec("min"),
+            sim=CFG,
+            traffic=TrafficSpec("uniform", seed=0),
+            loads=list(loads),
+            label=label,
+            telemetry=TelemetrySpec.full(),
+        )
+
+    def test_sidecar_byte_identical_across_worker_counts(self, tmp_path):
+        for w in (1, 4):
+            run_campaign(
+                Campaign("tele", [self.probed_scenario()]),
+                workers=w, out=tmp_path / f"w{w}.jsonl",
+            )
+        s1 = (tmp_path / "w1.jsonl.metrics.jsonl").read_bytes()
+        s4 = (tmp_path / "w4.jsonl.metrics.jsonl").read_bytes()
+        assert s1 == s4
+        rows = [json.loads(x) for x in s1.decode().splitlines()]
+        assert [r["row"] for r in rows] == [0, 1]
+        assert all("channel_load" in r and "latency_hist" in r for r in rows)
+
+    def test_report_carries_metrics_rows_and_heartbeat(self):
+        report = run_campaign(Campaign("tele", [self.probed_scenario()]))
+        assert len(report.metrics_rows) == 2
+        hb = report.heartbeat
+        assert hb is not None and hb["sims"] == 2
+        assert "telemetry rows" in report.summary()
+        assert "sims/s" in report.summary()
+
+    def test_resume_replays_sidecar_byte_identical(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        run_campaign(Campaign("tele", [self.probed_scenario()]), out=out)
+        sidecar = out.with_name(out.name + ".metrics.jsonl")
+        before = sidecar.read_bytes()
+        report = run_campaign(
+            Campaign("tele", [self.probed_scenario()]), out=out, resume=True
+        )
+        assert report.simulated == 0 and report.skipped == 1
+        assert sidecar.read_bytes() == before
+
+    def test_probeless_campaign_leaves_no_sidecar(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        run_campaign(Campaign("plain", [open_scenario()]), out=out)
+        assert not out.with_name(out.name + ".metrics.jsonl").exists()
+
+    def test_stale_sidecar_removed_when_probes_disarmed(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        run_campaign(Campaign("tele", [self.probed_scenario()]), out=out)
+        sidecar = out.with_name(out.name + ".metrics.jsonl")
+        assert sidecar.exists()
+        run_campaign(Campaign("tele", [open_scenario("probed")]), out=out)
+        assert not sidecar.exists()
+
+    def test_progress_streams_heartbeat_events(self, tmp_path, capsys):
+        run_campaign(
+            Campaign("tele", [self.probed_scenario()]),
+            out=tmp_path / "r.jsonl", progress=True,
+        )
+        events = [json.loads(x) for x in capsys.readouterr().err.splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "scenario_start"
+        assert kinds[-1] == "campaign_finish"
+        assert events[-1]["sims"] == 2
+
+
 class TestCampaignCLI:
     def test_cli_runs_and_resumes(self, tmp_path, capsys):
         campaign = Campaign("cli", [open_scenario(), closed_scenario()])

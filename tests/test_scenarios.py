@@ -267,6 +267,86 @@ class TestBackendAxis:
             Campaign.from_grid("bad", self.base(), {"backend": ["warp"]})
 
 
+class TestTelemetryAxis:
+    """The telemetry axis: omit-by-default serialization (pinned
+    hashes must survive), round-trips, and validation."""
+
+    def base(self, **overrides) -> Scenario:
+        from repro.sim.telemetry import TelemetrySpec  # noqa: F401
+
+        kw = dict(
+            topology=TopologySpec("SF", params={"q": 5}),
+            routing=RoutingSpec("min"),
+            sim=SimConfig(),
+            traffic=TrafficSpec("uniform"),
+            loads=[0.5],
+        )
+        kw.update(overrides)
+        return Scenario(**kw)
+
+    def test_default_is_off_and_not_serialized(self):
+        s = self.base()
+        assert s.telemetry is None
+        assert "telemetry" not in s.to_dict()
+        assert scenario_hash(s) == "80269c90cd7f1773"
+
+    def test_all_off_spec_normalizes_to_none(self):
+        from repro.sim.telemetry import TelemetrySpec
+
+        s = self.base(telemetry=TelemetrySpec())
+        assert s.telemetry is None
+        assert s == self.base()
+        assert scenario_hash(s) == scenario_hash(self.base())
+
+    def test_armed_spec_round_trips_and_changes_hash(self):
+        from repro.sim.telemetry import TelemetrySpec
+
+        s = self.base(
+            telemetry=TelemetrySpec(channel_flits=True,
+                                    routing_decisions=True)
+        )
+        data = s.to_dict()
+        assert data["telemetry"] == {
+            "channel_flits": True, "routing_decisions": True
+        }
+        again = Scenario.from_dict(json.loads(json.dumps(data)))
+        assert again == s
+        assert scenario_hash(again) == scenario_hash(s)
+        assert scenario_hash(s) != scenario_hash(self.base())
+
+    def test_pre_telemetry_json_loads_and_hashes_identically(self):
+        legacy = self.base().to_dict()
+        assert "telemetry" not in legacy
+        s = Scenario.from_dict(legacy)
+        assert s.telemetry is None
+        assert scenario_hash(s) == "80269c90cd7f1773"
+
+    def test_backend_hashes_unchanged_by_telemetry_plane(self):
+        # The other pinned identities must not drift either.
+        assert scenario_hash(self.base(backend="flow")) == "2a6a978c4eaae106"
+        assert scenario_hash(
+            self.base(backend="cycle-vec")
+        ) == "54668d495c521c1a"
+
+    def test_closed_loop_rejects_telemetry(self):
+        from repro.sim.telemetry import TelemetrySpec
+
+        with pytest.raises(ValueError, match="open-loop axis"):
+            closed_scenario(telemetry=TelemetrySpec.full())
+
+    def test_telemetry_grid_axis(self):
+        from repro.sim.telemetry import TelemetrySpec
+
+        campaign = Campaign.from_grid(
+            "probes",
+            self.base(),
+            {"telemetry": [None, TelemetrySpec(channel_flits=True)]},
+            label=lambda s: "on" if s.telemetry else "off",
+        )
+        assert [s.label for s in campaign] == ["off", "on"]
+        assert len({scenario_hash(s) for s in campaign}) == 2
+
+
 class TestGrid:
     def test_product_expansion(self):
         campaign = Campaign.from_grid(

@@ -10,6 +10,7 @@ import pytest
 from repro.routing import MinimalRouting, ValiantRouting
 from repro.sim import (
     SimConfig,
+    TelemetrySpec,
     latency_vs_load,
     parallel_latency_vs_load,
     replica_seed,
@@ -189,6 +190,93 @@ class TestReplicas:
                 sf5, lambda: MinimalRouting(sf5_tables), uniform,
                 loads=[0.2], config=CFG, replicas=0,
             )
+
+
+class TestTelemetrySweeps:
+    """Telemetry attachments through the fork pool: LoadPoints must
+    carry identical probe payloads at any worker count, on both
+    batched backends, and replica merging must be deterministic."""
+
+    TELE = TelemetrySpec.full()
+
+    @staticmethod
+    def _payload(points):
+        return [
+            (
+                tuple(pt.telemetry.latency_hist),
+                tuple(pt.telemetry.channel_flits),
+                tuple(pt.telemetry.max_queue),
+                pt.telemetry.route_packets,
+                pt.telemetry.route_diverted,
+            )
+            for pt in points
+        ]
+
+    @pytest.mark.parametrize("backend", ["cycle", "cycle-vec"])
+    def test_identical_across_worker_counts(self, sf5, sf5_tables, uniform,
+                                            backend):
+        sweeps = [
+            parallel_latency_vs_load(
+                sf5, lambda: MinimalRouting(sf5_tables), uniform,
+                loads=[0.2, 0.5], config=CFG, workers=w, backend=backend,
+                telemetry=self.TELE,
+            )
+            for w in (1, 4)
+        ]
+        assert sweeps[0] == sweeps[1]
+        assert self._payload(sweeps[0]) == self._payload(sweeps[1])
+
+    def test_cycle_and_vec_payloads_equal(self, sf5, sf5_tables, uniform):
+        cyc, vec = (
+            parallel_latency_vs_load(
+                sf5, lambda: MinimalRouting(sf5_tables), uniform,
+                loads=[0.2, 0.5], config=CFG, workers=2, backend=b,
+                telemetry=self.TELE,
+            )
+            for b in ("cycle", "cycle-vec")
+        )
+        assert self._payload(cyc) == self._payload(vec)
+
+    def test_replica_merge_deterministic(self, sf5, sf5_tables, uniform):
+        sweeps = [
+            parallel_latency_vs_load(
+                sf5, lambda: ValiantRouting(sf5_tables, seed=3), uniform,
+                loads=[0.2], config=CFG, workers=w, replicas=2,
+                telemetry=self.TELE,
+            )
+            for w in (1, 4)
+        ]
+        assert self._payload(sweeps[0]) == self._payload(sweeps[1])
+        merged = sweeps[0][0].telemetry
+        # Two replicas merged: histogram counts every delivery of both.
+        assert sum(merged.latency_hist) > 0
+        assert merged.cycles > 0
+
+    def test_off_mode_rows_unchanged_and_unattached(self, sf5, sf5_tables,
+                                                    uniform):
+        plain = parallel_latency_vs_load(
+            sf5, lambda: MinimalRouting(sf5_tables), uniform,
+            loads=LOADS, config=CFG, workers=2,
+        )
+        off = parallel_latency_vs_load(
+            sf5, lambda: MinimalRouting(sf5_tables), uniform,
+            loads=LOADS, config=CFG, workers=2, telemetry=TelemetrySpec(),
+        )
+        assert plain == off
+        assert all(pt.telemetry is None for pt in off)
+
+    def test_short_circuit_fills_carry_no_telemetry(self, sf5, sf5_tables,
+                                                    uniform):
+        sweep = parallel_latency_vs_load(
+            sf5, lambda: ValiantRouting(sf5_tables, seed=1), uniform,
+            loads=[0.3, 0.55, 0.7, 0.85, 0.95], config=CFG, workers=2,
+            stop_after_saturation=1, telemetry=self.TELE,
+        )
+        fills = [pt for pt in sweep if pt.latency is None and pt.saturated]
+        assert fills, "expected short-circuited tail points"
+        assert all(pt.telemetry is None for pt in fills)
+        simulated = [pt for pt in sweep if pt.latency is not None]
+        assert all(pt.telemetry is not None for pt in simulated)
 
 
 class TestWorkerResolution:

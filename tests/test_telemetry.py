@@ -1,0 +1,218 @@
+"""Telemetry plane unit tests: spec/result round-trips, the histogram
+helper, merging, the in-engine probes' zero-perturbation contract, and
+the read side (metrics sidecar loader + channel-load figures)."""
+
+import json
+
+import pytest
+
+from repro.analysis.figures import HeatmapFigure, heat_color
+from repro.analysis.frames import MetricsTable, metrics_sidecar
+from repro.routing import MinimalRouting, UGALRouting
+from repro.sim import (
+    LATENCY_BIN_EDGES,
+    SimConfig,
+    TelemetryResult,
+    TelemetrySpec,
+    latency_histogram,
+    merge_telemetry,
+    simulate,
+)
+from repro.sim.flowlevel import flow_simulate
+from repro.traffic import SlimFlyWorstCase, UniformRandom
+
+CFG = SimConfig(warmup_cycles=80, measure_cycles=200, drain_cycles=1000, seed=7)
+
+
+class TestHistogram:
+    def test_edges_are_monotone(self):
+        assert all(
+            a < b for a, b in zip(LATENCY_BIN_EDGES, LATENCY_BIN_EDGES[1:])
+        )
+        assert LATENCY_BIN_EDGES[0] == 1
+
+    def test_counts_cover_every_sample(self):
+        samples = [1, 2, 3, 500, 10**7, 0]
+        counts = latency_histogram(samples)
+        assert len(counts) == len(LATENCY_BIN_EDGES) + 1
+        assert sum(counts) == len(samples)
+        assert counts[0] == 1  # the 0 lands below the first edge
+        assert counts[-1] == 1  # 10**7 overflows the last edge
+
+    def test_empty_input(self):
+        counts = latency_histogram([])
+        assert sum(counts) == 0
+        assert len(counts) == len(LATENCY_BIN_EDGES) + 1
+
+
+class TestSpec:
+    def test_all_off_is_disabled(self):
+        assert not TelemetrySpec().enabled
+        assert TelemetrySpec(latency_hist=True).enabled
+        assert TelemetrySpec.full().enabled
+
+    def test_dict_round_trip(self):
+        spec = TelemetrySpec(channel_flits=True, routing_decisions=True)
+        again = TelemetrySpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert again == spec
+
+    def test_to_dict_writes_only_armed_probes(self):
+        assert TelemetrySpec(latency_hist=True).to_dict() == {
+            "latency_hist": True
+        }
+
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            TelemetrySpec.from_dict({"latency_hist": True, "bogus": True})
+
+
+class TestResultMerge:
+    def test_round_trip(self):
+        r = TelemetryResult(
+            cycles=100,
+            latency_hist=(1, 2, 3),
+            channel_flits=(10, 0),
+            channel_load=(0.1, 0.0),
+            route_packets=4,
+            route_diverted=1,
+            route_diverted_frac=0.25,
+        )
+        again = TelemetryResult.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert again.cycles == r.cycles
+        assert tuple(again.latency_hist) == r.latency_hist
+        assert tuple(again.channel_flits) == r.channel_flits
+
+    def test_merge_sums_counters_and_maxes_queues(self):
+        a = TelemetryResult(
+            cycles=100, latency_hist=(1, 0), channel_flits=(10, 20),
+            channel_load=(0.1, 0.2), max_queue=(3, 5),
+            route_packets=10, route_diverted=2, route_diverted_frac=0.2,
+        )
+        b = TelemetryResult(
+            cycles=100, latency_hist=(0, 4), channel_flits=(30, 0),
+            channel_load=(0.3, 0.0), max_queue=(4, 1),
+            route_packets=10, route_diverted=8, route_diverted_frac=0.8,
+        )
+        m = merge_telemetry([a, b])
+        assert tuple(m.latency_hist) == (1, 4)
+        assert tuple(m.channel_flits) == (40, 20)
+        assert tuple(m.max_queue) == (4, 5)
+        assert m.route_packets == 20 and m.route_diverted == 10
+        assert m.route_diverted_frac == pytest.approx(0.5)
+
+    def test_merge_of_nothing(self):
+        assert merge_telemetry([]) is None
+        assert merge_telemetry([None, None]) is None
+
+
+class TestEngineProbes:
+    def test_off_mode_is_bit_exact_and_probe_free(self, sf5, sf5_tables):
+        traffic = UniformRandom(sf5.num_endpoints)
+        plain = simulate(sf5, MinimalRouting(sf5_tables), traffic, 0.4, CFG)
+        off = simulate(
+            sf5, MinimalRouting(sf5_tables), traffic, 0.4, CFG,
+            telemetry=TelemetrySpec(),
+        )
+        assert plain.telemetry is None and off.telemetry is None
+        assert plain == off
+
+    def test_probes_do_not_perturb_the_simulation(self, sf5, sf5_tables):
+        """The zero-perturbation contract: arming every probe changes
+        no simulation output — only the telemetry attachment."""
+        traffic = SlimFlyWorstCase(sf5, sf5_tables, seed=2)
+
+        def run(tele):
+            return simulate(
+                sf5, UGALRouting(sf5_tables, "local", seed=3), traffic,
+                0.3, CFG, telemetry=tele,
+            )
+
+        off, on = run(None), run(TelemetrySpec.full())
+        assert off.telemetry is None
+        tele = on.telemetry
+        assert tele is not None
+        for field in (
+            "avg_latency", "p99_latency", "delivered", "injected",
+            "accepted_load", "saturated",
+        ):
+            assert getattr(on, field) == getattr(off, field)
+        # Probe payloads are self-consistent with the scalar results.
+        assert sum(tele.latency_hist) == off.delivered
+        assert sum(tele.channel_flits) > 0
+        assert len(tele.channel_load) == len(tele.channel_flits)
+        assert max(tele.max_queue) >= 1
+        assert tele.route_packets > 0
+        assert 0.0 < tele.route_diverted_frac < 1.0
+
+    def test_flow_backend_emits_link_rates(self, sf5, sf5_tables):
+        traffic = UniformRandom(sf5.num_endpoints)
+        res = flow_simulate(
+            sf5, MinimalRouting(sf5_tables), traffic, 0.4,
+            telemetry=TelemetrySpec(channel_flits=True,
+                                    routing_decisions=True),
+        )
+        tele = res.telemetry
+        assert tele is not None
+        assert len(tele.channel_load) > 0
+        assert max(tele.channel_load) > 0.0
+        assert tele.route_diverted_frac == 0.0  # MIN never diverts
+
+
+class TestMetricsTable:
+    def test_missing_sidecar_is_empty(self, tmp_path):
+        t = MetricsTable.from_jsonl(tmp_path / "nope.metrics.jsonl")
+        assert not t and len(t) == 0
+
+    def test_sidecar_path_convention(self):
+        p = metrics_sidecar("/x/rows.jsonl")
+        assert p.name == "rows.jsonl.metrics.jsonl"
+
+    def test_channel_loads_picks_highest_load_row(self, tmp_path):
+        rows = [
+            {"campaign": "c", "scenario": "h1", "label": "A", "row": 0,
+             "rows": 2, "load": 0.2, "channel_load": [0.1]},
+            {"campaign": "c", "scenario": "h1", "label": "A", "row": 1,
+             "rows": 2, "load": 0.4, "channel_load": [0.9]},
+            {"campaign": "c", "scenario": "h2", "label": "B", "row": 0,
+             "rows": 1, "load": 0.3},  # no channel probe -> omitted
+        ]
+        path = tmp_path / "r.jsonl.metrics.jsonl"
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in rows) + "{torn",
+            encoding="utf-8",
+        )
+        t = MetricsTable.from_jsonl(path)
+        assert t.torn_lines == 1
+        assert t.channel_loads() == {"A": [0.9]}
+        assert t.labels() == ["A", "B"]
+
+    def test_invalid_rows_quarantined(self, tmp_path):
+        path = tmp_path / "r.jsonl.metrics.jsonl"
+        path.write_text(
+            json.dumps({"campaign": "c", "label": "A"}) + "\n",
+            encoding="utf-8",
+        )
+        t = MetricsTable.from_jsonl(path)
+        assert not t.rows and len(t.invalid) == 1
+
+
+class TestHeatmapFigure:
+    def test_heat_ramp_endpoints(self):
+        assert heat_color(0.0) == "#f3f2ee"
+        assert heat_color(1.0) == "#a01813"
+        assert heat_color(-5) == heat_color(0.0)
+
+    def test_svg_is_byte_deterministic(self):
+        def make():
+            return HeatmapFigure(
+                title="t", xlabel="x", ylabel="y",
+                rows=["a", "b"],
+                values=[[0.0, 0.5, 1.0], [1.0, None, 0.25]],
+                scale_label="flits/cycle",
+            ).render_svg()
+
+        svg = make()
+        assert svg == make()
+        assert svg.startswith("<svg") and "flits/cycle" in svg

@@ -24,7 +24,7 @@ import pytest
 from repro.routing import MinimalRouting, UGALRouting, ValiantRouting
 from repro.routing.fattree_routing import ANCARouting
 from repro.routing.tables import RoutingTables
-from repro.sim import SimConfig, VecEngine, simulate, vec_simulate
+from repro.sim import SimConfig, TelemetrySpec, VecEngine, simulate, vec_simulate
 from repro.traffic import ShiftPattern, ShufflePattern, SlimFlyWorstCase, UniformRandom
 
 CFG = SimConfig(warmup_cycles=120, measure_cycles=300, drain_cycles=1500, seed=11)
@@ -114,6 +114,63 @@ class TestBitwiseEquivalenceQ7:
         flat = simulate(sf7, MinimalRouting(sf7_tables), traffic, 0.9, CFG7)
         vec = vec_simulate(sf7, MinimalRouting(sf7_tables), traffic, 0.9, CFG7)
         assert flat == vec
+
+
+class TestTelemetryEquivalence:
+    """Armed probes must read identically off both engines: same bin
+    edges, same flat channel numbering, same running-max bookkeeping —
+    so every TelemetryResult field compares equal, not just close."""
+
+    @pytest.mark.parametrize(
+        "make_routing",
+        [
+            lambda t: MinimalRouting(t),
+            lambda t: UGALRouting(t, "local", seed=3),
+        ],
+        ids=["MIN", "UGAL-L"],
+    )
+    @pytest.mark.parametrize("pattern", ["uniform", "worstcase"])
+    def test_full_probe_plane_matches(self, sf5, sf5_tables, make_routing,
+                                      pattern):
+        if pattern == "uniform":
+            traffic = UniformRandom(sf5.num_endpoints)
+            load = 0.4
+        else:
+            traffic = SlimFlyWorstCase(sf5, sf5_tables, seed=2)
+            load = 0.3
+        tele = TelemetrySpec.full()
+        flat = simulate(
+            sf5, make_routing(sf5_tables), traffic, load, CFG, telemetry=tele
+        )
+        vec = vec_simulate(
+            sf5, make_routing(sf5_tables), traffic, load, CFG, telemetry=tele
+        )
+        assert flat == vec
+        ft, vt = flat.telemetry, vec.telemetry
+        assert ft is not None and vt is not None
+        assert ft.cycles == vt.cycles
+        assert tuple(ft.latency_hist) == tuple(vt.latency_hist)
+        assert tuple(ft.channel_flits) == tuple(vt.channel_flits)
+        assert tuple(ft.channel_load) == tuple(vt.channel_load)
+        assert tuple(ft.max_queue) == tuple(vt.max_queue)
+        assert ft.route_packets == vt.route_packets
+        assert ft.route_diverted == vt.route_diverted
+        assert ft.route_diverted_frac == vt.route_diverted_frac
+
+    def test_probes_leave_results_bit_exact(self, sf5, sf5_tables):
+        """Telemetry-on scalar results equal the telemetry-off run on
+        both engines (the zero-perturbation contract, vec side)."""
+        traffic = UniformRandom(sf5.num_endpoints)
+        for sim_fn in (simulate, vec_simulate):
+            off = sim_fn(sf5, MinimalRouting(sf5_tables), traffic, 0.4, CFG)
+            on = sim_fn(
+                sf5, MinimalRouting(sf5_tables), traffic, 0.4, CFG,
+                telemetry=TelemetrySpec.full(),
+            )
+            assert off.telemetry is None and on.telemetry is not None
+            assert on.avg_latency == off.avg_latency
+            assert on.delivered == off.delivered
+            assert on.accepted_load == off.accepted_load
 
 
 class TestSweepContract:
