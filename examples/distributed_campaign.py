@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Distributed campaigns: content-addressed store + worker service
+(DESIGN.md, Layer 7).
+
+Runs one small campaign four ways and shows every output is
+byte-identical:
+
+1. serial baseline — plain ``run_campaign`` in this process;
+2. distributed — a coordinator in this process leases work units to
+   two ``serve-worker`` subprocesses over the socket protocol;
+3. distributed + store — same, but fresh results are also written to a
+   content-addressed result store;
+4. warm store — re-run against the store: every scenario replays from
+   cache, zero simulations, no service needed.
+
+Run:  python examples/distributed_campaign.py [output-dir]
+
+The same flow from the CLI (two shells, any hosts that share a port):
+
+    python -m repro.experiments campaign grid.json --service 0.0.0.0:7077
+    python -m repro.experiments serve-worker HOST:7077 --workers 0
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.scenarios import (
+    Campaign,
+    RoutingSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    WorkloadSpec,
+    run_campaign,
+)
+from repro.service.coordinator import ServiceConfig
+from repro.sim import SimConfig
+
+CFG = SimConfig(warmup_cycles=150, measure_cycles=350, drain_cycles=1200, seed=7)
+
+
+def build_campaign() -> Campaign:
+    # Several open-loop scenarios (one work unit each) plus a
+    # closed-loop batch, so the coordinator has real units to shard.
+    base = Scenario(
+        topology=TopologySpec("SF", params={"q": 5}),
+        routing=RoutingSpec("min"),
+        sim=CFG,
+        traffic=TrafficSpec("uniform", seed=7),
+        loads=[0.1, 0.4, 0.7],
+    )
+    grid = Campaign.from_grid(
+        "distributed-demo",
+        base,
+        {
+            "routing": [
+                RoutingSpec("min"),
+                RoutingSpec("val", {"seed": 7}),
+                RoutingSpec("ugal-l", {"seed": 7}),
+            ],
+            "traffic": [
+                TrafficSpec("uniform", seed=7),
+                TrafficSpec("worstcase", seed=7),
+            ],
+        },
+        label=lambda s: f"{s.routing.name}/{s.traffic.pattern}",
+    )
+    closed = [
+        Scenario(
+            topology=TopologySpec("SF", params={"q": 5}),
+            routing=RoutingSpec("min"),
+            sim=SimConfig(seed=7),
+            workload=WorkloadSpec("ring-allreduce", ranks=16, size_flits=4),
+            max_cycles=200_000,
+            label="min/ring-allreduce",
+        )
+    ]
+    return Campaign("distributed-demo", grid.scenarios + closed)
+
+
+def _spawn_workers(host: str, port: int, count: int) -> list:
+    """Launch ``serve-worker`` subprocesses pointed at the coordinator."""
+    src = Path(repro.__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    return [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments", "serve-worker",
+             f"{host}:{port}", "--workers", "1", "--retry-for", "30"],
+            env=env,
+        )
+        for _ in range(count)
+    ]
+
+
+def run_distributed(campaign: Campaign, out: Path, store=None):
+    """Run the campaign through an in-process coordinator + 2 workers."""
+    procs: list = []
+    service = ServiceConfig(
+        port=0,  # ephemeral; workers launch once the listener reports in
+        wait_for_workers=30.0,
+        on_bound=lambda host, port: procs.extend(_spawn_workers(host, port, 2)),
+    )
+    try:
+        report = run_campaign(campaign, out=out, store=store, service=service)
+    finally:
+        for p in procs:
+            p.wait(timeout=30)
+    return report
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    campaign = build_campaign()
+    print(f"campaign: {len(campaign)} scenarios, {campaign.num_rows} rows")
+
+    # 1. Serial baseline.
+    t0 = time.time()
+    serial = run_campaign(campaign, workers=1, out=out_dir / "serial.jsonl")
+    print(f"serial       {serial.summary()}  [{time.time() - t0:.1f}s]")
+
+    # 2. Coordinator + two worker subprocesses.
+    t0 = time.time()
+    svc = run_distributed(campaign, out_dir / "service.jsonl")
+    print(f"service      {svc.summary()}  [{time.time() - t0:.1f}s]")
+    assert _bytes(out_dir / "service.jsonl") == _bytes(out_dir / "serial.jsonl"), (
+        "service output must be byte-identical to the serial run"
+    )
+
+    # 3. Same again, but populate a content-addressed store on the way.
+    store = out_dir / "store"
+    t0 = time.time()
+    cold = run_distributed(campaign, out_dir / "cold.jsonl", store=store)
+    print(f"service+store {cold.summary()}  [{time.time() - t0:.1f}s]")
+    assert _bytes(out_dir / "cold.jsonl") == _bytes(out_dir / "serial.jsonl")
+
+    # 4. Warm store: everything replays from cache — no simulations,
+    #    no sockets, byte-identical rows.
+    t0 = time.time()
+    warm = run_campaign(campaign, out=out_dir / "warm.jsonl", store=store)
+    print(f"warm store   {warm.summary()}  [{time.time() - t0:.1f}s]")
+    assert warm.simulated == 0, "a warm store must cost zero simulations"
+    assert warm.store_hits == len(campaign)
+    assert _bytes(out_dir / "warm.jsonl") == _bytes(out_dir / "serial.jsonl")
+
+    print("all four outputs byte-identical; warm pass simulated nothing")
+
+
+def _bytes(path: Path) -> bytes:
+    return path.read_bytes()
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,9 @@
     python -m repro.experiments fig6 --pattern worstcase
     python -m repro.experiments all --scale quick --json results.json
     python -m repro.experiments campaign grid.json --workers 4 --resume
+    python -m repro.experiments campaign grid.json --store ~/.cache/repro-store
+    python -m repro.experiments campaign grid.json --service 127.0.0.1:7077
+    python -m repro.experiments serve-worker 127.0.0.1:7077 --workers 4
     python -m repro.experiments report --out report/ --workers 4
     python -m repro.experiments report rows.jsonl --out report/
 
@@ -13,6 +16,13 @@ files (or, with none given, runs the standard figure-set campaigns
 into ``<out>/data/`` with resume semantics) plus the analytic
 cost/power experiments, and emits ``<out>/REPORT.md`` with
 byte-deterministic SVG figures and per-figure provenance.
+
+``campaign --service`` runs the scenario grid through the Layer-7
+coordinator/worker scheduler (DESIGN.md): the coordinator listens on
+the given address, ``serve-worker`` processes (any host) lease work
+units from it, and the output stays byte-identical to a local run.
+``--store`` plugs in the content-addressed result store so nothing is
+ever simulated twice, on any machine that shares the store.
 """
 
 from __future__ import annotations
@@ -156,13 +166,16 @@ def build_parser() -> argparse.ArgumentParser:
         "or run a declarative scenario campaign.",
     )
     parser.add_argument(
-        "experiment", nargs="?", help="experiment id, 'all', 'campaign', or 'report'"
+        "experiment",
+        nargs="?",
+        help="experiment id, 'all', 'campaign', 'serve-worker', or 'report'",
     )
     parser.add_argument(
         "files",
         nargs="*",
-        help="campaign JSON file (with 'campaign') or input data files "
-        "(with 'report': campaign .jsonl rows and/or --json .json results)",
+        help="campaign JSON file (with 'campaign'), coordinator HOST:PORT "
+        "(with 'serve-worker'), or input data files (with 'report': "
+        "campaign .jsonl rows and/or --json .json results)",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
@@ -220,6 +233,38 @@ def build_parser() -> argparse.ArgumentParser:
         "wall-clock, sims/sec) to stderr as JSON lines",
     )
     parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="campaign: content-addressed result store (directory path, or a "
+        "file:/memory: URL) — cache hits replay without simulating, fresh "
+        "results are written back",
+    )
+    parser.add_argument(
+        "--service",
+        metavar="ADDR",
+        default=None,
+        help="campaign: dispatch through the coordinator/worker scheduler, "
+        "listening on ADDR ([HOST:]PORT; port 0 picks an ephemeral port, "
+        "printed to stderr); point serve-worker processes at it",
+    )
+    parser.add_argument(
+        "--retry-for",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="serve-worker: keep retrying the initial connect this long "
+        "(workers may start before their coordinator)",
+    )
+    parser.add_argument(
+        "--fail-after",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="serve-worker: SIGKILL this worker on its N-th lease "
+        "(deterministic fault injection for tests/CI)",
+    )
+    parser.add_argument(
         "--no-analytics",
         action="store_true",
         help="report: skip the analytic cost/power figures",
@@ -262,8 +307,9 @@ def _run_campaign_cli(args) -> int:
         print("--no-analytics/--png apply to the 'report' subcommand only",
               file=sys.stderr)
         return 2
-    # Everything but --workers/--out/--resume is baked into the spec
-    # file; silently dropping a flag would misrepresent the rows.
+    # Everything but --workers/--out/--resume/--store/--service is
+    # baked into the spec file; silently dropping a flag would
+    # misrepresent the rows.
     ignored = [
         flag
         for flag, value, default in (
@@ -273,6 +319,8 @@ def _run_campaign_cli(args) -> int:
             ("--workload", args.workload, "alltoall"),
             ("--replicas", args.replicas, 1),
             ("--cable-model", args.cable_model, "mellanox-fdr10"),
+            ("--retry-for", args.retry_for, 10.0),
+            ("--fail-after", args.fail_after, None),
         )
         if value != default
     ]
@@ -289,13 +337,101 @@ def _run_campaign_cli(args) -> int:
         return 2
     campaign = Campaign.load(path)
     out = args.out or str(path.with_suffix("")) + ".results.jsonl"
+    service = None
+    if args.service is not None:
+        from repro.service.coordinator import ServiceConfig
+
+        try:
+            host, port = _parse_bind(args.service)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        service = ServiceConfig(
+            host=host,
+            port=port,
+            on_bound=lambda h, p: print(
+                f"[service] coordinator listening on {h}:{p}",
+                file=sys.stderr,
+                flush=True,
+            ),
+        )
     start = time.time()
     report = run_campaign(
         campaign, workers=args.workers, out=out, resume=args.resume,
-        progress=args.progress,
+        progress=args.progress, store=args.store, service=service,
     )
     print(report.summary())
     print(f"[campaign finished in {time.time() - start:.1f}s]")
+    return 0
+
+
+def _parse_bind(value: str) -> tuple[str, int]:
+    """A coordinator bind address: HOST:PORT or a bare PORT."""
+    from repro.service.worker import parse_address
+
+    if ":" in value:
+        return parse_address(value)
+    if value.isdigit():
+        return "127.0.0.1", int(value)
+    raise ValueError(f"--service takes [HOST:]PORT, got {value!r}")
+
+
+def _serve_worker_cli(args) -> int:
+    from repro.scenarios.spec import canonical_json
+    from repro.service.worker import serve_worker
+
+    if len(args.files) != 1:
+        print("serve-worker needs exactly one HOST:PORT argument", file=sys.stderr)
+        return 2
+    # serve-worker executes leases as-shipped; every flag that shapes
+    # *what* runs belongs to the coordinator side and is rejected
+    # loudly, mirroring the campaign subcommand's strictness.
+    ignored = [
+        flag
+        for flag, value, default in (
+            ("--scale", args.scale, "default"),
+            ("--seed", args.seed, 0),
+            ("--pattern", args.pattern, "uniform"),
+            ("--workload", args.workload, "alltoall"),
+            ("--replicas", args.replicas, 1),
+            ("--cable-model", args.cable_model, "mellanox-fdr10"),
+            ("--json", args.json, None),
+            ("--out", args.out, None),
+            ("--resume", args.resume, False),
+            ("--store", args.store, None),
+            ("--service", args.service, None),
+            ("--no-analytics", args.no_analytics, False),
+            ("--png", args.png, False),
+        )
+        if value != default
+    ]
+    if ignored:
+        print(
+            f"{', '.join(ignored)} cannot apply to serve-worker — a worker "
+            "only executes the leases its coordinator ships",
+            file=sys.stderr,
+        )
+        return 2
+    progress = None
+    if args.progress:
+        progress = lambda event: print(  # noqa: E731
+            canonical_json(event), file=sys.stderr, flush=True
+        )
+    try:
+        served = serve_worker(
+            args.files[0],
+            workers=args.workers,
+            retry_for=args.retry_for,
+            fail_after=args.fail_after,
+            progress=progress,
+        )
+    except ValueError as exc:  # bad address
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"serve-worker: {exc}", file=sys.stderr)
+        return 1
+    print(f"[serve-worker done: {served} lease(s) completed]")
     return 0
 
 
@@ -329,6 +465,10 @@ def _run_report_cli(args) -> int:
             ("--pattern", args.pattern, "uniform"),
             ("--workload", args.workload, "alltoall"),
             ("--replicas", args.replicas, 1),
+            ("--store", args.store, None),
+            ("--service", args.service, None),
+            ("--retry-for", args.retry_for, 10.0),
+            ("--fail-after", args.fail_after, None),
         )
         if value != default
     ]
@@ -402,13 +542,17 @@ def main(argv=None) -> int:
         for key, (_, desc) in EXPERIMENTS.items():
             print(f"{key.ljust(width)}  {desc}")
         print(
-            "\nsubcommands: campaign <grid.json> [--workers N] [--resume]  |  "
+            "\nsubcommands: campaign <grid.json> [--workers N] [--resume] "
+            "[--store PATH] [--service ADDR]  |  "
+            "serve-worker <host:port> [--workers N]  |  "
             "report [data.jsonl ...] --out <dir>"
         )
         return 0
 
     if args.experiment == "campaign":
         return _run_campaign_cli(args)
+    if args.experiment == "serve-worker":
+        return _serve_worker_cli(args)
     if args.experiment == "report":
         return _run_report_cli(args)
     if args.out or args.resume:
@@ -417,9 +561,17 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.progress:
-        print("--progress applies to the 'campaign' subcommand only",
+    if args.store or args.service:
+        print("--store/--service apply to the 'campaign' subcommand only",
               file=sys.stderr)
+        return 2
+    if args.retry_for != 10.0 or args.fail_after is not None:
+        print("--retry-for/--fail-after apply to the 'serve-worker' "
+              "subcommand only", file=sys.stderr)
+        return 2
+    if args.progress:
+        print("--progress applies to the 'campaign' and 'serve-worker' "
+              "subcommands only", file=sys.stderr)
         return 2
     if args.no_analytics or args.png:
         print("--no-analytics/--png apply to the 'report' subcommand only",

@@ -18,15 +18,29 @@ Because rows are written in campaign order and cached lines are
 replayed byte-for-byte, an interrupted campaign resumed to completion
 produces a final file identical to an uninterrupted run.
 
+Resume generalizes beyond one file through two opt-in transports
+(DESIGN.md, Layer 7):
+
+- ``store=`` plugs in a content-addressed result store
+  (:mod:`repro.service.store`): scenarios whose hash is already in the
+  store replay from it without simulating, and freshly simulated
+  scenarios are written back — so any scenario ever simulated against
+  the store, by any process on any host, is never re-simulated.
+- ``service=`` dispatches the pending work units through a
+  coordinator/worker scheduler (:mod:`repro.service.coordinator`)
+  instead of the local fork pools; rows stay byte-identical to an
+  in-process run at any worker/host count.
+
 Next to the JSONL, the runner writes a provenance sidecar
 (``<out>.meta.json``): the campaign name, package version, worker
-count, and the scenario index (hash, label, engine, row count).  The
-analysis layer (:mod:`repro.analysis.frames`) reads it to stamp
-per-figure provenance into reproduction reports.  Apart from the
-heartbeat section (wall-clock/sims-per-sec of the run that produced
-the rows, preserved across no-op resumes), the sidecar is free of
-timestamps and run counters, so a no-op resume rewrites it
-byte-identically.
+count, and the scenario index (hash, label, engine, row count, and the
+``origin`` of each scenario's rows — ``"simulated"`` or ``"cache"``
+for store hits).  The analysis layer (:mod:`repro.analysis.frames`)
+reads it to stamp per-figure provenance into reproduction reports.
+Apart from the heartbeat section (wall-clock/sims-per-sec of the run
+that produced the rows, preserved across no-op resumes, like the
+origin markers), the sidecar is free of timestamps and run counters,
+so a no-op resume rewrites it byte-identically.
 
 Scenarios that arm telemetry probes stream their measurements to a
 *third* file, ``<out>.metrics.jsonl`` (one canonical-JSON row per
@@ -63,16 +77,22 @@ def _clean(value):
     return value
 
 
-def _open_rows(
-    campaign: str, scenario: Scenario, points: Sequence[LoadPoint]
-) -> list[dict]:
+def _open_payload(scenario: Scenario, points: Sequence[LoadPoint]) -> list[dict]:
+    """One open-loop scenario's result rows, minus the campaign name.
+
+    Payload rows are the campaign-independent part of a row — what the
+    content-addressed store keys by ``scenario_hash`` and what service
+    workers ship back over the wire.  :func:`_with_campaign` stamps the
+    campaign name in; because the final line is ``canonical_json``
+    either way, a row replayed from a payload is byte-identical to a
+    freshly simulated one.
+    """
     h = scenario_hash(scenario)
     spec = scenario.to_dict()
     rows = []
     for i, pt in enumerate(points):
         rows.append(
             {
-                "campaign": campaign,
                 "scenario": h,
                 "label": scenario.label,
                 "engine": "open",
@@ -89,12 +109,10 @@ def _open_rows(
     return rows
 
 
-def _closed_rows(
-    campaign: str, scenario: Scenario, result: WorkloadResult
-) -> list[dict]:
+def _closed_payload(scenario: Scenario, result: WorkloadResult) -> list[dict]:
+    """One closed-loop scenario's result row, minus the campaign name."""
     return [
         {
-            "campaign": campaign,
             "scenario": scenario_hash(scenario),
             "label": scenario.label,
             "engine": "closed",
@@ -117,15 +135,20 @@ def _closed_rows(
     ]
 
 
+def _with_campaign(payload: Sequence[dict], campaign: str) -> list[dict]:
+    """Stamp the campaign name into payload rows (the full row form)."""
+    return [{"campaign": campaign, **row} for row in payload]
+
+
 def metrics_path_for(out_path: Path) -> Path:
     """The telemetry sidecar path for a campaign output file."""
     return out_path.with_name(out_path.name + ".metrics.jsonl")
 
 
-def _metrics_rows(
-    campaign: str, scenario: Scenario, points: Sequence[LoadPoint]
+def _metrics_payload(
+    scenario: Scenario, points: Sequence[LoadPoint]
 ) -> list[dict]:
-    """Telemetry sidecar rows for one open-loop scenario.
+    """Telemetry sidecar rows for one open-loop scenario (campaign-free).
 
     One row per load point that actually carries telemetry; fill
     points past the saturation short-circuit (and every point of a
@@ -139,7 +162,6 @@ def _metrics_rows(
         if pt.telemetry is None:
             continue
         row = {
-            "campaign": campaign,
             "scenario": h,
             "label": scenario.label,
             "row": i,
@@ -244,8 +266,11 @@ class CampaignReport:
     rows: list[dict] = field(default_factory=list)
     #: Scenarios actually simulated this run.
     simulated: int = 0
-    #: Scenarios whose rows were reused from the resume cache.
+    #: Scenarios whose rows were reused without simulating (resume
+    #: cache or store; store reuses are also counted in store_hits).
     skipped: int = 0
+    #: Scenarios served from the content-addressed result store.
+    store_hits: int = 0
     out: str | None = None
     #: Telemetry sidecar rows (parsed), in campaign order.
     metrics_rows: list[dict] = field(default_factory=list)
@@ -264,22 +289,38 @@ class CampaignReport:
     def summary(self) -> str:
         text = (
             f"campaign {self.campaign}: {self.simulated + self.skipped} scenarios "
-            f"(simulated={self.simulated} skipped={self.skipped}), "
-            f"{len(self.rows)} rows"
+            f"(simulated={self.simulated} skipped={self.skipped}"
         )
+        if self.store_hits:
+            text += f" store_hits={self.store_hits}"
+        text += f"), {len(self.rows)} rows"
         hb = self.heartbeat
         if hb is not None:
             text += f", {hb['wall_s']:.2f}s wall"
-            if hb["sims"]:
+            # sims_per_s is null on zero-simulation and zero-duration
+            # campaigns (a fully-resumed run has no meaningful rate).
+            if hb.get("sims") and hb.get("sims_per_s") is not None:
                 text += f" ({hb['sims_per_s']:.1f} sims/s)"
         if self.metrics_rows:
             text += f", {len(self.metrics_rows)} telemetry rows"
         return text + (f" -> {self.out}" if self.out else "")
 
 
+def _sims_per_s(sims: int, wall: float) -> float | None:
+    """Simulation rate for a heartbeat event; null when meaningless.
+
+    Fully-resumed campaigns schedule zero simulations and can finish in
+    ~zero wall-clock — both make a rate division-prone nonsense, so
+    such events carry ``sims_per_s: null`` instead.
+    """
+    if not sims or wall <= 0:
+        return None
+    return round(sims / wall, 2)
+
+
 def _write_meta(
     out_path: Path, campaign: Campaign, workers: int, simulated: int,
-    heartbeat: dict | None = None,
+    heartbeat: dict | None = None, origins: dict[str, str] | None = None,
 ) -> None:
     """Provenance sidecar for an output file (see module docstring).
 
@@ -288,22 +329,39 @@ def _write_meta(
     worker count and heartbeat — the rows in the file are still the
     old run's — instead of stamping numbers from a run that never
     simulated anything (which also keeps the sidecar byte-stable
-    across no-op resumes).
+    across no-op resumes).  ``origins`` follows the same rule per
+    scenario: ``"simulated"`` and ``"cache"`` (store hit) describe how
+    this run obtained the rows, while file-resumed scenarios keep the
+    origin recorded by the run that actually produced them.
     """
     from repro import __version__
 
     meta_path = out_path.with_name(out_path.name + ".meta.json")
-    if simulated == 0 and meta_path.exists():
+    previous: dict | None = None
+    if meta_path.exists():
         try:
-            previous = json.loads(meta_path.read_text(encoding="utf-8"))
+            parsed = json.loads(meta_path.read_text(encoding="utf-8"))
             # A corrupt/foreign sidecar (non-dict JSON included) is
             # simply rewritten rather than trusted.
-            if isinstance(previous, dict) and \
-                    previous.get("campaign") == campaign.name:
-                workers = previous.get("workers", workers)
-                heartbeat = previous.get("heartbeat", heartbeat)
+            if isinstance(parsed, dict) and parsed.get("campaign") == campaign.name:
+                previous = parsed
         except ValueError:
             pass
+    if simulated == 0 and previous is not None:
+        workers = previous.get("workers", workers)
+        heartbeat = previous.get("heartbeat", heartbeat)
+    previous_origins = {
+        e.get("scenario"): e.get("origin", "simulated")
+        for e in (previous.get("scenarios", []) if previous else [])
+        if isinstance(e, dict)
+    }
+
+    def _origin(h: str) -> str:
+        o = (origins or {}).get(h, "simulated")
+        if o == "resume":
+            return previous_origins.get(h, "simulated")
+        return o
+
     meta = {
         "format": 1,
         "campaign": campaign.name,
@@ -315,6 +373,7 @@ def _write_meta(
                 "label": s.label,
                 "engine": s.engine,
                 "rows": s.num_rows,
+                "origin": _origin(scenario_hash(s)),
             }
             for s in campaign.scenarios
         ],
@@ -363,12 +422,50 @@ def _heartbeat(report: CampaignReport, progress: bool, **fields) -> None:
         print(canonical_json(fields), file=sys.stderr, flush=True)
 
 
+def partition_units(
+    scenarios: Sequence[Scenario], pending: Sequence[bool]
+) -> list[tuple[str, list[int]]]:
+    """Split the pending scenarios into schedulable work units.
+
+    The unit boundaries replicate the local dispatch loop exactly: an
+    open-loop scenario is one unit; a run of pending closed-loop
+    scenarios — consecutive modulo already-cached neighbours, stopping
+    at the next pending open-loop scenario — forms one batch unit (the
+    grain :func:`~repro.sim.parallel.parallel_workload_completion`
+    receives).  Units are in campaign order, so executing them in
+    order and emitting cached scenarios between them reconstructs the
+    campaign's deterministic row order.
+    """
+    units: list[tuple[str, list[int]]] = []
+    i = 0
+    while i < len(scenarios):
+        if not pending[i]:
+            i += 1
+        elif scenarios[i].engine == "open":
+            units.append(("open", [i]))
+            i += 1
+        else:
+            j = i
+            batch: list[int] = []
+            while j < len(scenarios) and not (
+                pending[j] and scenarios[j].engine == "open"
+            ):
+                if pending[j]:
+                    batch.append(j)
+                j += 1
+            units.append(("closed", batch))
+            i = j
+    return units
+
+
 def run_campaign(
     campaign: Campaign,
     workers: int = 1,
     out=None,
     resume: bool = False,
     progress: bool = False,
+    store=None,
+    service=None,
 ) -> CampaignReport:
     """Execute a campaign, streaming rows to ``out`` (JSONL).
 
@@ -378,6 +475,22 @@ def run_campaign(
     reuses the complete scenarios already present in ``out`` and
     simulates only the rest; the finished file is byte-identical to a
     clean run.  Duplicate scenarios are dropped before execution.
+
+    ``store`` plugs in a content-addressed result store — a
+    :class:`~repro.service.store.ResultStore`, a directory path, or a
+    ``"file:"``/``"memory:"`` URL for :func:`~repro.service.store.open_store`.
+    Scenarios found in the store replay without simulating (counted in
+    ``store_hits``) and fresh results are written back, so the store
+    memoizes across files, processes, and hosts while the output stays
+    byte-identical to a cold run.  ``service`` (a
+    :class:`~repro.service.coordinator.ServiceConfig`) dispatches the
+    pending work units through the coordinator/worker scheduler
+    instead of the local fork pools — same rows, any host count.
+
+    A campaign whose every scenario is already covered by the resume
+    file and/or the store is recognised *before* any spec resolution,
+    service socket, or worker pool is touched: a no-op resume costs
+    O(scenario hashes) plus the file replay, nothing else.
 
     Scenarios with an armed :class:`~repro.sim.telemetry.TelemetrySpec`
     stream their probe measurements to a second sidecar,
@@ -393,6 +506,10 @@ def run_campaign(
     if resume and out is None:
         raise ValueError("resume=True needs an output file to resume from")
     out_path = Path(out) if out is not None else None
+    if store is not None:
+        from repro.service.store import open_store
+
+        store = open_store(store)
 
     cache: dict[str, list[str]] = {}
     metrics_cache: dict[str, list[str]] = {}
@@ -424,6 +541,37 @@ def run_campaign(
             ).items():
                 metrics_cache.setdefault(h, lines)
 
+    report = CampaignReport(campaign=campaign.name, out=str(out_path) if out_path else None)
+    hashes = [scenario_hash(s) for s in scenarios]
+    pending = [h not in cache for h in hashes]
+    #: hash -> how this run obtained the rows ("resume" defers to the
+    #: previous meta sidecar; see _write_meta).
+    origins: dict[str, str] = {
+        h: "resume" for h, p in zip(hashes, pending) if not p
+    }
+    cache_source: dict[str, str] = {h: "resume" for h in origins}
+    if store is not None:
+        # Store probe: one get() per still-pending hash, before any
+        # resolution — a warm store turns the scenario into a replay.
+        for i, h in enumerate(hashes):
+            if not pending[i]:
+                continue
+            entry = store.get(h)
+            if entry is None:
+                continue
+            cache[h] = [
+                canonical_json(r) for r in _with_campaign(entry.rows, campaign.name)
+            ]
+            if entry.metrics:
+                metrics_cache[h] = [
+                    canonical_json(r)
+                    for r in _with_campaign(entry.metrics, campaign.name)
+                ]
+            pending[i] = False
+            origins[h] = "cache"
+            cache_source[h] = "store"
+            report.store_hits += 1
+
     # Resumed runs rewrite through a temp file so an interruption never
     # destroys the cache the next attempt resumes from.
     write_path = out_path
@@ -432,9 +580,6 @@ def run_campaign(
         write_path = tmp_path
         metrics_write_path = metrics_tmp
 
-    report = CampaignReport(campaign=campaign.name, out=str(out_path) if out_path else None)
-    hashes = [scenario_hash(s) for s in scenarios]
-    pending = [h not in cache for h in hashes]
     t_campaign = time.perf_counter()
     sims_at_start = simulations_started()
 
@@ -446,117 +591,63 @@ def run_campaign(
 
     stream = open(write_path, "w") if write_path is not None else None
     metrics_stream = _LazyStream(metrics_write_path)
+
+    def _replay_cached(i: int) -> None:
+        """Emit scenario ``i`` from the resume/store cache."""
+        raw = cache[hashes[i]]
+        rows = [json.loads(line) for line in raw]
+        report.rows.extend(rows)
+        report.skipped += 1
+        mraw = metrics_cache.get(hashes[i], [])
+        _metrics_emit([json.loads(line) for line in mraw], mraw)
+        _emit(stream, rows, raw)
+        _heartbeat(
+            report, progress, event="scenario_cached",
+            campaign=campaign.name, scenario=hashes[i],
+            label=scenarios[i].label, index=i, of=len(scenarios),
+            source=cache_source[hashes[i]],
+        )
+
+    def _record_simulated(
+        k: int, payload: list[dict], metrics_payload: list[dict]
+    ) -> None:
+        """Emit scenario ``k``'s freshly produced payload rows."""
+        rows = _with_campaign(payload, campaign.name)
+        report.simulated += 1
+        origins[hashes[k]] = "simulated"
+        # Metrics lines land before the result rows so a kill between
+        # the two writes leaves the scenario pending (incomplete main
+        # rows), never with lost telemetry.
+        _metrics_emit(_with_campaign(metrics_payload, campaign.name), None)
+        report.rows.extend(rows)
+        _emit(stream, rows, None)
+        if store is not None:
+            from repro.service.store import StoreEntry
+
+            store.put(
+                StoreEntry(
+                    scenario=hashes[k], rows=payload, metrics=metrics_payload
+                )
+            )
+
     try:
-        i = 0
-        while i < len(scenarios):
-            s = scenarios[i]
-            if not pending[i]:
-                raw = cache[hashes[i]]
-                rows = [json.loads(line) for line in raw]
-                report.rows.extend(rows)
-                report.skipped += 1
-                mraw = metrics_cache.get(hashes[i], [])
-                _metrics_emit([json.loads(line) for line in mraw], mraw)
-                _emit(stream, rows, raw)
-                _heartbeat(
-                    report, progress, event="scenario_cached",
-                    campaign=campaign.name, scenario=hashes[i], label=s.label,
-                    index=i, of=len(scenarios),
-                )
-                i += 1
-            elif s.engine == "open":
-                _heartbeat(
-                    report, progress, event="scenario_start",
-                    campaign=campaign.name, scenario=hashes[i], label=s.label,
-                    index=i, of=len(scenarios), workers=workers,
-                )
-                t0 = time.perf_counter()
-                sims0 = simulations_started()
-                points = _run_open(resolve(s), workers)
-                wall = time.perf_counter() - t0
-                sims = simulations_started() - sims0
-                rows = _open_rows(campaign.name, s, points)
-                report.rows.extend(rows)
-                report.simulated += 1
-                # Metrics lines land before the result rows so a kill
-                # between the two writes leaves the scenario pending
-                # (incomplete main rows), never with lost telemetry.
-                _metrics_emit(_metrics_rows(campaign.name, s, points), None)
-                _emit(stream, rows, None)
-                _heartbeat(
-                    report, progress, event="scenario_finish",
-                    campaign=campaign.name, scenario=hashes[i], label=s.label,
-                    index=i, of=len(scenarios), workers=workers,
-                    wall_s=round(wall, 3), sims=sims,
-                    sims_per_s=round(sims / wall, 2) if wall > 0 else 0.0,
-                )
-                i += 1
-            else:
-                # Batch the pending closed-loop scenarios of the window
-                # [i, j): consecutive modulo cached/closed neighbours,
-                # stopping at the next pending open-loop scenario.
-                j = i
-                batch: list[int] = []
-                while j < len(scenarios) and not (
-                    pending[j] and scenarios[j].engine == "open"
-                ):
-                    if pending[j]:
-                        batch.append(j)
-                    j += 1
-                tasks = []
-                for k in batch:
-                    r = resolve(scenarios[k])
-                    tasks.append(
-                        CompletionTask(
-                            topology=r.topology,
-                            routing_factory=r.routing_factory,
-                            workload=r.workload,
-                            config=r.config,
-                            max_cycles=scenarios[k].max_cycles,
-                            label=scenarios[k].label,
-                        )
-                    )
-                if batch:
-                    _heartbeat(
-                        report, progress, event="batch_start",
-                        campaign=campaign.name, engine="closed",
-                        scenarios=len(batch), index=i, of=len(scenarios),
-                        workers=workers,
-                    )
-                t0 = time.perf_counter()
-                sims0 = simulations_started()
-                results = dict(
-                    zip(batch, parallel_workload_completion(tasks, workers=workers))
-                )
-                wall = time.perf_counter() - t0
-                sims = simulations_started() - sims0
-                if batch:
-                    _heartbeat(
-                        report, progress, event="batch_finish",
-                        campaign=campaign.name, engine="closed",
-                        scenarios=len(batch), index=i, of=len(scenarios),
-                        workers=workers, wall_s=round(wall, 3), sims=sims,
-                        sims_per_s=round(sims / wall, 2) if wall > 0 else 0.0,
-                    )
-                for k in range(i, j):
-                    if k in results:
-                        rows = _closed_rows(campaign.name, scenarios[k], results[k])
-                        report.rows.extend(rows)
-                        report.simulated += 1
-                        _emit(stream, rows, None)
-                    else:
-                        raw = cache[hashes[k]]
-                        rows = [json.loads(line) for line in raw]
-                        report.rows.extend(rows)
-                        report.skipped += 1
-                        _emit(stream, rows, raw)
-                        _heartbeat(
-                            report, progress, event="scenario_cached",
-                            campaign=campaign.name, scenario=hashes[k],
-                            label=scenarios[k].label, index=k,
-                            of=len(scenarios),
-                        )
-                i = j
+        if not any(pending):
+            # No-op resume short-circuit: everything is in the resume
+            # file and/or the store, so replay it without resolving a
+            # single topology, opening a service socket, or forking a
+            # pool — O(hash count) + the byte replay.
+            for i in range(len(scenarios)):
+                _replay_cached(i)
+        elif service is not None:
+            _run_service(
+                campaign, scenarios, hashes, pending, workers, service,
+                report, progress, _replay_cached, _record_simulated,
+            )
+        else:
+            _run_local(
+                campaign, scenarios, hashes, pending, workers,
+                report, progress, _replay_cached, _record_simulated,
+            )
     finally:
         if stream is not None:
             stream.close()
@@ -566,7 +657,7 @@ def run_campaign(
     _heartbeat(
         report, progress, event="campaign_finish", campaign=campaign.name,
         workers=workers, wall_s=round(wall, 3), sims=sims,
-        sims_per_s=round(sims / wall, 2) if wall > 0 else 0.0,
+        sims_per_s=_sims_per_s(sims, wall),
         simulated=report.simulated, skipped=report.skipped,
         rows=len(report.rows),
     )
@@ -594,8 +685,152 @@ def run_campaign(
                 if hb is not None and hb["sims"]
                 else None
             ),
+            origins=origins,
         )
     return report
+
+
+def _run_local(
+    campaign: Campaign,
+    scenarios: Sequence[Scenario],
+    hashes: Sequence[str],
+    pending: Sequence[bool],
+    workers: int,
+    report: CampaignReport,
+    progress: bool,
+    replay_cached,
+    record_simulated,
+) -> None:
+    """The in-process dispatch loop (fork-pool transports of Layer 3)."""
+    i = 0
+    while i < len(scenarios):
+        s = scenarios[i]
+        if not pending[i]:
+            replay_cached(i)
+            i += 1
+        elif s.engine == "open":
+            _heartbeat(
+                report, progress, event="scenario_start",
+                campaign=campaign.name, scenario=hashes[i], label=s.label,
+                index=i, of=len(scenarios), workers=workers,
+            )
+            t0 = time.perf_counter()
+            sims0 = simulations_started()
+            points = _run_open(resolve(s), workers)
+            wall = time.perf_counter() - t0
+            sims = simulations_started() - sims0
+            record_simulated(i, _open_payload(s, points), _metrics_payload(s, points))
+            _heartbeat(
+                report, progress, event="scenario_finish",
+                campaign=campaign.name, scenario=hashes[i], label=s.label,
+                index=i, of=len(scenarios), workers=workers,
+                wall_s=round(wall, 3), sims=sims,
+                sims_per_s=_sims_per_s(sims, wall),
+            )
+            i += 1
+        else:
+            # Batch the pending closed-loop scenarios of the window
+            # [i, j): consecutive modulo cached/closed neighbours,
+            # stopping at the next pending open-loop scenario.
+            j = i
+            batch: list[int] = []
+            while j < len(scenarios) and not (
+                pending[j] and scenarios[j].engine == "open"
+            ):
+                if pending[j]:
+                    batch.append(j)
+                j += 1
+            tasks = []
+            for k in batch:
+                r = resolve(scenarios[k])
+                tasks.append(
+                    CompletionTask(
+                        topology=r.topology,
+                        routing_factory=r.routing_factory,
+                        workload=r.workload,
+                        config=r.config,
+                        max_cycles=scenarios[k].max_cycles,
+                        label=scenarios[k].label,
+                    )
+                )
+            if batch:
+                _heartbeat(
+                    report, progress, event="batch_start",
+                    campaign=campaign.name, engine="closed",
+                    scenarios=len(batch), index=i, of=len(scenarios),
+                    workers=workers,
+                )
+            t0 = time.perf_counter()
+            sims0 = simulations_started()
+            results = dict(
+                zip(batch, parallel_workload_completion(tasks, workers=workers))
+            )
+            wall = time.perf_counter() - t0
+            sims = simulations_started() - sims0
+            if batch:
+                _heartbeat(
+                    report, progress, event="batch_finish",
+                    campaign=campaign.name, engine="closed",
+                    scenarios=len(batch), index=i, of=len(scenarios),
+                    workers=workers, wall_s=round(wall, 3), sims=sims,
+                    sims_per_s=_sims_per_s(sims, wall),
+                )
+            for k in range(i, j):
+                if k in results:
+                    record_simulated(
+                        k, _closed_payload(scenarios[k], results[k]), []
+                    )
+                else:
+                    replay_cached(k)
+            i = j
+
+
+def _run_service(
+    campaign: Campaign,
+    scenarios: Sequence[Scenario],
+    hashes: Sequence[str],
+    pending: Sequence[bool],
+    workers: int,
+    service,
+    report: CampaignReport,
+    progress: bool,
+    replay_cached,
+    record_simulated,
+) -> None:
+    """Dispatch the pending units through the coordinator scheduler.
+
+    The coordinator completes units in whatever order workers finish
+    them but hands them back here in campaign order, so rows stream to
+    the output file deterministically: cached scenarios interleave at
+    their campaign positions, exactly like the local loop.
+    """
+    from repro.service.coordinator import Coordinator
+
+    units = partition_units(scenarios, pending)
+    next_idx = 0
+
+    def emit_cached_until(limit: int) -> None:
+        nonlocal next_idx
+        while next_idx < limit:
+            if pending[next_idx]:
+                raise RuntimeError(
+                    f"scenario {next_idx} emitted out of order"
+                )  # pragma: no cover - coordinator ordering bug
+            replay_cached(next_idx)
+            next_idx += 1
+
+    def on_scenario(k: int, payload: dict) -> None:
+        nonlocal next_idx
+        emit_cached_until(k)
+        record_simulated(k, payload["rows"], payload.get("metrics", []))
+        next_idx = k + 1
+
+    coordinator = Coordinator(
+        campaign.name, scenarios, service, local_workers=workers,
+        heartbeat=lambda **fields: _heartbeat(report, progress, **fields),
+    )
+    coordinator.execute(units, on_scenario)
+    emit_cached_until(len(scenarios))
 
 
 def rows_by_label(report: CampaignReport) -> dict[str, list[dict]]:

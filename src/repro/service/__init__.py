@@ -1,0 +1,19 @@
+"""Distributed campaign service (Layer 7).
+
+The service layer generalizes :func:`repro.scenarios.runner.run_campaign`
+beyond one process on one machine, in two independent directions:
+
+- :mod:`repro.service.store` — a content-addressed result store keyed
+  by ``scenario_hash``: any scenario ever simulated against the store,
+  by any process on any host, is never re-simulated.
+- :mod:`repro.service.coordinator` / :mod:`repro.service.worker` — a
+  coordinator/worker scheduler that leases a campaign's work units to
+  remote workers over the length-prefixed JSON socket protocol of
+  :mod:`repro.service.protocol`, streams results back in deterministic
+  campaign order, and degrades gracefully to in-process execution when
+  no workers show up.
+
+Both plug into ``run_campaign(store=..., service=...)``; the repo's
+determinism contract (byte-identical JSONL at any worker count) holds
+at any host count and any cache temperature.
+"""

@@ -1,0 +1,294 @@
+"""Content-addressed result store keyed by ``scenario_hash``.
+
+A :class:`StoreEntry` holds one scenario's campaign-independent result
+payload: the main result rows (minus the ``campaign`` key, which the
+runner stamps back in on replay) plus the telemetry sidecar rows.  The
+store keys entries by the scenario's stable sha256 hash, so "has this
+exact simulation ever run anywhere?" is one ``get()``.
+
+Integrity is checked on *read*, not trusted from disk: the stored
+payload digest must match a re-computed sha256 of the canonical-JSON
+payload, the row schema must be coherent (row indices, per-row
+scenario hash), and the embedded spec must re-hash to the entry's key.
+An entry failing any check is moved aside into ``quarantine/`` and
+reported as a miss, so a corrupted cache degrades to re-simulation,
+never to wrong rows.
+
+Writes are atomic (unique temp file + ``os.replace``), so concurrent
+writers of the same hash race safely: both write byte-identical
+content (the payload is canonical JSON of deterministic rows) and the
+last rename wins without any reader ever observing a torn file.
+
+:data:`STORE_BACKENDS` maps backend names to constructors;
+:func:`open_store` turns a path / URL / instance into a live store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from repro.scenarios.spec import Scenario, canonical_json, scenario_hash
+
+__all__ = [
+    "STORE_BACKENDS",
+    "FileResultStore",
+    "MemoryResultStore",
+    "ResultStore",
+    "StoreEntry",
+    "StoreIntegrityError",
+    "open_store",
+]
+
+#: On-disk entry format version (bumped on incompatible layout change).
+STORE_FORMAT = 1
+
+_ROW_KEYS = frozenset({"scenario", "label", "engine", "row", "rows", "spec"})
+
+
+class StoreIntegrityError(Exception):
+    """A store entry failed validation (schema, digest, or re-hash)."""
+
+
+class StoreEntry:
+    """One scenario's cached result payload.
+
+    ``rows``/``metrics`` are payload rows — full result/telemetry rows
+    minus the ``campaign`` key (see
+    :func:`repro.scenarios.runner.run_campaign`), so one entry serves
+    every campaign that contains the scenario.
+    """
+
+    __slots__ = ("scenario", "rows", "metrics")
+
+    def __init__(self, scenario: str, rows: list[dict], metrics: list[dict] | None = None):
+        self.scenario = scenario
+        self.rows = list(rows)
+        self.metrics = list(metrics or [])
+
+    def payload(self) -> dict:
+        """The digested content: result + telemetry rows."""
+        return {"metrics": self.metrics, "rows": self.rows}
+
+    def digest(self) -> str:
+        """sha256 hex digest of the canonical-JSON payload."""
+        return hashlib.sha256(
+            canonical_json(self.payload()).encode("utf-8")
+        ).hexdigest()
+
+    def validate(self) -> None:
+        """Raise :class:`StoreIntegrityError` unless the entry is coherent.
+
+        Checks the row schema (indices 0..rows-1 in order, every row
+        tagged with the entry's hash) and re-derives the content key
+        from the embedded spec: ``scenario_hash(Scenario.from_dict(spec))``
+        must equal ``self.scenario``, so an entry can never be replayed
+        under a key its simulation inputs do not hash to.
+        """
+        if not isinstance(self.scenario, str) or not self.scenario:
+            raise StoreIntegrityError("entry has no scenario hash")
+        if not self.rows:
+            raise StoreIntegrityError("entry has no result rows")
+        for i, row in enumerate(self.rows):
+            if not isinstance(row, dict) or not _ROW_KEYS <= set(row):
+                raise StoreIntegrityError(f"row {i} is missing required keys")
+            if row["scenario"] != self.scenario:
+                raise StoreIntegrityError(f"row {i} is tagged with a foreign hash")
+            if row["row"] != i or row["rows"] != len(self.rows):
+                raise StoreIntegrityError(f"row {i} has inconsistent row indices")
+            if "campaign" in row:
+                raise StoreIntegrityError(f"row {i} carries a campaign name")
+        for i, row in enumerate(self.metrics):
+            if not isinstance(row, dict) or row.get("scenario") != self.scenario:
+                raise StoreIntegrityError(f"metrics row {i} is not this scenario's")
+        try:
+            derived = scenario_hash(Scenario.from_dict(self.rows[0]["spec"]))
+        except (TypeError, ValueError, KeyError) as exc:
+            raise StoreIntegrityError(f"embedded spec does not parse: {exc}") from exc
+        if derived != self.scenario:
+            raise StoreIntegrityError(
+                f"embedded spec hashes to {derived}, entry keyed {self.scenario}"
+            )
+
+    def to_json(self) -> str:
+        """Serialize to the on-disk/on-wire entry document."""
+        return canonical_json(
+            {
+                "format": STORE_FORMAT,
+                "payload": self.payload(),
+                "payload_sha256": self.digest(),
+                "scenario": self.scenario,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str, expect: str | None = None) -> "StoreEntry":
+        """Parse and fully validate an entry document.
+
+        ``expect`` (the hash the caller looked up) guards against an
+        entry filed under the wrong name.  Raises
+        :class:`StoreIntegrityError` on any parse, digest, schema, or
+        re-hash failure.
+        """
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            raise StoreIntegrityError(f"entry is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("format") != STORE_FORMAT:
+            raise StoreIntegrityError("unknown entry format")
+        payload = doc.get("payload")
+        if not isinstance(payload, dict):
+            raise StoreIntegrityError("entry has no payload")
+        entry = cls(
+            scenario=doc.get("scenario", ""),
+            rows=payload.get("rows", []),
+            metrics=payload.get("metrics", []),
+        )
+        if expect is not None and entry.scenario != expect:
+            raise StoreIntegrityError(
+                f"entry is keyed {entry.scenario}, expected {expect}"
+            )
+        if entry.digest() != doc.get("payload_sha256"):
+            raise StoreIntegrityError("payload digest mismatch (bit rot?)")
+        entry.validate()
+        return entry
+
+
+class ResultStore(ABC):
+    """Backend ABC: content-addressed map from scenario hash to entry.
+
+    ``get`` must return ``None`` (never raise, never return garbage)
+    for missing *or invalid* entries — a corrupt cache degrades to a
+    miss.  ``put`` must be atomic with respect to concurrent readers
+    and same-hash writers.
+    """
+
+    @abstractmethod
+    def get(self, scenario: str) -> StoreEntry | None:
+        """Return the validated entry for a hash, or None on miss."""
+
+    @abstractmethod
+    def put(self, entry: StoreEntry) -> None:
+        """Validate and persist an entry (last same-hash writer wins)."""
+
+    def __contains__(self, scenario: str) -> bool:
+        return self.get(scenario) is not None
+
+
+class FileResultStore(ResultStore):
+    """Filesystem-backed store: ``<root>/objects/<h[:2]>/<h>.json``.
+
+    Entries are fanned out over 256 two-hex-digit directories.  Writes
+    go to a unique sibling temp file and ``os.replace`` into place, so
+    readers never see a torn entry and same-hash racers settle on one
+    of two byte-identical files.  Entries that fail validation on read
+    are moved to ``<root>/quarantine/`` (preserved for forensics, out
+    of the lookup path) and the read reports a miss.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+
+    def _object_path(self, scenario: str) -> Path:
+        return self.root / "objects" / scenario[:2] / f"{scenario}.json"
+
+    def get(self, scenario: str) -> StoreEntry | None:
+        path = self._object_path(scenario)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            return StoreEntry.from_json(text, expect=scenario)
+        except StoreIntegrityError:
+            self._quarantine(path)
+            return None
+
+    def put(self, entry: StoreEntry) -> None:
+        entry.validate()
+        path = self._object_path(entry.scenario)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique per writer (pid AND thread): same-hash racers each
+        # stage their own temp file, and the atomic renames commute
+        # because the staged bytes are identical canonical JSON.
+        tmp = path.with_name(
+            f".{entry.scenario}.{os.getpid()}-{threading.get_ident()}.tmp"
+        )
+        tmp.write_text(entry.to_json() + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    def _quarantine(self, path: Path) -> None:
+        qdir = self.root / "quarantine"
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = qdir / f"{path.name}.{n}"
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - raced with another reader
+            pass
+
+    def quarantined(self) -> list[str]:
+        """Names of quarantined entry files (forensics helper)."""
+        qdir = self.root / "quarantine"
+        if not qdir.is_dir():
+            return []
+        return sorted(p.name for p in qdir.iterdir())
+
+
+class MemoryResultStore(ResultStore):
+    """In-process dict-backed store (tests, single-run memoization)."""
+
+    def __init__(self, root=None):
+        self._entries: dict[str, str] = {}
+
+    def get(self, scenario: str) -> StoreEntry | None:
+        text = self._entries.get(scenario)
+        if text is None:
+            return None
+        try:
+            return StoreEntry.from_json(text, expect=scenario)
+        except StoreIntegrityError:
+            del self._entries[scenario]
+            return None
+
+    def put(self, entry: StoreEntry) -> None:
+        entry.validate()
+        self._entries[entry.scenario] = entry.to_json()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Backend registry: URL scheme -> constructor taking the root/locator.
+STORE_BACKENDS: dict[str, type] = {
+    "file": FileResultStore,
+    "memory": MemoryResultStore,
+}
+
+
+def open_store(target) -> ResultStore:
+    """Turn a store designator into a live :class:`ResultStore`.
+
+    Accepts an existing store instance (returned as-is), a
+    ``"<backend>:<root>"`` URL resolved through :data:`STORE_BACKENDS`
+    (``"file:/var/cache/repro"``, ``"memory:"``), or a bare
+    path / :class:`~pathlib.Path`, which means the file backend.
+    """
+    if isinstance(target, ResultStore):
+        return target
+    if isinstance(target, Path):
+        return FileResultStore(target)
+    if not isinstance(target, str):
+        raise TypeError(f"cannot open a store from {type(target).__name__}")
+    scheme, sep, rest = target.partition(":")
+    if sep and scheme in STORE_BACKENDS:
+        return STORE_BACKENDS[scheme](rest or None)
+    return FileResultStore(target)

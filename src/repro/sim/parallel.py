@@ -68,6 +68,20 @@ def _count_simulations(n: int) -> None:
     _SIMULATIONS_STARTED += n
 
 
+def credit_simulations(n: int) -> None:
+    """Credit simulations executed remotely on this process's behalf.
+
+    The campaign-service coordinator runs work units on other
+    processes/hosts; their workers report how many simulations each
+    unit cost, and the coordinator credits them here so
+    :func:`simulations_started` keeps meaning "simulations this
+    campaign scheduled" regardless of where they ran.  A no-op resume
+    still credits nothing.
+    """
+    if n > 0:
+        _count_simulations(int(n))
+
+
 def replica_seed(base_seed: int, replica: int) -> int:
     """Deterministic seed for one replica, independent of scheduling.
 

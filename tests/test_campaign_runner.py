@@ -247,6 +247,60 @@ class TestResume:
         )
         assert report.simulated == 1 and report.skipped == 0
 
+    def test_noop_resume_never_resolves_a_topology(self, tmp_path, monkeypatch):
+        """A fully-cached resume short-circuits before spec resolution:
+        O(hash count) plus the byte replay, no topology construction."""
+        out = tmp_path / "rows.jsonl"
+        campaign = mixed_campaign()
+        run_campaign(campaign, out=out)
+        clean = out.read_bytes()
+
+        def bomb(*a, **k):  # any resolve() call fails the test
+            raise AssertionError("no-op resume resolved a scenario")
+
+        monkeypatch.setattr("repro.scenarios.runner.resolve", bomb)
+        report = run_campaign(campaign, out=out, resume=True)
+        assert report.simulated == 0 and report.skipped == 4
+        assert out.read_bytes() == clean
+
+
+class TestHeartbeatRateGuards:
+    """sims/sec must be null, not a division artifact, whenever a
+    campaign schedules zero simulations or finishes in ~zero time."""
+
+    def test_fully_resumed_campaign_reports_null_rate(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        campaign = mixed_campaign()
+        run_campaign(campaign, out=out)
+        report = run_campaign(campaign, out=out, resume=True)
+        hb = report.heartbeat
+        assert hb["sims"] == 0 and hb["sims_per_s"] is None
+        assert "sims/s" not in report.summary()
+
+    def test_simulated_campaign_reports_a_rate(self):
+        report = run_campaign(Campaign("one", [open_scenario()]))
+        hb = report.heartbeat
+        assert hb["sims"] > 0 and hb["sims_per_s"] > 0
+        assert "sims/s" in report.summary()
+
+    def test_rate_helper_guards_zero_sims_and_zero_wall(self):
+        from repro.scenarios.runner import _sims_per_s
+
+        assert _sims_per_s(0, 1.0) is None
+        assert _sims_per_s(5, 0.0) is None
+        assert _sims_per_s(5, -1.0) is None
+        assert _sims_per_s(10, 2.0) == 5.0
+
+    def test_summary_tolerates_rateless_heartbeat(self):
+        from repro.scenarios.runner import CampaignReport
+
+        report = CampaignReport(campaign="c")
+        report.events.append(
+            {"event": "campaign_finish", "wall_s": 0.0, "sims": 0,
+             "sims_per_s": None, "simulated": 0, "skipped": 0, "rows": 0}
+        )
+        assert "sims/s" not in report.summary()  # and no TypeError
+
 
 class TestTelemetrySidecar:
     """The metrics sidecar: worker-count byte-identity, resume replay,
@@ -359,6 +413,35 @@ class TestCampaignCLI:
         assert "edit the spec" in capsys.readouterr().err
         assert cli_main(["table2", "--scale", "quick", "--resume"]) == 2
         assert "campaign" in capsys.readouterr().err
+
+    def test_cli_rejects_service_flags_cross_mode(self, tmp_path, capsys):
+        cfile = Campaign("cli", [open_scenario()]).save(tmp_path / "c.json")
+        assert cli_main(["table2", "--store", "s"]) == 2
+        assert "--store/--service" in capsys.readouterr().err
+        assert cli_main(["table2", "--fail-after", "1"]) == 2
+        assert "serve-worker" in capsys.readouterr().err
+        assert cli_main(["campaign", str(cfile), "--fail-after", "1"]) == 2
+        assert "edit the spec" in capsys.readouterr().err
+        assert cli_main(["serve-worker"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+        assert cli_main(["serve-worker", "h:1", "--resume"]) == 2
+        assert "serve-worker" in capsys.readouterr().err
+        assert cli_main(["campaign", str(cfile), "--service", "nonsense"]) == 2
+        assert "[HOST:]PORT" in capsys.readouterr().err
+
+    def test_cli_campaign_store_round_trip(self, tmp_path, capsys):
+        cfile = Campaign("cli", [open_scenario()]).save(tmp_path / "c.json")
+        store = tmp_path / "store"
+        out1, out2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert cli_main(
+            ["campaign", str(cfile), "--out", str(out1), "--store", str(store)]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(
+            ["campaign", str(cfile), "--out", str(out2), "--store", str(store)]
+        ) == 0
+        assert "simulated=0" in capsys.readouterr().out
+        assert out1.read_bytes() == out2.read_bytes()
 
     def test_cli_json_flag_writes_experiment_results(self, tmp_path, capsys):
         path = tmp_path / "res.json"

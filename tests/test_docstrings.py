@@ -31,6 +31,12 @@ PUBLIC_MODULES = [
     "repro.scenarios.campaign",
     "repro.scenarios.resolve",
     "repro.scenarios.runner",
+    "repro.service",
+    "repro.service.coordinator",
+    "repro.service.protocol",
+    "repro.service.store",
+    "repro.service.units",
+    "repro.service.worker",
     "repro.sim",
     "repro.sim.parallel",
     "repro.topologies",

@@ -1,0 +1,584 @@
+"""Layer 7 campaign service: store integrity, wire protocol, scheduler."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from test_campaign_runner import closed_scenario, mixed_campaign, open_scenario
+from repro.scenarios import Campaign, run_campaign, scenario_hash
+from repro.service.coordinator import ServiceConfig
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    MESSAGE_TYPES,
+    FrameDecoder,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from repro.service.store import (
+    STORE_BACKENDS,
+    FileResultStore,
+    MemoryResultStore,
+    StoreEntry,
+    StoreIntegrityError,
+    open_store,
+)
+from repro.service.worker import parse_address, serve_worker
+from repro.sim.parallel import simulations_started
+from repro.sim.telemetry import TelemetrySpec
+
+
+def telemetry_campaign() -> Campaign:
+    """Two open scenarios with armed probes (exercise the metrics sidecar)."""
+    spec = TelemetrySpec(latency_hist=True, channel_flits=True)
+    return Campaign(
+        "probed",
+        [
+            dataclasses.replace(open_scenario("probed-a"), telemetry=spec),
+            dataclasses.replace(open_scenario("probed-b", seed=1), telemetry=spec),
+        ],
+    )
+
+
+def campaign_files(tmp_path, name):
+    out = tmp_path / f"{name}.jsonl"
+    return out, out.with_name(out.name + ".metrics.jsonl"), out.with_name(
+        out.name + ".meta.json"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed store
+# ---------------------------------------------------------------------------
+
+
+class TestStore:
+    def test_cold_run_populates_store_with_valid_entries(self, tmp_path):
+        store = FileResultStore(tmp_path / "store")
+        campaign = mixed_campaign()
+        run_campaign(campaign, out=tmp_path / "cold.jsonl", store=store)
+        for s in campaign.dedup().scenarios:
+            entry = store.get(scenario_hash(s))
+            assert entry is not None
+            assert entry.scenario == scenario_hash(s)
+            assert all("campaign" not in row for row in entry.rows)
+            assert [r["row"] for r in entry.rows] == list(range(len(entry.rows)))
+
+    def test_warm_store_simulates_zero_and_is_byte_identical(self, tmp_path):
+        campaign = telemetry_campaign()
+        store = tmp_path / "store"
+        cold, cold_metrics, _ = campaign_files(tmp_path, "cold")
+        warm, warm_metrics, _ = campaign_files(tmp_path, "warm")
+        run_campaign(campaign, out=cold, store=store)
+        before = simulations_started()
+        report = run_campaign(campaign, out=warm, store=store)
+        assert simulations_started() - before == 0
+        assert report.simulated == 0 and report.store_hits == 2
+        assert warm.read_bytes() == cold.read_bytes()
+        assert cold_metrics.exists()
+        assert warm_metrics.read_bytes() == cold_metrics.read_bytes()
+        assert "store_hits=2" in report.summary()
+
+    def test_store_hit_survives_campaign_rename(self, tmp_path):
+        campaign = mixed_campaign()
+        store = tmp_path / "store"
+        run_campaign(campaign, out=tmp_path / "a.jsonl", store=store)
+        renamed = Campaign("renamed", list(campaign.scenarios))
+        report = run_campaign(renamed, out=tmp_path / "b.jsonl", store=store)
+        assert report.simulated == 0 and report.store_hits == 4
+        rows = [
+            json.loads(line)
+            for line in (tmp_path / "b.jsonl").read_text().splitlines()
+        ]
+        assert all(r["campaign"] == "renamed" for r in rows)
+
+    def test_store_hits_get_cache_origin_in_meta(self, tmp_path):
+        campaign = mixed_campaign()
+        store = tmp_path / "store"
+        _, _, cold_meta = campaign_files(tmp_path, "cold")
+        _, _, warm_meta = campaign_files(tmp_path, "warm")
+        run_campaign(campaign, out=tmp_path / "cold.jsonl", store=store)
+        run_campaign(campaign, out=tmp_path / "warm.jsonl", store=store)
+        cold = json.loads(cold_meta.read_text())
+        warm = json.loads(warm_meta.read_text())
+        assert [s["origin"] for s in cold["scenarios"]] == ["simulated"] * 4
+        assert [s["origin"] for s in warm["scenarios"]] == ["cache"] * 4
+        # origin is sidecar-only provenance: the row payloads stay
+        # byte-comparable across cache temperatures.
+        assert (tmp_path / "warm.jsonl").read_bytes() == (
+            tmp_path / "cold.jsonl"
+        ).read_bytes()
+
+    @pytest.mark.parametrize("damage", ["truncate", "bitflip"])
+    def test_corrupt_entry_quarantined_and_resimulated(self, tmp_path, damage):
+        campaign = mixed_campaign()
+        store_root = tmp_path / "store"
+        cold = tmp_path / "cold.jsonl"
+        run_campaign(campaign, out=cold, store=store_root)
+        victim = sorted((store_root / "objects").rglob("*.json"))[0]
+        text = victim.read_text()
+        if damage == "truncate":
+            victim.write_text(text[: len(text) // 2])
+        else:
+            # Flip one character inside the payload body.
+            i = text.index('"rows":') + 20
+            flipped = "x" if text[i] != "x" else "y"
+            victim.write_text(text[:i] + flipped + text[i + 1 :])
+        healed = tmp_path / "healed.jsonl"
+        report = run_campaign(campaign, out=healed, store=store_root)
+        assert report.simulated == 1 and report.store_hits == 3
+        assert healed.read_bytes() == cold.read_bytes()
+        store = FileResultStore(store_root)
+        assert len(store.quarantined()) == 1
+        assert not victim.exists() or store.get(victim.stem) is not None
+
+    def test_corrupt_entry_is_healed_by_the_resimulation(self, tmp_path):
+        campaign = Campaign("one", [open_scenario()])
+        store_root = tmp_path / "store"
+        run_campaign(campaign, out=tmp_path / "a.jsonl", store=store_root)
+        victim = next((store_root / "objects").rglob("*.json"))
+        victim.write_text("not json at all")
+        run_campaign(campaign, out=tmp_path / "b.jsonl", store=store_root)
+        # The re-simulated entry was written back: a third run hits.
+        before = simulations_started()
+        report = run_campaign(campaign, out=tmp_path / "c.jsonl", store=store_root)
+        assert report.store_hits == 1
+        assert simulations_started() - before == 0
+
+    def test_entry_filed_under_wrong_hash_is_a_miss(self, tmp_path):
+        store = FileResultStore(tmp_path / "store")
+        campaign = Campaign("one", [open_scenario()])
+        run_campaign(campaign, out=tmp_path / "a.jsonl", store=store)
+        h = scenario_hash(campaign.scenarios[0])
+        bogus = "0" * 16
+        target = store._object_path(bogus)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(store._object_path(h).read_text())
+        assert store.get(bogus) is None
+        assert store.quarantined()
+
+    def test_concurrent_same_hash_writers_race_safely(self, tmp_path):
+        store = FileResultStore(tmp_path / "store")
+        campaign = Campaign("one", [open_scenario()])
+        run_campaign(campaign, out=tmp_path / "a.jsonl", store=store)
+        h = scenario_hash(campaign.scenarios[0])
+        entry = store.get(h)
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(50):
+                    store.put(entry)
+                    got = store.get(h)
+                    assert got is not None and got.digest() == entry.digest()
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.quarantined() == []
+
+    def test_validate_rejects_incoherent_entries(self):
+        s = open_scenario()
+        h = scenario_hash(s)
+        base = {
+            "scenario": h, "label": s.label, "engine": "open",
+            "fidelity": "cycle", "row": 0, "rows": 1, "spec": s.to_dict(),
+        }
+        with pytest.raises(StoreIntegrityError, match="no result rows"):
+            StoreEntry(h, []).validate()
+        with pytest.raises(StoreIntegrityError, match="foreign hash"):
+            StoreEntry(h, [{**base, "scenario": "f" * 16}]).validate()
+        with pytest.raises(StoreIntegrityError, match="row indices"):
+            StoreEntry(h, [{**base, "row": 3}]).validate()
+        with pytest.raises(StoreIntegrityError, match="campaign"):
+            StoreEntry(h, [{**base, "campaign": "x"}]).validate()
+        # A different label is a different scenario hash (the label is
+        # part of the serialized spec), so a swapped-in spec must trip
+        # the re-hash check.
+        other = {**base, "spec": open_scenario("other-label").to_dict()}
+        with pytest.raises(StoreIntegrityError, match="hashes to"):
+            StoreEntry(h, [other]).validate()
+
+    def test_memory_store_and_open_store_dispatch(self, tmp_path):
+        mem = open_store("memory:")
+        assert isinstance(mem, MemoryResultStore)
+        assert open_store(mem) is mem
+        assert isinstance(open_store(str(tmp_path / "s")), FileResultStore)
+        assert isinstance(open_store(tmp_path / "s"), FileResultStore)
+        assert isinstance(open_store(f"file:{tmp_path / 's'}"), FileResultStore)
+        with pytest.raises(TypeError):
+            open_store(42)
+        assert set(STORE_BACKENDS) == {"file", "memory"}
+
+    def test_memory_store_serves_run_campaign(self, tmp_path):
+        store = MemoryResultStore()
+        campaign = mixed_campaign()
+        run_campaign(campaign, out=tmp_path / "a.jsonl", store=store)
+        assert len(store) == 4
+        before = simulations_started()
+        report = run_campaign(campaign, out=tmp_path / "b.jsonl", store=store)
+        assert report.store_hits == 4
+        assert simulations_started() - before == 0
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"type": "hello", "worker": "w0", "nested": {"x": [1, 2]}}
+            send_message(a, message)
+            assert recv_message(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none_and_mid_frame_raises(self):
+        a, b = socket.socketpair()
+        a.close()
+        assert recv_message(b) is None
+        b.close()
+        a, b = socket.socketpair()
+        a.sendall(struct.pack(">I", 100) + b"{")  # header promises more
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_message(b)
+        b.close()
+
+    def test_oversized_frame_is_corruption_not_allocation(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_MESSAGE_BYTES + 1))
+            with pytest.raises(ProtocolError, match="frame limit"):
+                recv_message(b)
+            with pytest.raises(ProtocolError, match="frame limit"):
+                FrameDecoder().feed(struct.pack(">I", MAX_MESSAGE_BYTES + 1))
+        finally:
+            a.close()
+            b.close()
+
+    def test_untyped_messages_are_rejected_both_ways(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ProtocolError, match="'type'"):
+                send_message(a, {"no": "type"})
+            payload = b'"just a string"'
+            a.sendall(struct.pack(">I", len(payload)) + payload)
+            with pytest.raises(ProtocolError, match="typed message"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_decoder_reassembles_byte_dribble(self):
+        messages = [
+            {"type": "hello", "worker": "w"},
+            {"type": "heartbeat", "lease": 7},
+            {"type": "result", "lease": 7, "results": [{"rows": []}]},
+        ]
+        blob = b""
+        a, b = socket.socketpair()
+        try:
+            for m in messages:
+                send_message(a, m)
+            blob = b.recv(1 << 20)
+        finally:
+            a.close()
+            b.close()
+        decoder = FrameDecoder()
+        decoded = []
+        for i in range(len(blob)):
+            decoded.extend(decoder.feed(blob[i : i + 1]))
+        assert decoded == messages
+
+    def test_message_vocabulary_is_complete(self):
+        assert set(MESSAGE_TYPES) == {
+            "hello", "lease", "heartbeat", "result", "error", "shutdown",
+        }
+        for direction, _meaning in MESSAGE_TYPES.values():
+            assert "->" in direction
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7077") == ("127.0.0.1", 7077)
+        assert parse_address(":7077") == ("127.0.0.1", 7077)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+
+
+# ---------------------------------------------------------------------------
+# Coordinator/worker scheduler
+# ---------------------------------------------------------------------------
+
+
+def service_config(**kw) -> tuple[ServiceConfig, "threading.Event", dict]:
+    bound: dict = {}
+    ready = threading.Event()
+
+    def on_bound(host, port):
+        bound["addr"] = f"{host}:{port}"
+        ready.set()
+
+    kw.setdefault("port", 0)
+    kw.setdefault("heartbeat_timeout", 5.0)
+    return ServiceConfig(on_bound=on_bound, **kw), ready, bound
+
+
+def start_thread_workers(ready, bound, count, **kw):
+    """Launch serve_worker threads once the coordinator has bound."""
+    threads = []
+
+    def launch():
+        assert ready.wait(10)
+        for i in range(count):
+            t = threading.Thread(
+                target=serve_worker,
+                args=(bound["addr"],),
+                kwargs={"name": f"w{i}", "retry_for": 5.0, **kw},
+                daemon=True,
+            )
+            t.start()
+            threads.append(t)
+
+    starter = threading.Thread(target=launch, daemon=True)
+    starter.start()
+    return starter, threads
+
+
+class TestService:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_byte_identical_at_any_worker_count(self, tmp_path, n_workers):
+        campaign = mixed_campaign()
+        serial = tmp_path / "serial.jsonl"
+        run_campaign(campaign, out=serial)
+        cfg, ready, bound = service_config(wait_for_workers=30.0)
+        starter, threads = start_thread_workers(ready, bound, n_workers)
+        svc = tmp_path / "svc.jsonl"
+        report = run_campaign(campaign, out=svc, service=cfg)
+        starter.join(10)
+        for t in threads:
+            t.join(10)
+        assert svc.read_bytes() == serial.read_bytes()
+        assert report.simulated == 4 and report.skipped == 0
+        events = [e["event"] for e in report.events]
+        assert events.count("worker_joined") >= 1
+        assert "service_listening" in events and "campaign_finish" in events
+
+    def test_service_with_telemetry_sidecar_byte_identical(self, tmp_path):
+        campaign = telemetry_campaign()
+        serial, serial_metrics, _ = campaign_files(tmp_path, "serial")
+        run_campaign(campaign, out=serial)
+        cfg, ready, bound = service_config(wait_for_workers=30.0)
+        starter, threads = start_thread_workers(ready, bound, 2)
+        svc, svc_metrics, _ = campaign_files(tmp_path, "svc")
+        run_campaign(campaign, out=svc, service=cfg)
+        starter.join(10)
+        for t in threads:
+            t.join(10)
+        assert svc.read_bytes() == serial.read_bytes()
+        assert svc_metrics.read_bytes() == serial_metrics.read_bytes()
+
+    def test_no_workers_degrades_to_local_execution(self, tmp_path):
+        campaign = mixed_campaign()
+        serial = tmp_path / "serial.jsonl"
+        run_campaign(campaign, out=serial)
+        cfg, _, _ = service_config(wait_for_workers=0.0)
+        report = run_campaign(campaign, out=tmp_path / "svc.jsonl", service=cfg)
+        assert (tmp_path / "svc.jsonl").read_bytes() == serial.read_bytes()
+        assert report.simulated == 4
+
+    def test_service_resume_interleaves_cached_scenarios(self, tmp_path):
+        campaign = mixed_campaign()
+        out = tmp_path / "rows.jsonl"
+        run_campaign(campaign, out=out)
+        reference = out.read_bytes()
+        # Drop the middle closed-loop scenarios' lines, keep the opens.
+        keep = [
+            line
+            for line in out.read_text().splitlines()
+            if json.loads(line)["engine"] == "open"
+        ]
+        out.write_text("\n".join(keep) + "\n")
+        cfg, _, _ = service_config(wait_for_workers=0.0)
+        report = run_campaign(campaign, out=out, resume=True, service=cfg)
+        assert report.simulated == 2 and report.skipped == 2
+        assert out.read_bytes() == reference
+
+    def test_silent_worker_detected_by_heartbeat_timeout(self, tmp_path):
+        """A worker that takes a lease and goes mute loses it; the
+        campaign still completes (local fallback) byte-identically."""
+        campaign = Campaign("one", [open_scenario(), open_scenario("o2", seed=3)])
+        serial = tmp_path / "serial.jsonl"
+        run_campaign(campaign, out=serial)
+        cfg, ready, bound = service_config(
+            wait_for_workers=1.0, heartbeat_timeout=0.6,
+        )
+        taken = threading.Event()
+
+        def mute_worker():
+            assert ready.wait(10)
+            host, port = parse_address(bound["addr"])
+            sock = socket.create_connection((host, port), timeout=10)
+            try:
+                send_message(sock, {"type": "hello", "worker": "mute", "pid": 0})
+                message = recv_message(sock)
+                assert message["type"] == "lease"
+                taken.set()
+                # Hold the lease, send nothing: the coordinator must
+                # declare this worker dead on heartbeat silence alone
+                # (the socket stays open — no EOF shortcut).
+                import time as _time
+
+                _time.sleep(3.0)
+            finally:
+                sock.close()
+
+        t = threading.Thread(target=mute_worker, daemon=True)
+        t.start()
+        report = run_campaign(campaign, out=tmp_path / "svc.jsonl", service=cfg)
+        t.join(10)
+        assert taken.is_set()
+        assert (tmp_path / "svc.jsonl").read_bytes() == serial.read_bytes()
+        events = [e["event"] for e in report.events]
+        assert "worker_dead" in events
+        dead = next(e for e in report.events if e["event"] == "worker_dead")
+        assert dead["reason"] == "heartbeat_timeout" and dead["worker"] == "mute"
+        assert "lease_retry" in events
+
+    def test_vanishing_worker_lease_is_requeued_on_eof(self, tmp_path):
+        campaign = Campaign("one", [open_scenario()])
+        serial = tmp_path / "serial.jsonl"
+        run_campaign(campaign, out=serial)
+        cfg, ready, bound = service_config(wait_for_workers=1.0)
+
+        def doomed_worker():
+            assert ready.wait(10)
+            host, port = parse_address(bound["addr"])
+            sock = socket.create_connection((host, port), timeout=10)
+            send_message(sock, {"type": "hello", "worker": "doomed", "pid": 0})
+            message = recv_message(sock)
+            assert message["type"] == "lease"
+            sock.close()  # vanish mid-lease, like a SIGKILL would
+
+        t = threading.Thread(target=doomed_worker, daemon=True)
+        t.start()
+        report = run_campaign(campaign, out=tmp_path / "svc.jsonl", service=cfg)
+        t.join(10)
+        assert (tmp_path / "svc.jsonl").read_bytes() == serial.read_bytes()
+        dead = next(e for e in report.events if e["event"] == "worker_dead")
+        assert dead["reason"] == "disconnected"
+
+    def test_worker_error_is_retried_then_surfaced_locally(self, tmp_path):
+        """A lease the worker reports as failed falls back (after the
+        retry budget) to in-process execution — which succeeds here,
+        proving worker failures never poison a runnable unit."""
+        campaign = Campaign("one", [open_scenario()])
+        cfg, ready, bound = service_config(wait_for_workers=1.0, max_retries=0)
+
+        def lying_worker():
+            assert ready.wait(10)
+            host, port = parse_address(bound["addr"])
+            sock = socket.create_connection((host, port), timeout=10)
+            try:
+                send_message(sock, {"type": "hello", "worker": "liar", "pid": 0})
+                message = recv_message(sock)
+                send_message(
+                    sock,
+                    {
+                        "type": "error",
+                        "lease": message["lease"],
+                        "error": "synthetic failure",
+                    },
+                )
+                recv_message(sock)  # wait for shutdown
+            finally:
+                sock.close()
+
+        t = threading.Thread(target=lying_worker, daemon=True)
+        t.start()
+        report = run_campaign(campaign, out=tmp_path / "svc.jsonl", service=cfg)
+        t.join(10)
+        assert report.simulated == 1
+        fallback = next(
+            e for e in report.events if e["event"] == "unit_local_fallback"
+        )
+        assert "synthetic failure" in fallback["reason"]
+
+    def test_stale_result_for_requeued_lease_is_ignored(self, tmp_path):
+        """test_silent_worker's complement: a worker declared dead gets
+        disconnected, so its late result can never double-commit (the
+        lease-id check plus the closed socket)."""
+        campaign = Campaign("one", [open_scenario()])
+        serial = tmp_path / "serial.jsonl"
+        run_campaign(campaign, out=serial)
+        cfg, ready, bound = service_config(
+            wait_for_workers=0.8, heartbeat_timeout=0.4,
+        )
+
+        def zombie_worker():
+            assert ready.wait(10)
+            host, port = parse_address(bound["addr"])
+            sock = socket.create_connection((host, port), timeout=10)
+            try:
+                send_message(sock, {"type": "hello", "worker": "zombie", "pid": 0})
+                message = recv_message(sock)
+                import time as _time
+
+                _time.sleep(1.2)  # long past heartbeat_timeout
+                try:
+                    send_message(
+                        sock,
+                        {
+                            "type": "result",
+                            "lease": message["lease"],
+                            "results": [{"scenario": "bogus", "rows": []}],
+                            "sims": 0,
+                        },
+                    )
+                except OSError:
+                    pass  # coordinator already hung up — equally fine
+            finally:
+                sock.close()
+
+        t = threading.Thread(target=zombie_worker, daemon=True)
+        t.start()
+        report = run_campaign(campaign, out=tmp_path / "svc.jsonl", service=cfg)
+        t.join(10)
+        assert (tmp_path / "svc.jsonl").read_bytes() == serial.read_bytes()
+        assert report.simulated == 1  # the real (local) execution, once
+
+    def test_service_and_store_compose(self, tmp_path):
+        campaign = mixed_campaign()
+        store = tmp_path / "store"
+        cfg, ready, bound = service_config(wait_for_workers=30.0)
+        starter, threads = start_thread_workers(ready, bound, 2)
+        cold = tmp_path / "cold.jsonl"
+        run_campaign(campaign, out=cold, service=cfg, store=store)
+        starter.join(10)
+        for t in threads:
+            t.join(10)
+        # Warm pass: every scenario comes from the store; no service
+        # socket is even opened (the no-op short-circuit).
+        before = simulations_started()
+        cfg2, _, _ = service_config(wait_for_workers=30.0)
+        report = run_campaign(
+            campaign, out=tmp_path / "warm.jsonl", service=cfg2, store=store
+        )
+        assert simulations_started() - before == 0
+        assert report.store_hits == 4 and report.simulated == 0
+        assert (tmp_path / "warm.jsonl").read_bytes() == cold.read_bytes()
+        assert "service_listening" not in [e["event"] for e in report.events]
