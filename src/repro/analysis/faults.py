@@ -12,13 +12,26 @@ deadlock-free.
 
 from __future__ import annotations
 
+from functools import cached_property
+
 from repro.topologies.base import Topology
 from repro.util.rng import make_rng
 from repro.util.validation import check_probability
 
 
 class DegradedTopology(Topology):
-    """A topology with some router-to-router cables removed."""
+    """A topology with some router-to-router cables removed.
+
+    Every degree- and channel-count-derived quantity (``num_links``,
+    ``num_channels``, ``network_radix``, ``concentration``) is
+    materialised eagerly against the degraded adjacency, so no lazily
+    cached value can ever reflect the healthy base — downstream flat
+    channel arrays (telemetry ``channel_loads``, the engines' channel
+    maps) size themselves by these counts.  ``router_radix`` is the
+    one deliberate exception: it reports the *installed* radix of the
+    base network, because cost-model consumers price the ports that
+    were bought, not the cables that survived.
+    """
 
     def __init__(self, base: Topology, failed_links: set[tuple[int, int]]):
         # Normalise to (min, max) pairs.
@@ -37,10 +50,69 @@ class DegradedTopology(Topology):
             adjacency=adjacency,
             endpoint_map=list(base.endpoint_map),
         )
+        # Force the cached properties now, while only the degraded
+        # adjacency exists to compute them from.
+        for prop in ("num_links", "num_channels", "network_radix",
+                     "concentration", "router_radix"):
+            getattr(self, prop)
+
+    @cached_property
+    def router_radix(self) -> int:
+        """Installed ports per router — the base's k, not the survivor count."""
+        return self.base.router_radix
+
+    @property
+    def dead_routers(self) -> list[int]:
+        """Routers left without a single live cable (isolated vertices)."""
+        return [u for u, nbrs in enumerate(self.adjacency) if not nbrs]
 
     @property
     def failure_fraction(self) -> float:
         return len(self.failed_links) / max(1, self.base.num_links)
+
+
+def apply_fault(
+    topology: Topology,
+    link_fraction: float = 0.0,
+    router_fraction: float = 0.0,
+    seed=None,
+    cut_links=(),
+    cut_routers=(),
+) -> DegradedTopology:
+    """Materialise a fault description into a :class:`DegradedTopology`.
+
+    The failed-link set is the union of (1) ``round(link_fraction *
+    num_links)`` cables sampled without replacement, (2) every cable of
+    ``round(router_fraction * num_routers)`` sampled routers, and (3)
+    the explicit ``cut_links``/``cut_routers``.  Sampling order is
+    fixed (links, then routers) and driven by one seeded Generator, so
+    identical arguments yield the identical degraded network on every
+    platform and process — the determinism the scenario layer's
+    ``FaultSpec`` hashing and campaign resume rely on.
+    """
+    check_probability(link_fraction, "link_fraction")
+    check_probability(router_fraction, "router_fraction")
+    edges = topology.edges()
+    failed: set[tuple[int, int]] = set()
+    rng = make_rng(seed)
+    if link_fraction > 0:
+        kill = int(round(link_fraction * len(edges)))
+        idx = rng.choice(len(edges), size=kill, replace=False)
+        failed.update(edges[i] for i in idx)
+    dead = {int(r) for r in cut_routers}
+    if router_fraction > 0:
+        kill = int(round(router_fraction * topology.num_routers))
+        picks = rng.choice(topology.num_routers, size=kill, replace=False)
+        dead.update(int(r) for r in picks)
+    for r in dead:
+        if not 0 <= r < topology.num_routers:
+            raise ValueError(f"router {r} does not exist in {topology.name}")
+        failed.update((min(r, v), max(r, v)) for v in topology.adjacency[r])
+    for u, v in cut_links:
+        failed.add((min(u, v), max(u, v)))
+    if failed and len(failed) >= topology.num_links:
+        raise ValueError("fault kills every link")
+    return DegradedTopology(topology, failed)
 
 
 def fail_random_links(

@@ -87,6 +87,14 @@ PAPER_EXPECTATIONS = {
         "Paper (Figs 11d/12d/13d): Slim Fly draws the least power per "
         "endpoint - more than 25% below Dragonfly/FBF/DLN at scale."
     ),
+    "fault": (
+        "Paper (§III-D, Table 3) and the 2023 deployment follow-up: Slim "
+        "Fly's router graph degrades gracefully under link loss — the "
+        "network stays connected and low-diameter at double-digit dead-link "
+        "fractions, so rerouted MIN/VAL/UGAL keep most of their healthy "
+        "latency and throughput, degrading smoothly rather than falling "
+        "off a cliff."
+    ),
     "generic": (
         "User-defined campaign: no specific paper panel is pinned to this "
         "grid; curves are rendered with the standard figure styling."
@@ -180,6 +188,8 @@ def _family(campaign: str, engine: str) -> str:
         return "oversub"
     if campaign.startswith("workload-completion"):
         return "workload"
+    if campaign.startswith("fault"):
+        return "fault"
     return "workload" if engine == "closed" else "generic"
 
 
@@ -255,6 +265,79 @@ def _open_loop_figures(campaign: str, table: RowTable, family: str):
             )
         )
     return figures, observed
+
+
+def _fault_figures(campaign: str, table: RowTable):
+    """Degradation overlays for a fault-fraction sweep campaign.
+
+    Curves labelled ``PROTOCOL/f=FRACTION`` (the ``fault_degradation``
+    family convention) collapse into one series per protocol: low-load
+    latency and peak accepted throughput against the dead-link
+    fraction read from each row's embedded fault spec (0 for the
+    healthy baseline).  Disconnected points — a fault sample that
+    fragmented the network — contribute no y-value and render as gaps,
+    with a commentary line calling them out.
+    """
+    per_protocol: dict[str, list[tuple[float, float | None, float | None, bool]]] = {}
+    for c in table.curves():
+        protocol = c.label.split("/f=", 1)[0]
+        fault = (c.spec or {}).get("fault") or {}
+        frac = float(fault.get("link_fraction", 0.0))
+        latencies = [v for v in c.latency if v is not None]
+        accepted = [v for v in c.accepted if v is not None]
+        per_protocol.setdefault(protocol, []).append(
+            (
+                frac,
+                latencies[0] if latencies else None,
+                max(accepted) if accepted else None,
+                not latencies and not accepted,
+            )
+        )
+    for points in per_protocol.values():
+        points.sort(key=lambda t: t[0])
+
+    def series(idx: int):
+        return [
+            LineSeries(
+                protocol,
+                [p[0] for p in points if p[idx] is not None],
+                [p[idx] for p in points if p[idx] is not None],
+            )
+            for protocol, points in per_protocol.items()
+        ]
+
+    latency = LineFigure(
+        title=f"{campaign}: low-load latency vs dead-link fraction",
+        xlabel="dead-link fraction",
+        ylabel="latency [cycles]",
+        series=series(1),
+    )
+    throughput = LineFigure(
+        title=f"{campaign}: peak accepted throughput vs dead-link fraction",
+        xlabel="dead-link fraction",
+        ylabel="max accepted load",
+        series=series(2),
+    )
+    observed = []
+    for protocol, points in per_protocol.items():
+        healthy = next((p for p in points if p[0] == 0.0), None)
+        worst = points[-1]
+        if healthy and healthy[2] and worst[2]:
+            observed.append(
+                f"{protocol}: peak throughput {healthy[2]:.3f} -> "
+                f"{worst[2]:.3f} at {worst[0]:g} dead links"
+            )
+        for frac, _, _, disconnected in points:
+            if disconnected:
+                observed.append(
+                    f"{protocol}: disconnected at fraction {frac:g} "
+                    f"(structured rows, nothing simulated)"
+                )
+    return (
+        [(f"{_slug(campaign)}-fault-latency", latency),
+         (f"{_slug(campaign)}-fault-throughput", throughput)],
+        observed,
+    )
 
 
 def _closed_loop_figures(campaign: str, table: RowTable):
@@ -402,6 +485,10 @@ def _campaign_artifacts(
             figures, observed = _open_loop_figures(
                 campaign, sub.open_rows(), family
             )
+            if family == "fault":
+                extra, extra_observed = _fault_figures(campaign, sub.open_rows())
+                figures += extra
+                observed += extra_observed
             parts.append((family, figures, observed, provenance(sub.open_rows())))
         if sub.closed_rows():
             figures, observed = _closed_loop_figures(campaign, sub)

@@ -110,6 +110,10 @@ EXPERIMENTS = {
         _lazy("workload_completion"),
         "Closed-loop collective/stencil completion time (use --workload)",
     ),
+    "fault-degradation": (
+        _lazy("fault_degradation"),
+        "Performance under failure: latency/throughput vs dead-link fraction",
+    ),
     "vc-counts": (_lazy("vc_counts"), "§IV-D: deadlock-freedom VC counts"),
     "ablate-ugal": (
         _lazy("ablations", "run_ugal_candidates"),
@@ -130,7 +134,7 @@ EXPERIMENTS = {
 #: in-process; rows are identical at any worker count).
 PARALLEL_SWEEPS = {
     "fig6", "fig6a", "fig6b", "fig6c", "fig6d", "fig6-paper", "fig8a",
-    "fig9", "fig8-oversub", "workload_completion",
+    "fig9", "fig8-oversub", "workload_completion", "fault-degradation",
 }
 #: Of those, the ones that also accept --replicas (per-point seed averaging).
 REPLICATED_SWEEPS = {"fig6", "fig6a", "fig6b", "fig6c", "fig6d"}

@@ -93,6 +93,14 @@ TABLE_FREE = {"ft-anca"}
 #: serialized spec can never resolve to an entropy-seeded instance.
 SEEDED = frozenset({"val", "ugal-l", "ugal-g", "df-ugal-l", "df-ugal-g", "ft-anca"})
 
+#: Algorithms whose every path derives from all-pairs tables over the
+#: *live* adjacency, so rebuilding the tables on a degraded topology
+#: makes them route around dead links for free.  The structural
+#: algorithms (Dragonfly gateway paths, fat-tree up/down) plan over the
+#: healthy wiring and would forward into a removed cable, so the
+#: scenario layer rejects a fault axis for them.
+FAULT_AWARE = frozenset({"min", "val", "ugal-l", "ugal-g"})
+
 
 def routing_needs_tables(name: str) -> bool:
     """Whether ``make_routing(name, ...)`` consumes RoutingTables."""

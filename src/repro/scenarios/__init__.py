@@ -25,6 +25,7 @@ from repro.scenarios.resolve import (
 )
 from repro.scenarios.runner import CampaignReport, rows_by_label, run_campaign
 from repro.scenarios.spec import (
+    FaultSpec,
     RoutingSpec,
     Scenario,
     TopologySpec,
@@ -39,6 +40,7 @@ from repro.scenarios.spec import (
 __all__ = [
     "Campaign",
     "CampaignReport",
+    "FaultSpec",
     "ResolvedScenario",
     "RoutingSpec",
     "Scenario",

@@ -19,7 +19,7 @@ from typing import Callable
 
 from repro.routing.registry import make_routing, routing_needs_tables
 from repro.routing.tables import RoutingTables
-from repro.scenarios.spec import Scenario, TopologySpec, canonical_json
+from repro.scenarios.spec import FaultSpec, Scenario, TopologySpec, canonical_json
 from repro.sim.config import SimConfig
 from repro.topologies.base import Topology
 from repro.topologies.registry import balanced_instance
@@ -46,25 +46,53 @@ def _bounded_put(cache: dict, key: str, value) -> None:
     cache[key] = value
 
 
-def resolve_topology(spec: TopologySpec) -> Topology:
-    """Build (or fetch) the topology instance a spec describes."""
+def resolve_topology(
+    spec: TopologySpec, fault: FaultSpec | None = None
+) -> Topology:
+    """Build (or fetch) the topology instance a spec describes.
+
+    With a ``fault``, the healthy instance is built (or fetched) first
+    and rewritten into a :class:`~repro.analysis.faults.DegradedTopology`
+    via :func:`~repro.analysis.faults.apply_fault`; the degraded
+    instance is cached under the combined (topology, fault) key, so a
+    fault-fraction sweep over one network degrades it once per point.
+    """
     key = canonical_json(spec.to_dict())
+    if fault is not None:
+        key += "|fault:" + canonical_json(fault.to_dict())
     if key not in _TOPOLOGIES:
-        topology = balanced_instance(
-            spec.name, spec.target_endpoints, seed=spec.seed, **spec.params
-        )
+        if fault is not None:
+            from repro.analysis.faults import apply_fault
+
+            topology = apply_fault(
+                resolve_topology(spec),
+                link_fraction=fault.link_fraction,
+                router_fraction=fault.router_fraction,
+                seed=fault.seed,
+                cut_links=fault.cut_links,
+                cut_routers=fault.cut_routers,
+            )
+        else:
+            topology = balanced_instance(
+                spec.name, spec.target_endpoints, seed=spec.seed, **spec.params
+            )
         _bounded_put(_TOPOLOGIES, key, topology)
     return _TOPOLOGIES[key]
 
 
-def tables_for(spec: TopologySpec) -> RoutingTables:
+def tables_for(
+    spec: TopologySpec, fault: FaultSpec | None = None
+) -> RoutingTables:
     """All-pairs routing tables for a topology spec (cached).
 
     Keyed by a digest of the adjacency itself, not the spec: specs
     that differ only in concentration (oversubscription sweeps) share
-    one router graph, so they share one all-pairs BFS.
+    one router graph, so they share one all-pairs BFS.  A faulted
+    spec's degraded adjacency digests differently by construction, so
+    degraded tables can never be served for the healthy network (or
+    vice versa).
     """
-    adjacency = resolve_topology(spec).adjacency
+    adjacency = resolve_topology(spec, fault).adjacency
     key = hashlib.sha256(canonical_json(adjacency).encode()).hexdigest()
     if key not in _TABLES:
         _bounded_put(_TABLES, key, RoutingTables(adjacency))
@@ -90,21 +118,52 @@ class ResolvedScenario:
     #: Armed probe plane (:class:`repro.sim.telemetry.TelemetrySpec`)
     #: or None — passed straight through to the engine dispatch.
     telemetry: object | None = None
+    #: True when a fault axis degraded the topology past connectivity:
+    #: routing tables over the fragments are undefined, so the runner
+    #: emits structured ``disconnected`` rows instead of simulating.
+    disconnected: bool = False
+
+
+def _unroutable(scenario: Scenario):
+    def factory():  # pragma: no cover - guarded by `disconnected`
+        raise RuntimeError(
+            f"scenario {scenario.label or scenario.hash()} is disconnected; "
+            "it has no routing"
+        )
+
+    return factory
 
 
 def resolve(scenario: Scenario) -> ResolvedScenario:
     """Resolve every spec of a scenario into live objects.
 
     Tables are only built when the routing algorithm (or a Slim
-    Fly-style worst-case pattern) actually routes over them.
+    Fly-style worst-case pattern) actually routes over them.  A fault
+    axis rewrites the topology into its degraded form first; if the
+    degraded graph fell apart, resolution returns early with
+    ``disconnected=True`` — a structured result, not a crash.
     """
     from repro.sim.backends import get_backend
 
     get_backend(scenario.backend)  # unknown backends fail loudly here
-    topology = resolve_topology(scenario.topology)
+    fault = scenario.fault
+    topology = resolve_topology(scenario.topology, fault)
     tspec = scenario.topology
+    if fault is not None:
+        from repro.analysis.connectivity import is_connected
+
+        if not is_connected(topology.num_routers, topology.edge_array()):
+            return ResolvedScenario(
+                scenario=scenario,
+                topology=topology,
+                routing_factory=_unroutable(scenario),
+                config=scenario.sim,
+                backend=scenario.backend,
+                telemetry=scenario.telemetry,
+                disconnected=True,
+            )
     if routing_needs_tables(scenario.routing.name):
-        tables = tables_for(tspec)
+        tables = tables_for(tspec, fault)
     else:
         tables = None
     rspec = scenario.routing
@@ -118,7 +177,7 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
         traffic = make_pattern(
             scenario.traffic.pattern,
             topology,
-            tables=lambda: tables_for(tspec),
+            tables=lambda: tables_for(tspec, fault),
             seed=scenario.traffic.seed,
         )
     else:

@@ -77,7 +77,11 @@ def _clean(value):
     return value
 
 
-def _open_payload(scenario: Scenario, points: Sequence[LoadPoint]) -> list[dict]:
+def _open_payload(
+    scenario: Scenario,
+    points: Sequence[LoadPoint],
+    disconnected: bool = False,
+) -> list[dict]:
     """One open-loop scenario's result rows, minus the campaign name.
 
     Payload rows are the campaign-independent part of a row — what the
@@ -86,27 +90,58 @@ def _open_payload(scenario: Scenario, points: Sequence[LoadPoint]) -> list[dict]
     campaign name in; because the final line is ``canonical_json``
     either way, a row replayed from a payload is byte-identical to a
     freshly simulated one.
+
+    Rows of a faulted scenario additionally carry ``fault_fraction``
+    (the spec's link-kill fraction — the x-axis of degradation
+    figures) and ``disconnected``; healthy scenarios write neither
+    key, so their pre-fault row bytes are untouched.
     """
     h = scenario_hash(scenario)
     spec = scenario.to_dict()
     rows = []
     for i, pt in enumerate(points):
-        rows.append(
-            {
-                "scenario": h,
-                "label": scenario.label,
-                "engine": "open",
-                "fidelity": scenario.backend,
-                "row": i,
-                "rows": len(points),
-                "load": pt.load,
-                "latency": _clean(pt.latency),
-                "accepted": _clean(pt.accepted),
-                "saturated": bool(pt.saturated),
-                "spec": spec,
-            }
-        )
+        row = {
+            "scenario": h,
+            "label": scenario.label,
+            "engine": "open",
+            "fidelity": scenario.backend,
+            "row": i,
+            "rows": len(points),
+            "load": pt.load,
+            "latency": _clean(pt.latency),
+            "accepted": _clean(pt.accepted),
+            "saturated": bool(pt.saturated),
+            "spec": spec,
+        }
+        if scenario.fault is not None:
+            row["fault_fraction"] = scenario.fault.link_fraction
+            row["disconnected"] = bool(disconnected)
+        rows.append(row)
     return rows
+
+
+def _open_scenario_payloads(
+    scenario: Scenario, workers: int
+) -> tuple[list[dict], list[dict]]:
+    """Resolve and run one open-loop scenario into (rows, metrics).
+
+    The single execution path shared by the local dispatch loop and
+    the service worker (:mod:`repro.service.units`), so remote and
+    local rows cannot drift.  A faulted scenario whose degraded
+    topology fell apart short-circuits into structured
+    ``disconnected`` rows — one per load point, null latency and
+    throughput — without touching the simulator (routing tables over
+    a disconnected graph are undefined).
+    """
+    resolved = resolve(scenario)
+    if resolved.disconnected:
+        points = [
+            LoadPoint(load=load, latency=None, accepted=None, saturated=False)
+            for load in scenario.loads
+        ]
+        return _open_payload(scenario, points, disconnected=True), []
+    points = _run_open(resolved, workers)
+    return _open_payload(scenario, points), _metrics_payload(scenario, points)
 
 
 def _closed_payload(scenario: Scenario, result: WorkloadResult) -> list[dict]:
@@ -716,10 +751,10 @@ def _run_local(
             )
             t0 = time.perf_counter()
             sims0 = simulations_started()
-            points = _run_open(resolve(s), workers)
+            payload, metrics = _open_scenario_payloads(s, workers)
             wall = time.perf_counter() - t0
             sims = simulations_started() - sims0
-            record_simulated(i, _open_payload(s, points), _metrics_payload(s, points))
+            record_simulated(i, payload, metrics)
             _heartbeat(
                 report, progress, event="scenario_finish",
                 campaign=campaign.name, scenario=hashes[i], label=s.label,

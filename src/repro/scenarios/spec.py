@@ -21,7 +21,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 
-from repro.routing.registry import ROUTING_BUILDERS, SEEDED
+from repro.routing.registry import FAULT_AWARE, ROUTING_BUILDERS, SEEDED
 from repro.sim.backends import ENGINE_BACKENDS
 from repro.sim.config import SimConfig
 from repro.sim.telemetry import TelemetrySpec
@@ -194,6 +194,87 @@ class WorkloadSpec:
         )
 
 
+@dataclass
+class FaultSpec:
+    """Failures injected into the topology at resolve time (§III-D).
+
+    ``link_fraction``/``router_fraction`` kill a seeded-random share of
+    the cables/routers (``round(fraction * count)`` of each, sampled
+    without replacement); ``cut_links``/``cut_routers`` name targeted
+    casualties exactly.  A dead router loses every one of its cables.
+    The ``seed`` pins the random sample: it defaults to 0 whenever a
+    fraction actually samples and is normalised to ``None`` when none
+    does (targeted cuts are deterministic) — otherwise two specs
+    describing the identical degraded network would hash differently
+    and defeat campaign dedup/resume.
+
+    A spec that injects nothing at all (fractions 0, no cuts) is the
+    healthy network; :class:`Scenario` normalises it to ``None`` so
+    the healthy state always serializes — and hashes — one way.
+    """
+
+    link_fraction: float = 0.0
+    router_fraction: float = 0.0
+    seed: int | None = None
+    cut_links: list = field(default_factory=list)
+    cut_routers: list = field(default_factory=list)
+
+    def __post_init__(self):
+        for name in ("link_fraction", "router_fraction"):
+            value = float(getattr(self, name))
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+            setattr(self, name, value)
+        # Cut lists normalise to sorted unique (min, max) pairs /
+        # router ids: two specs naming the same casualties in any
+        # order or orientation serialize (and hash) identically.
+        links = set()
+        for pair in self.cut_links:
+            u, v = (int(x) for x in pair)
+            if u == v:
+                raise ValueError(f"cut link ({u}, {v}) is a self-loop")
+            if u < 0 or v < 0:
+                raise ValueError(f"cut link ({u}, {v}) has a negative router")
+            links.add((min(u, v), max(u, v)))
+        self.cut_links = sorted(links)
+        self.cut_routers = sorted({int(r) for r in self.cut_routers})
+        if self.cut_routers and self.cut_routers[0] < 0:
+            raise ValueError("cut_routers must be non-negative router ids")
+        if self.link_fraction > 0 or self.router_fraction > 0:
+            self.seed = int(self.seed or 0)
+        else:
+            self.seed = None
+
+    @property
+    def is_null(self) -> bool:
+        """True when the spec injects no failure at all."""
+        return (
+            self.link_fraction == 0.0
+            and self.router_fraction == 0.0
+            and not self.cut_links
+            and not self.cut_routers
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "link_fraction": self.link_fraction,
+            "router_fraction": self.router_fraction,
+            "seed": self.seed,
+            "cut_links": [list(pair) for pair in self.cut_links],
+            "cut_routers": list(self.cut_routers),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(
+            link_fraction=data.get("link_fraction", 0.0),
+            router_fraction=data.get("router_fraction", 0.0),
+            seed=data.get("seed"),
+            cut_links=[tuple(p) for p in data.get("cut_links") or []],
+            cut_routers=list(data.get("cut_routers") or []),
+        )
+
+
 def sim_config_to_dict(config: SimConfig) -> dict:
     """A SimConfig as a plain field dict (JSON-ready, lossless)."""
     return asdict(config)
@@ -241,6 +322,7 @@ class Scenario:
     label: str = ""
     backend: str = "cycle"
     telemetry: TelemetrySpec | None = None
+    fault: FaultSpec | None = None
 
     def __post_init__(self):
         if self.backend not in ENGINE_BACKENDS:
@@ -283,6 +365,25 @@ class Scenario:
         if self.workload is not None and self.telemetry is not None:
             raise ValueError("telemetry is an open-loop axis (closed-loop "
                              "workload runs have no probe plane yet)")
+        # Fault axis: a dict (JSON/grid-override form) is coerced, and
+        # a spec that injects nothing is normalised to None — the
+        # healthy network must always serialize (and hash) one way.
+        if isinstance(self.fault, dict):
+            self.fault = FaultSpec.from_dict(self.fault)
+        if self.fault is not None and self.fault.is_null:
+            self.fault = None
+        if self.fault is not None:
+            if self.workload is not None:
+                raise ValueError(
+                    "fault is an open-loop axis (closed-loop workload "
+                    "scenarios have no degraded-run semantics yet)"
+                )
+            if self.routing.name not in FAULT_AWARE:
+                raise ValueError(
+                    f"routing {self.routing.name!r} plans over the healthy "
+                    f"structure and cannot route around dead links; fault "
+                    f"scenarios need one of {sorted(FAULT_AWARE)}"
+                )
         self.loads = [float(x) for x in self.loads]
 
     def revalidate(self) -> None:
@@ -298,6 +399,8 @@ class Scenario:
             self.traffic.__post_init__()
         if self.workload is not None:
             self.workload.__post_init__()
+        if self.fault is not None and not isinstance(self.fault, dict):
+            self.fault.__post_init__()
         self.__post_init__()
 
     @property
@@ -333,6 +436,12 @@ class Scenario:
         # writes nothing, so pre-telemetry scenario hashes survive.
         if self.telemetry is not None and self.telemetry.enabled:
             data["telemetry"] = self.telemetry.to_dict()
+        # And for the fault axis: healthy (None, or a null spec the
+        # constructor normalised away) writes nothing, so every
+        # pre-fault scenario hash survives — and a faulted scenario can
+        # never collide with its healthy twin in a result store.
+        if self.fault is not None:
+            data["fault"] = self.fault.to_dict()
         return data
 
     @classmethod
@@ -359,6 +468,9 @@ class Scenario:
                 TelemetrySpec.from_dict(data["telemetry"])
                 if data.get("telemetry")
                 else None
+            ),
+            fault=(
+                FaultSpec.from_dict(data["fault"]) if data.get("fault") else None
             ),
         )
 

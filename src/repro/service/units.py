@@ -20,9 +20,7 @@ import time
 from repro.scenarios.resolve import resolve
 from repro.scenarios.runner import (
     _closed_payload,
-    _metrics_payload,
-    _open_payload,
-    _run_open,
+    _open_scenario_payloads,
     _sims_per_s,
 )
 from repro.scenarios.spec import Scenario, scenario_hash
@@ -98,7 +96,7 @@ def execute_unit(
             scenario=scenario_hash(s), label=s.label,
             index=entry.index, of=entry.of, workers=workers,
         )
-        points = _run_open(resolve(s), workers)
+        rows, metrics = _open_scenario_payloads(s, workers)
         wall = time.perf_counter() - t0
         sims = simulations_started() - sims0
         _emit(
@@ -111,8 +109,8 @@ def execute_unit(
         payloads = [
             {
                 "scenario": scenario_hash(s),
-                "rows": _open_payload(s, points),
-                "metrics": _metrics_payload(s, points),
+                "rows": rows,
+                "metrics": metrics,
             }
         ]
     elif kind == "closed":

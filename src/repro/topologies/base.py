@@ -112,6 +112,17 @@ class Topology:
         """Router-to-router cables (undirected)."""
         return sum(len(nbrs) for nbrs in self.adjacency) // 2
 
+    @cached_property
+    def num_channels(self) -> int:
+        """Directed router-to-router channels (= 2 · ``num_links``).
+
+        The flat channel-array length everything downstream sizes by:
+        :func:`repro.sim.network.channel_layout`, the flow solver's
+        channel map, and telemetry ``channel_loads`` all agree on this
+        count by construction.
+        """
+        return sum(len(nbrs) for nbrs in self.adjacency)
+
     # -- derived views ---------------------------------------------------------
 
     def edges(self) -> list[tuple[int, int]]:

@@ -1,0 +1,190 @@
+"""Differential fault suite: degraded runs across backends, workers, store.
+
+The fault axis is only trustworthy if a degraded instance is *the same
+experiment* no matter how it executes.  This suite pins that from four
+directions: the batched cycle-vec engine is bit-exact against the
+reference cycle engine on degraded topologies, the flow model stays
+within one load-grid step of cycle saturation on a faulted instance,
+campaign files are byte-identical across worker counts and through
+kill/resume, and the content-addressed store round-trips faulted rows
+without ever serving them for the healthy spec (or vice versa).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    Campaign,
+    FaultSpec,
+    RoutingSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    run_campaign,
+    scenario_hash,
+)
+from repro.service.store import MemoryResultStore
+from repro.sim.config import SimConfig
+from repro.sim.parallel import simulations_started
+
+SF5 = TopologySpec("SF", params={"q": 5})
+CFG = SimConfig(warmup_cycles=60, measure_cycles=120, drain_cycles=400)
+FAULT = FaultSpec(link_fraction=0.08, seed=1)
+
+
+def faulted_scenario(routing="min", backend="cycle", loads=(0.2, 0.5),
+                     fault=FAULT, label=None) -> Scenario:
+    params = {} if routing == "min" else {"seed": 1}
+    return Scenario(
+        topology=SF5,
+        routing=RoutingSpec(routing, params),
+        sim=CFG,
+        traffic=TrafficSpec("uniform"),
+        loads=list(loads),
+        label=label or routing,
+        backend=backend,
+        fault=fault,
+    )
+
+
+def fault_campaign(backend="cycle") -> Campaign:
+    """A mini degradation grid: healthy + faulted + disconnected."""
+    scenarios = []
+    for frac in (0.0, 0.08):
+        fault = FaultSpec(link_fraction=frac, seed=1) if frac else None
+        for name in ("min", "val"):
+            scenarios.append(
+                faulted_scenario(name, backend=backend, fault=fault,
+                                 label=f"{name}/f={frac:g}")
+            )
+    scenarios.append(
+        faulted_scenario("min", backend=backend,
+                         fault=FaultSpec(cut_routers=[0]), label="severed")
+    )
+    return Campaign("fault-mini", scenarios)
+
+
+def measurements(rows):
+    return [(r["load"], r["latency"], r["accepted"], r["saturated"])
+            for r in rows]
+
+
+class TestCycleVecBitExact:
+    @pytest.mark.parametrize("routing", ["min", "val", "ugal-l", "ugal-g"])
+    def test_degraded_runs_are_bit_exact(self, routing):
+        """cycle and cycle-vec agree flit-for-flit on a faulted SF."""
+        ref = run_campaign(
+            Campaign("ref", [faulted_scenario(routing)]))
+        vec = run_campaign(
+            Campaign("vec", [faulted_scenario(routing, backend="cycle-vec")]))
+        assert measurements(ref.rows) == measurements(vec.rows)
+        # Sanity: the fault actually did something — both backends
+        # tagged their rows with the fraction.
+        assert all(r["fault_fraction"] == FAULT.link_fraction
+                   for r in ref.rows + vec.rows)
+
+
+class TestFlowCycleTolerance:
+    def test_faulted_saturation_within_one_grid_step(self):
+        """Flow saturation tracks cycle saturation on the degraded SF.
+
+        Same contract as tests/test_cross_fidelity.py, exercised
+        through the scenario layer so both engines consume the
+        identical resolver-built DegradedTopology.
+        """
+        loads = [round(0.1 * i, 4) for i in range(1, 11)]
+        cfg = SimConfig(warmup_cycles=150, measure_cycles=350,
+                        drain_cycles=1200)
+
+        def saturation(backend):
+            s = faulted_scenario("min", backend=backend, loads=loads)
+            s.sim = cfg
+            s.revalidate()
+            rows = run_campaign(Campaign(f"xfid-{backend}", [s])).rows
+            return next(
+                (r["load"] for r in rows if r["saturated"]), None)
+
+        flow_sat = saturation("flow")
+        cycle_sat = saturation("cycle")
+        assert flow_sat is not None and cycle_sat is not None
+        assert abs(flow_sat - cycle_sat) <= 0.1 + 1e-9
+
+
+class TestWorkerByteIdentity:
+    def test_fault_campaign_rows_identical_across_workers(self, tmp_path):
+        run_campaign(fault_campaign(), workers=1, out=tmp_path / "w1.jsonl")
+        run_campaign(fault_campaign(), workers=2, out=tmp_path / "w2.jsonl")
+        assert (tmp_path / "w1.jsonl").read_bytes() == (
+            tmp_path / "w2.jsonl").read_bytes()
+
+    def test_vec_backend_campaign_identical_across_workers(self, tmp_path):
+        run_campaign(fault_campaign("cycle-vec"), workers=1,
+                     out=tmp_path / "w1.jsonl")
+        run_campaign(fault_campaign("cycle-vec"), workers=2,
+                     out=tmp_path / "w2.jsonl")
+        assert (tmp_path / "w1.jsonl").read_bytes() == (
+            tmp_path / "w2.jsonl").read_bytes()
+
+
+class TestResume:
+    def test_complete_fault_file_resumes_without_simulating(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        campaign = fault_campaign()
+        run_campaign(campaign, out=out)
+        clean = out.read_bytes()
+        before = simulations_started()
+        report = run_campaign(campaign, out=out, resume=True)
+        assert simulations_started() == before
+        assert report.simulated == 0 and report.skipped == 5
+        assert out.read_bytes() == clean
+
+    def test_killed_fault_campaign_resumes_byte_identical(self, tmp_path):
+        out = tmp_path / "rows.jsonl"
+        campaign = fault_campaign()
+        run_campaign(campaign, out=out)
+        clean = out.read_bytes()
+        # Kill after the healthy prefix: the faulted scenarios (and the
+        # disconnected one's structured rows) are resimulated and must
+        # land byte-for-byte where they were.
+        lines = clean.decode().splitlines(keepends=True)
+        out.write_bytes("".join(lines[:4]).encode())
+        report = run_campaign(campaign, out=out, resume=True)
+        assert report.simulated == 3 and report.skipped == 2
+        assert out.read_bytes() == clean
+
+
+class TestStore:
+    def test_faulted_rows_round_trip_through_store(self, tmp_path):
+        store = MemoryResultStore()
+        campaign = fault_campaign()
+        first = run_campaign(campaign, out=tmp_path / "a.jsonl", store=store)
+        assert first.store_hits == 0
+        second = run_campaign(campaign, out=tmp_path / "b.jsonl", store=store)
+        assert second.simulated == 0
+        assert second.store_hits == 5
+        assert (tmp_path / "a.jsonl").read_bytes() == (
+            tmp_path / "b.jsonl").read_bytes()
+
+    def test_store_entries_validate_with_fault_axis(self):
+        store = MemoryResultStore()
+        s = faulted_scenario("min")
+        run_campaign(Campaign("one", [s]), store=store)
+        entry = store.get(scenario_hash(s))
+        assert entry is not None
+        entry.validate()  # re-hashes the embedded spec, fault included
+        assert entry.rows[0]["spec"]["fault"]["link_fraction"] == 0.08
+
+    def test_fault_and_healthy_never_share_a_store_key(self):
+        """A faulted run must not replay for the healthy spec."""
+        store = MemoryResultStore()
+        faulted = faulted_scenario("min")
+        healthy = faulted_scenario("min", fault=None)
+        assert scenario_hash(faulted) != scenario_hash(healthy)
+        run_campaign(Campaign("one", [faulted]), store=store)
+        assert scenario_hash(healthy) not in store
+        report = run_campaign(Campaign("two", [healthy]), store=store)
+        assert report.store_hits == 0 and report.simulated == 1
+        # And now both coexist, each under its own digest.
+        assert scenario_hash(healthy) in store
+        assert scenario_hash(faulted) in store

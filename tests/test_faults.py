@@ -1,0 +1,392 @@
+"""Fault plane: FaultSpec serialization, sampling determinism, degraded counts.
+
+Covers the fault axis end to end below the differential layer (see
+test_fault_differential.py for cross-backend/worker equivalence):
+sampling is exact and idempotent across processes, the spec round-trips
+with a pinned hash, the null fault preserves the healthy hash pins, and
+``DegradedTopology`` recomputes every count the flat channel arrays
+size themselves by.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.faults import DegradedTopology, apply_fault
+from repro.scenarios import (
+    Campaign,
+    FaultSpec,
+    RoutingSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    WorkloadSpec,
+    canonical_json,
+    run_campaign,
+    scenario_hash,
+)
+from repro.scenarios.resolve import resolve, resolve_topology
+from repro.sim.config import SimConfig
+from repro.sim.telemetry import TelemetrySpec
+
+#: The reference scenario of tests/test_scenarios.py::TestHashing, with
+#: its pinned healthy hashes per backend.  The null-fault tests assert
+#: these exact digests: adding the fault axis must not move a single
+#: healthy hash, or every store and resume file in the wild goes stale.
+HEALTHY_HASHES = {
+    "cycle": "80269c90cd7f1773",
+    "flow": "2a6a978c4eaae106",
+    "cycle-vec": "54668d495c521c1a",
+}
+
+#: Pinned digest of the reference scenario carrying
+#: FaultSpec(link_fraction=0.05, seed=0).  A change here means the
+#: fault wire format moved and old faulted store entries are orphaned.
+FAULTED_HASH = "a997dc4f3a92a96e"
+
+
+def reference_scenario(**overrides) -> Scenario:
+    kw = dict(
+        topology=TopologySpec("SF", params={"q": 5}),
+        routing=RoutingSpec("min"),
+        sim=SimConfig(),
+        traffic=TrafficSpec("uniform"),
+        loads=[0.5],
+    )
+    kw.update(overrides)
+    return Scenario(**kw)
+
+
+# The sf5 fixture (SlimFly.from_q(5), 50 routers) comes from conftest.
+
+
+# ---------------------------------------------------------------------------
+# Sampling (satellite: property-based fault sampling)
+# ---------------------------------------------------------------------------
+
+
+class TestFaultSampling:
+    @pytest.mark.parametrize("fraction", [0.02, 0.05, 0.1, 0.25, 0.5])
+    def test_kills_exactly_rounded_fraction(self, sf5, fraction):
+        degraded = apply_fault(sf5, link_fraction=fraction, seed=1)
+        expect = int(round(fraction * sf5.num_links))
+        assert len(degraded.failed_links) == expect
+        assert degraded.num_links == sf5.num_links - expect
+
+    def test_never_kills_a_link_twice(self, sf5):
+        # replace=False sampling: the failed set size equals the draw
+        # count for every seed, i.e. no edge is ever drawn twice.
+        expect = int(round(0.3 * sf5.num_links))
+        for seed in range(20):
+            degraded = apply_fault(sf5, link_fraction=0.3, seed=seed)
+            assert len(degraded.failed_links) == expect
+
+    def test_same_seed_same_sample(self, sf5):
+        a = apply_fault(sf5, link_fraction=0.1, seed=7)
+        b = apply_fault(sf5, link_fraction=0.1, seed=7)
+        assert a.failed_links == b.failed_links
+        assert a.adjacency == b.adjacency
+
+    def test_different_seeds_differ(self, sf5):
+        samples = {
+            frozenset(apply_fault(sf5, link_fraction=0.1, seed=s).failed_links)
+            for s in range(8)
+        }
+        assert len(samples) > 1
+
+    def test_sample_is_identical_across_processes(self, sf5):
+        """The fault sample from a fresh interpreter matches ours."""
+        code = (
+            "from repro.topologies.slimfly import SlimFly\n"
+            "from repro.analysis.faults import apply_fault\n"
+            "import json\n"
+            "d = apply_fault(SlimFly.from_q(5), link_fraction=0.1, seed=42)\n"
+            "print(json.dumps(sorted(list(e) for e in d.failed_links)))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True,
+        )
+        remote = {tuple(e) for e in json.loads(out.stdout)}
+        local = apply_fault(sf5, link_fraction=0.1, seed=42).failed_links
+        assert remote == local
+
+    def test_targeted_cuts_union_with_sample(self, sf5):
+        u, v = sf5.edges()[0]
+        degraded = apply_fault(sf5, link_fraction=0.1, seed=3,
+                               cut_links=[(v, u)])
+        assert (min(u, v), max(u, v)) in degraded.failed_links
+
+    def test_cut_router_removes_every_cable(self, sf5):
+        degraded = apply_fault(sf5, cut_routers=[0])
+        assert degraded.adjacency[0] == []
+        assert degraded.dead_routers == [0]
+
+    def test_killing_every_link_is_an_error(self, sf5):
+        with pytest.raises(ValueError, match="every link"):
+            apply_fault(sf5, cut_routers=list(range(sf5.num_routers)))
+
+    def test_unknown_link_is_an_error(self, sf5):
+        missing = next(
+            (0, v) for v in range(1, sf5.num_routers)
+            if v not in sf5.adjacency[0]
+        )
+        with pytest.raises(ValueError, match="does not exist"):
+            apply_fault(sf5, cut_links=[missing])
+
+
+# ---------------------------------------------------------------------------
+# FaultSpec wire format
+# ---------------------------------------------------------------------------
+
+
+class TestFaultSpec:
+    def test_round_trip_is_lossless(self):
+        spec = FaultSpec(link_fraction=0.1, router_fraction=0.05, seed=9,
+                         cut_links=[(4, 2), (0, 1)], cut_routers=[7, 3])
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_survives_json(self):
+        spec = FaultSpec(link_fraction=0.08, seed=2, cut_links=[(1, 5)])
+        via = FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert via == spec
+
+    def test_pinned_faulted_hash(self):
+        s = reference_scenario(fault=FaultSpec(link_fraction=0.05, seed=0))
+        assert scenario_hash(s) == FAULTED_HASH
+
+    def test_cut_links_normalise_oriented_sorted_unique(self):
+        spec = FaultSpec(cut_links=[(5, 1), (1, 5), (2, 0)])
+        assert spec.cut_links == [(0, 2), (1, 5)]
+
+    def test_cut_routers_normalise_sorted_unique(self):
+        spec = FaultSpec(cut_routers=[4, 1, 4])
+        assert spec.cut_routers == [1, 4]
+
+    def test_self_loop_cut_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(cut_links=[(3, 3)])
+
+    def test_negative_router_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(cut_routers=[-1])
+
+    def test_fraction_of_one_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(link_fraction=1.0)
+
+    def test_seed_defaults_to_zero_when_sampling(self):
+        assert FaultSpec(link_fraction=0.1).seed == 0
+
+    def test_pure_cut_spec_has_no_seed(self):
+        # No random sampling → the seed is dead weight; it must not
+        # leak into the hash.
+        a = FaultSpec(cut_links=[(0, 1)], seed=5)
+        b = FaultSpec(cut_links=[(0, 1)])
+        assert a.seed is None
+        assert canonical_json(a.to_dict()) == canonical_json(b.to_dict())
+
+
+# ---------------------------------------------------------------------------
+# Null fault & hash discipline (satellite: null edge of the axis)
+# ---------------------------------------------------------------------------
+
+
+class TestNullFault:
+    @pytest.mark.parametrize("backend", sorted(HEALTHY_HASHES))
+    def test_zero_fraction_normalises_to_none(self, backend):
+        s = reference_scenario(backend=backend,
+                               fault=FaultSpec(link_fraction=0.0))
+        assert s.fault is None
+        assert "fault" not in s.to_dict()
+
+    @pytest.mark.parametrize("backend", sorted(HEALTHY_HASHES))
+    def test_healthy_hashes_are_unmoved(self, backend):
+        s = reference_scenario(backend=backend,
+                               fault=FaultSpec(link_fraction=0.0))
+        assert scenario_hash(s) == HEALTHY_HASHES[backend]
+
+    def test_faulted_hash_differs_from_healthy(self):
+        healthy = reference_scenario()
+        faulted = reference_scenario(fault=FaultSpec(link_fraction=0.05,
+                                                     seed=0))
+        assert scenario_hash(healthy) == HEALTHY_HASHES["cycle"]
+        assert scenario_hash(faulted) != scenario_hash(healthy)
+
+    def test_fraction_moves_the_hash(self):
+        a = reference_scenario(fault=FaultSpec(link_fraction=0.05, seed=0))
+        b = reference_scenario(fault=FaultSpec(link_fraction=0.1, seed=0))
+        assert scenario_hash(a) != scenario_hash(b)
+
+    def test_seed_moves_the_hash(self):
+        a = reference_scenario(fault=FaultSpec(link_fraction=0.05, seed=0))
+        b = reference_scenario(fault=FaultSpec(link_fraction=0.05, seed=1))
+        assert scenario_hash(a) != scenario_hash(b)
+
+    def test_scenario_round_trip_with_fault(self):
+        s = reference_scenario(fault=FaultSpec(link_fraction=0.05, seed=0))
+        assert Scenario.from_dict(json.loads(json.dumps(s.to_dict()))) == s
+
+
+# ---------------------------------------------------------------------------
+# Validation: fault is an open-loop, table-routed axis
+# ---------------------------------------------------------------------------
+
+
+class TestFaultValidation:
+    def test_closed_loop_scenario_rejects_fault(self):
+        with pytest.raises(ValueError, match="open-loop"):
+            Scenario(
+                topology=TopologySpec("SF", params={"q": 5}),
+                routing=RoutingSpec("min"),
+                sim=SimConfig(),
+                workload=WorkloadSpec("halo2d", ranks=16, size_flits=4,
+                                      iterations=2),
+                fault=FaultSpec(link_fraction=0.05),
+            )
+
+    @pytest.mark.parametrize("name", ["df-min", "df-ugal-l", "ft-anca"])
+    def test_structural_routing_rejects_fault(self, name):
+        topo = (TopologySpec("DF", target_endpoints=300)
+                if name.startswith("df-")
+                else TopologySpec("FT-3", target_endpoints=128))
+        with pytest.raises(ValueError, match="healthy structure"):
+            Scenario(
+                topology=topo,
+                routing=RoutingSpec(name),
+                sim=SimConfig(),
+                traffic=TrafficSpec("uniform"),
+                loads=[0.3],
+                fault=FaultSpec(link_fraction=0.05),
+            )
+
+    @pytest.mark.parametrize("name", ["min", "val", "ugal-l", "ugal-g"])
+    def test_table_routings_accept_fault(self, name):
+        s = reference_scenario(routing=RoutingSpec(name, {"seed": 1}),
+                               fault=FaultSpec(link_fraction=0.05))
+        assert s.fault is not None
+
+
+# ---------------------------------------------------------------------------
+# DegradedTopology counts (satellite: recomputed cached properties)
+# ---------------------------------------------------------------------------
+
+
+class TestDegradedCounts:
+    def test_link_and_channel_counts_recomputed(self, sf5):
+        degraded = apply_fault(sf5, link_fraction=0.2, seed=4)
+        killed = len(degraded.failed_links)
+        assert degraded.num_links == sf5.num_links - killed
+        assert degraded.num_channels == sf5.num_channels - 2 * killed
+        assert degraded.num_channels == sum(
+            len(n) for n in degraded.adjacency)
+
+    def test_network_radix_reflects_survivors(self, sf5):
+        degraded = apply_fault(sf5, link_fraction=0.3, seed=4)
+        assert degraded.network_radix == max(
+            len(n) for n in degraded.adjacency)
+        # A targeted cut that prunes every router below full degree
+        # must pull the recomputed radix down with it.
+        shaved = apply_fault(
+            sf5, cut_links=[(u, sf5.adjacency[u][0])
+                            for u in range(sf5.num_routers)])
+        assert shaved.network_radix < sf5.network_radix
+
+    def test_router_radix_is_installed_ports(self, sf5):
+        # Cost models price the ports that were bought, not the cables
+        # that survived — router_radix deliberately stays at base.
+        degraded = apply_fault(sf5, link_fraction=0.3, seed=4)
+        assert degraded.router_radix == sf5.router_radix
+        assert degraded.concentration == sf5.concentration
+
+    def test_endpoints_are_preserved(self, sf5):
+        degraded = apply_fault(sf5, link_fraction=0.1, seed=2)
+        assert degraded.num_endpoints == sf5.num_endpoints
+        assert degraded.endpoint_map == sf5.endpoint_map
+
+    def test_channel_count_matches_base_class_formula(self, sf5):
+        assert sf5.num_channels == 2 * sf5.num_links
+
+    def test_telemetry_channel_loads_sized_by_degraded_count(self):
+        """Regression: probe arrays must size to the degraded network.
+
+        A stale healthy channel count would make the flat
+        ``channel_load`` vector the wrong length for every consumer
+        that joins it against ``channel_layout``.
+        """
+        s = reference_scenario(
+            sim=SimConfig(warmup_cycles=20, measure_cycles=60,
+                          drain_cycles=300),
+            loads=[0.2],
+            label="probe",
+            fault=FaultSpec(link_fraction=0.1, seed=1),
+            telemetry=TelemetrySpec(channel_flits=True),
+        )
+        report = run_campaign(Campaign("fault-probe", [s]))
+        degraded = resolve_topology(s.topology, s.fault)
+        assert isinstance(degraded, DegradedTopology)
+        assert report.metrics_rows, "telemetry sidecar row missing"
+        load_vec = report.metrics_rows[0]["channel_load"]
+        assert len(load_vec) == degraded.num_channels
+        assert len(load_vec) < degraded.base.num_channels
+
+
+# ---------------------------------------------------------------------------
+# Disconnection is a structured result, not a crash
+# ---------------------------------------------------------------------------
+
+
+class TestDisconnection:
+    def fragmented(self) -> Scenario:
+        # Isolating router 0 severs its endpoints from everything else.
+        return reference_scenario(
+            sim=SimConfig(warmup_cycles=20, measure_cycles=60,
+                          drain_cycles=300),
+            loads=[0.2, 0.5],
+            label="severed",
+            fault=FaultSpec(cut_routers=[0]),
+        )
+
+    def test_resolve_reports_disconnected(self):
+        resolved = resolve(self.fragmented())
+        assert resolved.disconnected
+
+    def test_rows_are_structured_not_raised(self):
+        s = self.fragmented()
+        report = run_campaign(Campaign("fault-severed", [s]))
+        assert len(report.rows) == len(s.loads)
+        for row in report.rows:
+            assert row["disconnected"] is True
+            assert row["latency"] is None
+            assert row["accepted"] is None
+            assert row["fault_fraction"] == 0.0
+
+    def test_connected_fault_rows_carry_fraction(self):
+        s = reference_scenario(
+            sim=SimConfig(warmup_cycles=20, measure_cycles=60,
+                          drain_cycles=300),
+            loads=[0.2],
+            label="mild",
+            fault=FaultSpec(link_fraction=0.05, seed=1),
+        )
+        report = run_campaign(Campaign("fault-mild", [s]))
+        (row,) = report.rows
+        assert row["disconnected"] is False
+        assert row["fault_fraction"] == 0.05
+        assert row["latency"] is not None
+
+    def test_healthy_rows_have_no_fault_keys(self):
+        s = reference_scenario(
+            sim=SimConfig(warmup_cycles=20, measure_cycles=60,
+                          drain_cycles=300),
+            loads=[0.2],
+            label="healthy",
+        )
+        report = run_campaign(Campaign("fault-healthy", [s]))
+        (row,) = report.rows
+        assert "fault_fraction" not in row
+        assert "disconnected" not in row

@@ -6,12 +6,15 @@ import dataclasses
 import json
 import socket
 import struct
+import subprocess
+import sys
 import threading
 
 import pytest
 
 from test_campaign_runner import closed_scenario, mixed_campaign, open_scenario
-from repro.scenarios import Campaign, run_campaign, scenario_hash
+from test_fault_differential import FAULT, faulted_scenario
+from repro.scenarios import Campaign, FaultSpec, run_campaign, scenario_hash
 from repro.service.coordinator import ServiceConfig
 from repro.service.protocol import (
     MAX_MESSAGE_BYTES,
@@ -580,5 +583,121 @@ class TestService:
         )
         assert simulations_started() - before == 0
         assert report.store_hits == 4 and report.simulated == 0
+        assert (tmp_path / "warm.jsonl").read_bytes() == cold.read_bytes()
+        assert "service_listening" not in [e["event"] for e in report.events]
+
+
+# ---------------------------------------------------------------------------
+# Chaos drill: a faulted campaign through a dying fleet
+# ---------------------------------------------------------------------------
+
+
+def drill_campaign() -> Campaign:
+    """Three degraded-topology scenarios, including a fragmented one."""
+    return Campaign(
+        "fault-drill",
+        [
+            faulted_scenario("min", label="min/f=0.08"),
+            faulted_scenario("val", label="val/f=0.08"),
+            faulted_scenario("min", fault=FaultSpec(cut_routers=[0]),
+                             label="severed"),
+        ],
+    )
+
+
+def start_subprocess_workers(ready, bound, specs, delay=0.5):
+    """Launch real serve-worker processes once the coordinator binds.
+
+    ``specs`` is a list of extra-flag lists, one worker process each,
+    started in order with ``delay`` seconds between them.  Subprocesses
+    (not threads) because ``--fail-after`` SIGKILLs the whole process.
+    """
+    procs: list = []
+
+    def launch():
+        assert ready.wait(10)
+        import time as _time
+
+        for extra in specs:
+            procs.append(
+                subprocess.Popen(
+                    [sys.executable, "-m", "repro.experiments",
+                     "serve-worker", bound["addr"],
+                     "--retry-for", "5", *extra],
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+            _time.sleep(delay)
+
+    starter = threading.Thread(target=launch, daemon=True)
+    starter.start()
+    return starter, procs
+
+
+class TestFaultChaosDrill:
+    """Degraded campaigns survive worker death byte-identically, and
+    their store entries are keyed by the faulted hash alone."""
+
+    def test_sigkilled_worker_drill_is_byte_identical(self, tmp_path):
+        campaign = drill_campaign()
+        serial = tmp_path / "serial.jsonl"
+        run_campaign(campaign, out=serial)
+
+        # First worker SIGKILLs itself on its first lease; a healthy
+        # worker joins right behind it and (with the local fallback)
+        # mops up the requeued unit.
+        store_root = tmp_path / "store"
+        cfg, ready, bound = service_config(
+            wait_for_workers=30.0, heartbeat_timeout=2.0,
+        )
+        starter, procs = start_subprocess_workers(
+            ready, bound, [["--fail-after", "1"], []],
+        )
+        svc = tmp_path / "svc.jsonl"
+        try:
+            report = run_campaign(
+                campaign, out=svc, service=cfg, store=store_root)
+        finally:
+            starter.join(10)
+            for p in procs:
+                try:
+                    p.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    p.kill()
+
+        assert svc.read_bytes() == serial.read_bytes()
+        assert report.simulated == 3 and report.skipped == 0
+        events = [e["event"] for e in report.events]
+        assert "worker_dead" in events
+        assert "lease_retry" in events
+
+        # Store discipline: every faulted scenario landed under its
+        # own (faulted) digest, and none of their healthy twins'
+        # digests exist — a faulted result can never replay for a
+        # healthy spec, nor vice versa.
+        store = FileResultStore(store_root)
+        for s in campaign.scenarios:
+            entry = store.get(scenario_hash(s))
+            assert entry is not None
+            entry.validate()
+            twin = dataclasses.replace(s, fault=None)
+            assert store.get(scenario_hash(twin)) is None
+        assert store.quarantined() == []
+
+    def test_warm_store_replays_drill_without_workers(self, tmp_path):
+        """Second pass over the drill store: zero simulations, zero
+        service sockets, byte-identical rows — faulted entries behave
+        exactly like healthy ones in the content-addressed plane."""
+        campaign = drill_campaign()
+        store = MemoryResultStore()
+        cold = tmp_path / "cold.jsonl"
+        run_campaign(campaign, out=cold, store=store)
+        before = simulations_started()
+        cfg, _, _ = service_config(wait_for_workers=30.0)
+        report = run_campaign(
+            campaign, out=tmp_path / "warm.jsonl", service=cfg, store=store)
+        assert simulations_started() == before
+        assert report.store_hits == 3 and report.simulated == 0
         assert (tmp_path / "warm.jsonl").read_bytes() == cold.read_bytes()
         assert "service_listening" not in [e["event"] for e in report.events]
