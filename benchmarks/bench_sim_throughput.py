@@ -42,6 +42,7 @@ tick loops::
 """
 
 import json
+import subprocess
 import time
 from pathlib import Path
 
@@ -72,6 +73,21 @@ TELEMETRY_ON_CEILING = 1.25
 FLOW_Q = 11
 FLOW_LOADS = [round(0.1 * i, 4) for i in range(1, 11)]
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def _git_commit() -> str:
+    """Short hash of the benched revision (``"unknown"`` off-repo)."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
 
 
 def _setup():
@@ -329,6 +345,7 @@ def test_bench_trajectory_json():
     history.append(
         {
             "date": time.strftime("%Y-%m-%d"),
+            "commit": _git_commit(),
             "cycle_flits_per_sec": round(flits_per_sec, 1),
             "cycle_vec_flits_per_sec": round(vec_q5_rate, 1),
             "cycle_vec_speedup_q5": round(vec_q5_speedup, 2),

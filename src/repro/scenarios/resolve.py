@@ -105,7 +105,10 @@ class ResolvedScenario:
 
     ``backend`` names the engine fidelity the runner dispatches to
     (validated against :mod:`repro.sim.backends` here, so an unknown
-    backend fails at resolution, not mid-campaign).
+    backend fails at resolution, not mid-campaign).  It may differ
+    from the spec's backend: default-``cycle`` scenarios on large
+    instances execute on ``cycle-vec`` (see :func:`_execution_backend`)
+    while rows and hashes keep reporting the spec's fidelity.
     """
 
     scenario: Scenario
@@ -132,6 +135,63 @@ def _unroutable(scenario: Scenario):
         )
 
     return factory
+
+
+#: Router count from which cycle-fidelity scenarios execute on the
+#: batched ``cycle-vec`` engine by default (Slim Fly q=7 -> 2q^2 = 98
+#: routers: the scale where the batched phases clearly out-amortise
+#: their per-cycle numpy dispatch overhead, per BENCH_sim.json).
+_VEC_DEFAULT_ROUTERS = 98
+
+
+def _vec_feasible(scenario: Scenario, topology: Topology) -> bool:
+    """Conservative screen for ``cycle-vec``'s packed int64 sort keys.
+
+    The batched engine packs (group, rank, seq) grant keys into one
+    int64 and refuses instances where the product overflows 2**62;
+    this mirrors that bound (over-estimating the VC count, which the
+    routing algorithm may raise) so the auto-default below never
+    upgrades a scenario into a constructor error.
+    """
+    C = sum(len(nbrs) for nbrs in topology.adjacency)
+    n_ep = topology.num_endpoints
+    V = max(scenario.sim.num_vcs, 8)
+    max_eps = max((len(e) for e in topology.endpoints_of_router), default=1)
+    seq_span = C * V + 2 + max_eps
+    if scenario.workload is not None:
+        from repro.sim.engine import DEFAULT_MAX_CYCLES
+
+        limit = (
+            DEFAULT_MAX_CYCLES
+            if scenario.max_cycles is None
+            else scenario.max_cycles
+        )
+    else:
+        cfg = scenario.sim
+        limit = cfg.warmup_cycles + cfg.measure_cycles + cfg.drain_cycles
+    rank_span = 2 * (limit + 2)
+    return (C + n_ep) * rank_span * seq_span < 2**62
+
+
+def _execution_backend(scenario: Scenario, topology: Topology) -> str:
+    """Engine fidelity the runner should dispatch to.
+
+    Cycle-fidelity scenarios on large instances default to the batched
+    ``cycle-vec`` engine: the rows are bit-identical (the differential
+    suite's contract), the scenario hash and the rows' ``fidelity``
+    key both come from the *spec's* backend, so published results,
+    resume identities and figure pipelines are untouched — only the
+    wall-clock changes.  Explicit ``backend="cycle-vec"``/``"flow"``
+    are honoured as written, and small instances stay on the flat
+    engine (below ~100 routers its lower per-cycle overhead wins).
+    """
+    if (
+        scenario.backend == "cycle"
+        and topology.num_routers >= _VEC_DEFAULT_ROUTERS
+        and _vec_feasible(scenario, topology)
+    ):
+        return "cycle-vec"
+    return scenario.backend
 
 
 def resolve(scenario: Scenario) -> ResolvedScenario:
@@ -197,6 +257,6 @@ def resolve(scenario: Scenario) -> ResolvedScenario:
         config=scenario.sim,
         traffic=traffic,
         workload=workload,
-        backend=scenario.backend,
+        backend=_execution_backend(scenario, topology),
         telemetry=scenario.telemetry,
     )

@@ -786,6 +786,7 @@ def _run_local(
                         config=r.config,
                         max_cycles=scenarios[k].max_cycles,
                         label=scenarios[k].label,
+                        backend=r.backend,
                     )
                 )
             if batch:

@@ -336,9 +336,12 @@ class Scenario:
             self.workload is not None
             and not ENGINE_BACKENDS[self.backend].supports_closed_loop
         ):
+            from repro.sim.backends import backends_supporting
+
             raise ValueError(
-                f"backend {self.backend!r} is open-loop only (closed-loop "
-                f"workload scenarios need a cycle-accurate engine)"
+                f"backend {self.backend!r} cannot run closed-loop workload "
+                f"scenarios; closed-loop capable backends: "
+                f"{backends_supporting('closed')}"
             )
         if self.traffic is not None and not self.loads:
             raise ValueError("open-loop scenarios need a non-empty loads list")

@@ -125,6 +125,7 @@ def execute_unit(
                     config=r.config,
                     max_cycles=entry.scenario.max_cycles,
                     label=entry.scenario.label,
+                    backend=r.backend,
                 )
             )
         _emit(

@@ -42,7 +42,12 @@ from repro.sim.backends import (
     FlowBackend,
     get_backend,
 )
-from repro.sim.engine_vec import VecEngine, vec_simulate
+from repro.sim.engine_vec import (
+    VecClosedLoopEngine,
+    VecEngine,
+    vec_simulate,
+    vec_simulate_workload,
+)
 from repro.sim.config import SimConfig
 from repro.sim.flowlevel import FlowModel, flow_simulate, flow_sweep
 from repro.sim.packet import Packet
@@ -77,8 +82,10 @@ __all__ = [
     "CycleVecBackend",
     "EngineBackend",
     "FlowBackend",
+    "VecClosedLoopEngine",
     "VecEngine",
     "vec_simulate",
+    "vec_simulate_workload",
     "FlowModel",
     "flow_simulate",
     "flow_sweep",

@@ -10,11 +10,13 @@ three implementations selected by name (the ``backend`` axis of a
   implementation, worker-count independent rows, open and closed loop.
 - ``cycle-vec`` — the same cycle-accurate semantics rebuilt as batched
   numpy phases (:mod:`repro.sim.engine_vec`): bit-exact against
-  ``cycle`` for its supported scope (open loop, table-driven or
-  source-routed algorithms), with a speedup that grows with instance
-  size (~2x at q=5, ~7x at q=11, >10x by q=17 — per-cycle numpy
-  dispatch overhead amortises over wider batches).  Closed-loop
-  workloads and per-hop adaptive routing stay on ``cycle``.
+  ``cycle`` across the full contract — open and closed loop;
+  table-driven, source-routed and per-hop adaptive algorithms — with a
+  speedup that grows with instance size (~2x at q=5, ~7x at q=11,
+  >10x by q=17 — per-cycle numpy dispatch overhead amortises over
+  wider batches).  Because the rows are bit-identical, scenario
+  resolution defaults large cycle-fidelity instances (>= 98 routers,
+  i.e. Slim Fly q>=7) to this backend transparently.
 - ``flow`` — the flow-level fluid solver (:mod:`repro.sim.flowlevel`):
   steady-state link rates by iterated water-filling, ~100-1000x faster,
   scales to full paper-size MMS instances; open loop only, rows
@@ -160,19 +162,18 @@ class CycleVecBackend(EngineBackend):
     """The batched-numpy cycle engine (:mod:`repro.sim.engine_vec`).
 
     Same flit-level semantics as ``cycle``, executed as vectorised
-    phases over preallocated arrays.  Open loop only; table-driven and
-    source-routed algorithms (per-hop adaptive routing raises at
-    construction and should run on ``cycle``).
+    phases over preallocated arrays.  Open and closed loop;
+    table-driven (MIN), source-routed (VAL/UGAL) and per-hop adaptive
+    (FT ANCA) algorithms.
     """
 
     name = "cycle-vec"
     fidelity = "cycle-accurate (flit level, batched numpy)"
     determinism = (
-        "bit-exact vs the cycle backend for its supported scope (open "
-        "loop, table-driven/source-routed); rows identical for any "
-        "worker count"
+        "bit-exact vs the cycle backend (open and closed loop, all "
+        "registry routings); rows identical for any worker count"
     )
-    supports_closed_loop = False
+    supports_closed_loop = True
 
     def simulate(
         self, topology, routing, traffic, offered_load, config=None,
@@ -282,11 +283,39 @@ ENGINE_BACKENDS: dict[str, EngineBackend] = {
 BACKEND_KINDS = tuple(ENGINE_BACKENDS)
 
 
+def backends_supporting(kind: str) -> list[str]:
+    """Registry names able to run a scenario kind, registry order.
+
+    ``kind`` is a scenario's engine mode: ``"open"`` (traffic + loads
+    axis — every backend) or ``"closed"`` (workload DAG — backends
+    whose :attr:`EngineBackend.supports_closed_loop` is set).  Error
+    paths enumerate this list so a rejected spec names its fixes.
+    """
+    if kind == "closed":
+        return [
+            name
+            for name, backend in ENGINE_BACKENDS.items()
+            if backend.supports_closed_loop
+        ]
+    if kind == "open":
+        return list(ENGINE_BACKENDS)
+    raise ValueError(f"unknown scenario kind {kind!r}; choose 'open' or 'closed'")
+
+
+def _capability_summary() -> str:
+    """One-line capability listing for dispatch error messages."""
+    return (
+        f"open-loop capable: {backends_supporting('open')}; "
+        f"closed-loop capable: {backends_supporting('closed')}"
+    )
+
+
 def get_backend(name: str) -> EngineBackend:
     """Look up an engine backend by registry name."""
     try:
         return ENGINE_BACKENDS[name]
     except KeyError:
         raise KeyError(
-            f"unknown engine backend {name!r}; choose from {sorted(ENGINE_BACKENDS)}"
+            f"unknown engine backend {name!r}; choose from "
+            f"{sorted(ENGINE_BACKENDS)} ({_capability_summary()})"
         ) from None

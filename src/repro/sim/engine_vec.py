@@ -47,9 +47,18 @@ point it is dropped.  The differential suite
 ``cycle`` bit-for-bit across the contract matrix, with the pinned
 saturation/latency tolerance as the documented fallback contract.
 
-Supported: open-loop traffic, table-driven (MIN) and source-routed
-(VAL/UGAL) algorithms, single- and multi-flit packets.  Closed-loop
-workloads and per-hop adaptive routing stay on the ``cycle`` backend.
+Supported: open- and closed-loop traffic; table-driven (MIN),
+source-routed (VAL/UGAL) and per-hop adaptive (FT ANCA) algorithms;
+single- and multi-flit packets.  Closed-loop workloads run on
+:class:`VecClosedLoopEngine`, which batches the dependency-gated
+injection frontier (ready messages as index arrays, message->packet
+segmentation via ``np.repeat``) and reuses the open-loop allocation
+and transmit phases unchanged.  Per-hop adaptive algorithms consult
+``next_hop()`` per head request per cycle from one shared RNG while
+reading queue state that same-cycle grants mutate — a serial
+dependency with no batched form — so switch allocation for them
+replays the flat engine's scan scalar (:meth:`VecEngine._alloc_adaptive`)
+while arrivals, injection and transmit stay vectorised.
 """
 
 from __future__ import annotations
@@ -129,11 +138,7 @@ class VecEngine:
         )
 
         table_driven = getattr(routing, "table_driven", False)
-        if not table_driven and not getattr(routing, "source_routed", False):
-            raise ValueError(
-                f"cycle-vec supports table-driven and source-routed routing; "
-                f"{routing.name!r} adapts per hop — use backend='cycle'"
-            )
+        source_routed = getattr(routing, "source_routed", False)
 
         nr = topology.num_routers
         adjacency = topology.adjacency
@@ -160,6 +165,9 @@ class VecEngine:
 
         self._next_chan_flat: np.ndarray | None = None
         self._plan = None
+        #: Per-hop adaptive ``next_hop`` (FT ANCA): consulted per head
+        #: request per cycle by :meth:`_alloc_adaptive`; None otherwise.
+        self._adaptive = None
         self._chan_of_list: list[list[int]] | None = None
         self._view: _QueueView | None = None
         if table_driven:
@@ -168,7 +176,10 @@ class VecEngine:
                 np.arange(nr, dtype=np.int64)[:, None], nh
             ].ravel()
         else:
-            self._plan = routing.plan
+            if source_routed:
+                self._plan = routing.plan
+            else:
+                self._adaptive = routing.next_hop
             self._chan_of_list = chan_of.tolist()
             pi = [{v: i for i, v in enumerate(nbrs)} for nbrs in adjacency]
             self._pi = pi
@@ -295,11 +306,15 @@ class VecEngine:
         )
         self._emap = np.asarray(topology.endpoint_map, dtype=np.int64)
         self._excludes_self = bool(getattr(traffic, "excludes_self", False))
-        if self._plan is not None:
+        if self._plan is not None or self._adaptive is not None:
             self._view = _QueueView(
                 self._pb.tolist(), self._pi, self._stage_len, self.credits,
                 V, cap,
             )
+        #: Per-delivery callback over ejected pool ids; stays None open
+        #: loop.  The closed-loop subclass uses it to track message
+        #: completion without duplicating the allocation phase.
+        self._deliver_pids = None
 
         #: Mirror of the flat engine's ``active_routers`` set.  Its
         #: CPython iteration order is the flat engine's transmit order,
@@ -525,6 +540,8 @@ class VecEngine:
         return counted
 
     def _phase_switch_allocation(self) -> None:
+        if self._adaptive is not None:
+            return self._alloc_adaptive()
         ob = self._buf_len.nonzero()[0]
         oe = self._inj_len.nonzero()[0]
         nb = ob.size
@@ -660,6 +677,8 @@ class VecEngine:
                 self._qlat_chunks.append((self._p_start[epk] - inj_t)[meas])
             if self._in_window:
                 self.window_ejections += L * eji.size
+            if self._deliver_pids is not None:
+                self._deliver_pids(epk)
             self._free[self._free_top : self._free_top + eji.size] = epk
             self._free_top += eji.size
 
@@ -692,6 +711,190 @@ class VecEngine:
                 last[:-1] = boundary[1:]
             self._stage_len[fc[last]] += off[last] + 1
             self._n_staged += fsel.size
+
+    def _alloc_adaptive(self) -> None:
+        """Switch allocation for per-hop adaptive routing (FT ANCA).
+
+        The flat engine consults ``next_hop()`` for every head request
+        every cycle — even when the grant then fails — drawing from one
+        shared RNG and reading queue lengths that same-cycle grants at
+        the same router already mutated.  That serial dependency admits
+        no batched grant, so this path replays the flat scan exactly:
+        routers in active-set iteration order, requests per router
+        oldest-first (the same packed rank/seq key), each grant applied
+        immediately so the queue view the next ``next_hop()`` call
+        reads is bit-identical.  All other phases stay vectorised.
+
+        The ``packet`` argument of ``next_hop`` is passed as ``None``
+        (this engine builds no Packet objects); every per-hop algorithm
+        in the registry decides on (router, destination, queue view)
+        alone.
+        """
+        ob = self._buf_len.nonzero()[0]
+        oe = self._inj_len.nonzero()[0]
+        nb = ob.size
+        ne = oe.size
+        n = nb + ne
+        mirror = self._mirror
+        if mirror is not None:
+            busy = set(
+                self._chan_src[self._stage_len.nonzero()[0]].tolist()
+            )
+            if nb:
+                busy.update(self._buf_router[ob].tolist())
+            if ne:
+                busy.update(self._ep_router[oe].tolist())
+            stale = [r for r in mirror if r not in busy]
+            for r in stale:
+                mirror.discard(r)
+        if n == 0:
+            return
+        now = self.now
+        L = self._L
+        speedup = self._speedup
+        V = self.num_vcs
+        vc_cap = V - 1
+        cap = self._cap
+        icap = self._icap
+        scap = self._scap
+        credits = self.credits
+        ps = self._ps
+        chan_of = self._chan_of_list
+        next_hop = self._adaptive
+        view = self._view
+        eject_busy = self._eject_busy
+        occ = self._occ
+
+        pk = self._s_pk[:n]
+        seqk = self._s_seqk[:n]
+        if nb:
+            pk[:nb] = self._buf_store[ob, self._buf_head[ob]]
+            seqk[:nb] = self._in_seq[ob]
+        if ne:
+            pk[nb:] = self._inj_store[oe, self._inj_head[oe]]
+            seqk[nb:] = self._inj_seqk[oe]
+        rtr = np.empty(n, dtype=np.int64)
+        if nb:
+            rtr[:nb] = self._buf_router[ob]
+        if ne:
+            rtr[nb:] = self._ep_router[oe]
+        qid = np.empty(n, dtype=np.int64)
+        if nb:
+            qid[:nb] = ob
+        if ne:
+            qid[nb:] = oe
+        # (rank, seq) collapse into one int: the flat request sort key
+        # (seqk already folds the injection bit in via seq_span).
+        lkey = ps[pk, 3] * self._k_inj + seqk
+        if mirror is not None:
+            # Requesting routers are busy by construction, so every one
+            # survives the discard above and keeps its mirror position.
+            rpos = {r: i for i, r in enumerate(mirror)}
+            rord = np.fromiter(
+                (rpos[r] for r in rtr.tolist()), dtype=np.int64, count=n
+            )
+            order = np.lexsort((lkey, rord))
+        else:
+            order = np.lexsort((lkey, rtr))
+
+        cslot = (now + self.config.credit_delay) % self._credit_horizon
+        cw = self._cw[cslot]
+        buf_head = self._buf_head
+        buf_len = self._buf_len
+        inj_head = self._inj_head
+        inj_len = self._inj_len
+        stage_head = self._stage_head
+        stage_len = self._stage_len
+        stage_sb = self._stage_sb
+        p_start = self._p_start
+        warmup = self._warmup
+        end_measure = self._end_measure
+        delivered_pids: list[int] = []
+        granted: dict[int, int] = {}
+        cur_router = -1
+        for i in order.tolist():
+            r = int(rtr[i])
+            if r != cur_router:
+                cur_router = r
+                granted = {}
+            p = int(pk[i])
+            row = ps[p]
+            dst_rt = int(row[1])
+            is_inj = i >= nb
+            q = int(qid[i])
+            if dst_rt == r:
+                ep = int(row[0])
+                if eject_busy[ep] > now:
+                    continue
+                eject_busy[ep] = now + L
+                if is_inj:
+                    h = inj_head[q] + 1
+                    inj_head[q] = h if h < icap else 0
+                    inj_len[q] -= 1
+                    self._n_injq -= 1
+                    p_start[p] = now
+                else:
+                    h = buf_head[q] + 1
+                    buf_head[q] = h if h < cap else 0
+                    buf_len[q] -= 1
+                    self._n_buffered -= 1
+                    m = self._cw_n[cslot]
+                    cw[m] = q
+                    self._cw_n[cslot] = m + 1
+                if occ is not None:
+                    occ[r] -= 1
+                inj_t = int(row[3])
+                if warmup <= inj_t < end_measure:
+                    self.measured_delivered += 1
+                    self._lat_chunks.append(
+                        np.array([now + L - inj_t], dtype=np.int64)
+                    )
+                    self._qlat_chunks.append(
+                        np.array([int(p_start[p]) - inj_t], dtype=np.int64)
+                    )
+                if self._in_window:
+                    self.window_ejections += L
+                delivered_pids.append(p)
+                self._free[self._free_top] = p
+                self._free_top += 1
+                continue
+            nbr = next_hop(r, dst_rt, None, view)
+            c = chan_of[r][nbr]
+            g = granted.get(c, 0)
+            if g >= speedup:
+                continue
+            hop = int(row[2])
+            vc = hop if hop < vc_cap else vc_cap
+            b_out = c * V + vc
+            if credits[b_out] < L:
+                continue
+            credits[b_out] -= L
+            granted[c] = g + 1
+            if is_inj:
+                h = inj_head[q] + 1
+                inj_head[q] = h if h < icap else 0
+                inj_len[q] -= 1
+                self._n_injq -= 1
+                p_start[p] = now
+            else:
+                h = buf_head[q] + 1
+                buf_head[q] = h if h < cap else 0
+                buf_len[q] -= 1
+                self._n_buffered -= 1
+                m = self._cw_n[cslot]
+                cw[m] = q
+                self._cw_n[cslot] = m + 1
+            if occ is not None:
+                occ[r] -= 1
+            spos = stage_head[c] + stage_len[c]
+            if spos >= scap:
+                spos -= scap
+            stage_sb[c, spos, 0] = p
+            stage_sb[c, spos, 1] = b_out
+            stage_len[c] += 1
+            self._n_staged += 1
+        if delivered_pids and self._deliver_pids is not None:
+            self._deliver_pids(np.asarray(delivered_pids, dtype=np.int64))
 
     def _grant_positional(self, n, grp, key, ej):
         """Grant when credits are plentiful: capacity is per group, so
@@ -957,4 +1160,332 @@ def vec_simulate(
     """One-shot convenience wrapper around :class:`VecEngine`."""
     return VecEngine(
         topology, routing, traffic, offered_load, config, telemetry=telemetry
+    ).run()
+
+
+# -- closed-loop (workload) mode ---------------------------------------------
+
+
+class VecClosedLoopEngine(VecEngine):
+    """Dependency-driven ("closed-loop") variant of the batched engine.
+
+    The network model — switch allocation, VC/credit flow control,
+    transmission — is the inherited open-loop one; only injection and
+    the run loop differ, mirroring how
+    :class:`repro.sim.engine.ClosedLoopEngine` subclasses the flat
+    engine.  Injection batches the ready-message frontier: released and
+    newly-ready messages process as sorted index arrays, flits segment
+    into packets with one ``np.repeat`` per batch, and the packets
+    scatter into the per-endpoint injection rings grouped by source.
+    Message completion is tracked through the engine's per-delivery
+    hook over ejected pool ids: each cycle's ejections decrement their
+    messages' remaining-packet counters in one fancy-indexed subtract
+    (at most one ejection per endpoint per cycle and all packets of a
+    message share one destination endpoint, so the ids are distinct),
+    and messages hitting zero complete at the tail-ejection cycle
+    ``now + packet_length``, releasing dependents exactly when the flat
+    engine does.
+
+    Bit-exact against ``ClosedLoopEngine`` — including every
+    per-message ready/completion timestamp — for table-driven,
+    source-routed and per-hop adaptive routing: plans draw in ascending
+    message-id order (the flat injection order), and the allocation
+    tie-breaks are the inherited open-loop ones.
+
+    ``max_cycles`` participates in the packed sort-key span (ranks run
+    to the cycle cap instead of the open-loop deadline), so a custom
+    cap must be passed at construction, not just to :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingAlgorithm,
+        workload,
+        config: SimConfig | None = None,
+        trace_channels: bool = False,
+        max_cycles: int | None = None,
+    ):
+        from repro.sim.engine import DEFAULT_MAX_CYCLES, _NullTraffic
+
+        super().__init__(
+            topology, routing, _NullTraffic(), 0.0, config, trace_channels
+        )
+        limit = DEFAULT_MAX_CYCLES if max_cycles is None else int(max_cycles)
+        self._limit = limit
+        # Re-span the packed sort keys: inject times now run to the
+        # closed-loop cycle cap instead of the open-loop deadline.
+        seq_span = self._k_inj // 2
+        rank_span = 2 * (limit + 2)
+        if self._n_groups * rank_span * seq_span >= 2**62:
+            raise ValueError("simulation too large for packed int64 sort keys")
+        self._k_grp = rank_span * seq_span
+
+        if hasattr(workload, "messages"):
+            msgs = workload.messages()
+            self.workload_name = getattr(workload, "name", "workload")
+        else:
+            msgs = list(workload)
+            self.workload_name = "workload"
+        n_ep = self._n_ep
+        seen: set[int] = set()
+        for m in msgs:
+            if m.mid in seen:
+                raise ValueError(f"duplicate message id {m.mid}")
+            seen.add(m.mid)
+            if not (0 <= m.src < n_ep):
+                raise ValueError(f"message {m.mid}: bad source endpoint {m.src}")
+            if not (0 <= m.dst < n_ep):
+                raise ValueError(
+                    f"message {m.mid}: bad destination endpoint {m.dst}"
+                )
+        # Dense message indices in ascending-mid order, so sorting an
+        # index batch reproduces the flat engine's sorted-mid batches.
+        mids = sorted(seen)
+        midx = {mid: i for i, mid in enumerate(mids)}
+        M = len(mids)
+        self._mids = mids
+        self.total_messages = M
+        self.completed = 0
+        self._delivered_flits = 0
+        m_src = np.zeros(M, dtype=np.int64)
+        m_dst = np.zeros(M, dtype=np.int64)
+        m_size = np.zeros(M, dtype=np.int64)
+        pending = [0] * M
+        dependents: list[list[int]] = [[] for _ in range(M)]
+        for m in msgs:
+            i = midx[m.mid]
+            m_src[i] = m.src
+            m_dst[i] = m.dst
+            m_size[i] = m.size_flits
+            pending[i] = len(m.deps)
+            for d in m.deps:
+                if d not in midx:
+                    raise ValueError(f"message {m.mid} depends on unknown id {d}")
+                dependents[midx[d]].append(i)
+        self._m_src = m_src
+        self._m_dst = m_dst
+        self._m_size = m_size
+        self._m_src_rt = self._emap[m_src]
+        self._m_dst_rt = self._emap[m_dst]
+        self._m_zero = m_src == m_dst
+        self._m_pending = pending
+        self._m_dependents = dependents
+        self._m_remaining = np.zeros(M, dtype=np.int64)
+        self._ready_t = np.full(M, -1, dtype=np.int64)
+        self._comp_t = np.full(M, -1, dtype=np.int64)
+        self._ready: list[int] = [i for i in range(M) if pending[i] == 0]
+        #: Release cycle -> dense indices whose last dependency
+        #: completes at a future cycle (multi-flit tail ejection).
+        self._release: dict[int, list[int]] = {}
+        #: Pool column: owning dense message index per packet id.
+        self._p_msg = np.zeros(self._pool, dtype=np.int64)
+        self._deliver_pids = self._on_delivered_batch
+
+    # -- pool growth -------------------------------------------------------
+
+    def _grow_pool(self, need: int) -> None:
+        old = self._pool
+        super()._grow_pool(need)
+        self._p_msg = np.concatenate(
+            [self._p_msg, np.zeros(self._pool - old, dtype=np.int64)]
+        )
+
+    # -- dependency bookkeeping --------------------------------------------
+
+    def _complete_msg(self, mi: int, t: int) -> None:
+        self._comp_t[mi] = t
+        self.completed += 1
+        self._delivered_flits += int(self._m_size[mi])
+        pending = self._m_pending
+        for dep in self._m_dependents[mi]:
+            left = pending[dep] - 1
+            pending[dep] = left
+            if left == 0:
+                # A dependent may not inject before the completing
+                # tail flit has fully ejected (cycle t).
+                if t <= self.now:
+                    self._ready.append(dep)
+                else:
+                    self._release.setdefault(t, []).append(dep)
+
+    def _on_delivered_batch(self, pids: np.ndarray) -> None:
+        mids = self._p_msg[pids]
+        rem = self._m_remaining
+        rem[mids] -= 1
+        done = mids[rem[mids] == 0]
+        if done.size:
+            t = self.now + self._L
+            for mi in done.tolist():
+                self._complete_msg(int(mi), t)
+
+    # -- overridden phases -------------------------------------------------
+
+    def _phase_injection(self, measuring: bool) -> None:
+        now = self.now
+        released = self._release.pop(now, None)
+        if released:
+            self._ready.extend(released)
+        if not self._ready:
+            return
+        L = self._L
+        plan = self._plan
+        while self._ready:
+            batch = np.asarray(sorted(self._ready), dtype=np.int64)
+            self._ready = []
+            self._ready_t[batch] = now
+            zh = self._m_zero[batch]
+            if zh.any():
+                # Zero-hop messages (src == dst endpoint) complete at
+                # `now` and may cascade within the phase: dependents
+                # land back in _ready for the next sorted batch.
+                for mi in batch[zh].tolist():
+                    self._complete_msg(mi, now)
+            nz = batch[~zh]
+            if nz.size == 0:
+                continue
+            if self._mirror is not None:
+                self._mirror.update(self._m_src_rt[nz].tolist())
+            npkts = -(-self._m_size[nz] // L)
+            self._m_remaining[nz] = npkts
+            total = int(npkts.sum())
+            self.measured_injected += total
+            if total == 0:
+                continue
+            if self._free_top < total:
+                self._grow_pool(total)
+            self._free_top -= total
+            ids = self._free[self._free_top : self._free_top + total].copy()
+            # _grow_pool replaces the pool arrays; bind after it ran.
+            ps = self._ps
+            # Batch-major packet order == the flat engine's ascending-
+            # mid injection order (packets of one message contiguous).
+            rep = np.repeat(np.arange(nz.size, dtype=np.int64), npkts)
+            mrows = nz[rep]
+            dst_rt = self._m_dst_rt[nz][rep]
+            ps[ids, 0] = self._m_dst[nz][rep]
+            ps[ids, 1] = dst_rt
+            ps[ids, 2] = 0
+            ps[ids, 3] = now
+            self._p_start[ids] = now
+            self._p_msg[ids] = mrows
+            if plan is not None:
+                # Source-routed plans per packet in batch order: the
+                # identical RNG consumption (and queue view) as the
+                # flat closed-loop injection loop.
+                view = self._view
+                chan_of = self._chan_of_list
+                path_rows = self._p_path
+                src_rt = self._m_src_rt[nz][rep].tolist()
+                drt = dst_rt.tolist()
+                for j, pid in enumerate(ids.tolist()):
+                    path = plan(src_rt[j], drt[j], view)
+                    prow = path_rows[pid]
+                    for h in range(len(path) - 1):
+                        prow[h] = chan_of[path[h]][path[h + 1]]
+            # Scatter into the injection rings grouped by source
+            # endpoint, preserving batch order within each ring.
+            srcs = self._m_src[nz][rep]
+            so = np.argsort(srcs, kind="stable")
+            ss = srcs[so]
+            sid = ids[so]
+            u, counts = np.unique(ss, return_counts=True)
+            while int((self._inj_len[u] + counts).max()) >= self._icap - 1:
+                self._grow_inj()
+            i2 = np.arange(ss.size, dtype=np.int64)
+            boundary = np.empty(ss.size, dtype=bool)
+            boundary[0] = True
+            if ss.size > 1:
+                np.not_equal(ss[1:], ss[:-1], out=boundary[1:])
+            off = i2 - np.maximum.accumulate(i2 * boundary)
+            pos = self._inj_head[ss] + self._inj_len[ss] + off
+            icap = self._icap
+            pos[pos >= icap] -= icap
+            self._inj_store[ss, pos] = sid
+            self._inj_len[u] += counts
+            self._n_injq += total
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None):
+        from repro.sim.stats import WorkloadResult
+
+        limit = self._limit if max_cycles is None else int(max_cycles)
+        if limit > self._limit:
+            raise ValueError(
+                "max_cycles exceeds the packed sort-key span; pass the "
+                "cycle cap to the VecClosedLoopEngine constructor"
+            )
+        # Every closed-loop packet is measured (the flat engine injects
+        # with measured=True throughout).
+        self._warmup = 0
+        self._end_measure = 1 << 60
+        self._in_window = True
+        total = self.total_messages
+        while self.completed < total and self.now < limit:
+            self._phase_arrivals()
+            self._phase_injection(True)
+            self._phase_switch_allocation()
+            self._phase_transmit()
+            self.now += 1
+            if (
+                not self._ready
+                and not self._release
+                and not self._pending
+                and self.completed < total
+                and not self._n_buffered
+                and not self._n_staged
+                and not self._n_injq
+            ):
+                # Unsatisfiable dependencies: nothing in flight and
+                # nothing ready — report the partial run.
+                break
+        done = (self._comp_t >= 0).nonzero()[0]
+        lats = (self._comp_t - self._ready_t)[done]
+        mean = float(np.mean(lats)) if lats.size else float("nan")
+        p99 = float(np.percentile(lats, 99)) if lats.size else float("nan")
+        makespan = int(self._comp_t[done].max()) if done.size else 0
+        plats = (
+            np.concatenate(self._lat_chunks)
+            if self._lat_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        mids = self._mids
+        return WorkloadResult(
+            workload=self.workload_name,
+            num_messages=total,
+            completed_messages=self.completed,
+            finished=self.completed == total,
+            makespan=makespan,
+            cycles=max(self.now, makespan),
+            delivered_flits=self._delivered_flits,
+            avg_message_latency=mean,
+            p99_message_latency=p99,
+            avg_packet_latency=(
+                float(np.mean(plats)) if plats.size else float("nan")
+            ),
+            message_completions={
+                mids[i]: int(self._comp_t[i]) for i in done.tolist()
+            },
+            message_ready={
+                mids[i]: int(self._ready_t[i])
+                for i in (self._ready_t >= 0).nonzero()[0].tolist()
+            },
+        )
+
+
+def vec_simulate_workload(
+    topology: Topology,
+    routing: RoutingAlgorithm,
+    workload,
+    config: SimConfig | None = None,
+    max_cycles: int | None = None,
+):
+    """One-shot closed-loop run on the batched engine.
+
+    Drop-in for :func:`repro.sim.engine.simulate_workload` with
+    bit-identical :class:`~repro.sim.stats.WorkloadResult` rows.
+    """
+    return VecClosedLoopEngine(
+        topology, routing, workload, config, max_cycles=max_cycles
     ).run()

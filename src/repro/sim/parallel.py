@@ -298,12 +298,25 @@ class CompletionTask:
     config: SimConfig = field(default_factory=SimConfig)
     max_cycles: int | None = None
     label: str = ""
+    #: Engine fidelity: ``"cycle"`` (flat) or ``"cycle-vec"`` (batched
+    #: numpy) — bit-identical rows either way, per the differential
+    #: suite, so dispatch is a pure speed choice.
+    backend: str = "cycle"
+
+
+def _completion_fn(backend: str):
+    """Closed-loop simulate function for a task's engine fidelity."""
+    if backend == "cycle-vec":
+        from repro.sim.engine_vec import vec_simulate_workload
+
+        return vec_simulate_workload
+    return simulate_workload
 
 
 def _workload_task(index: int) -> tuple[int, WorkloadResult]:
     """Run one closed-loop task inside a worker."""
     task: CompletionTask = _WORK["tasks"][index]
-    result = simulate_workload(
+    result = _completion_fn(task.backend)(
         task.topology,
         task.routing_factory(),
         task.workload,
@@ -326,7 +339,10 @@ def parallel_workload_completion(
     count (the acceptance bar of the workload experiment family).
     Transport follows the sweep runner: tasks are published to the
     fork-inherited module global and workers receive only indices, so
-    topologies/closures never pickle.
+    topologies/closures never pickle.  Each task names its engine
+    fidelity (:attr:`CompletionTask.backend`); ``cycle`` and
+    ``cycle-vec`` produce bit-identical rows, so mixing fidelities in
+    one fan-out changes nothing but speed.
     """
     tasks = list(tasks)
     if not tasks:
@@ -336,7 +352,7 @@ def parallel_workload_completion(
     ctx = _fork_context()
     if workers <= 1 or ctx is None:
         return [
-            simulate_workload(
+            _completion_fn(t.backend)(
                 t.topology, t.routing_factory(), t.workload, t.config, t.max_cycles
             )
             for t in tasks

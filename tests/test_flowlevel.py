@@ -242,7 +242,7 @@ class TestBackendRegistry:
     def test_registry_contents(self):
         assert BACKEND_KINDS == ("cycle", "cycle-vec", "flow")
         assert ENGINE_BACKENDS["cycle"].supports_closed_loop
-        assert not ENGINE_BACKENDS["cycle-vec"].supports_closed_loop
+        assert ENGINE_BACKENDS["cycle-vec"].supports_closed_loop
         assert not ENGINE_BACKENDS["flow"].supports_closed_loop
         for backend in ENGINE_BACKENDS.values():
             assert backend.fidelity and backend.determinism

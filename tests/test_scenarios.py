@@ -249,7 +249,13 @@ class TestBackendAxis:
             self.base(backend="warp")
 
     def test_flow_backend_is_open_loop_only(self):
-        with pytest.raises(ValueError, match="open-loop only"):
+        with pytest.raises(
+            ValueError,
+            match=(
+                r"backend 'flow' cannot run closed-loop workload scenarios; "
+                r"closed-loop capable backends: \['cycle', 'cycle-vec'\]"
+            ),
+        ):
             closed_scenario(backend="flow")
 
     def test_backend_grid_axis(self):
